@@ -1,0 +1,40 @@
+// Ablation (paper §VI-C): kernel fusion for SpAdd3. Compares SpDISTAL's
+// fused single-pass three-way union merge against the pairwise-addition
+// strategy libraries must use (two binary adds, each with intermediate
+// assembly), with the library rank/threading structure held at SpDISTAL's
+// configuration so only fusion varies.
+#include "bench_util.h"
+
+int main() {
+  using namespace spdbench;
+  using base::KernelKind;
+  print_header("Ablation: SpAdd3 fused vs pairwise additions (8 nodes)");
+  std::printf("%-18s %12s %12s %10s\n", "matrix", "fused ms", "pairwise ms",
+              "speedup");
+  print_rule(78);
+  const int nodes = 8;
+  rt::Machine m = make_machine(nodes, rt::ProcKind::CPU, nodes);
+  for (const auto& ds : data::matrix_datasets()) {
+    const fmt::Coo coo = ds.make();
+    Result fused = run_spdistal(KernelKind::SpAdd3, coo, false, m);
+    // Pairwise: the library model with node-level ranks and full threading,
+    // i.e. SpDISTAL's execution structure minus fusion.
+    base::LibraryParams p;
+    p.name = "pairwise";
+    p.ranks_per_node = 1;
+    p.threads_per_rank = m.config().cores_per_node;
+    p.add_assembly_passes = 3.0;
+    base::LibrarySystem pairwise(p, m);
+    Built b = build_kernel(KernelKind::SpAdd3, coo, false, nodes);
+    double pw = 0;
+    try {
+      pw = pairwise.run(*b.stmt, kWarmIters, kTimedIters);
+    } catch (const SpdError&) {
+      continue;
+    }
+    if (!fused.ok()) continue;
+    std::printf("%-18s %12.2f %12.2f %9.2fx\n", ds.name.c_str(),
+                fused.seconds * 1e3, pw * 1e3, pw / fused.seconds);
+  }
+  return 0;
+}

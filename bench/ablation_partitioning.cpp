@@ -1,0 +1,40 @@
+// Ablation (paper §II-B/§II-D): universe vs non-zero vs fused non-zero
+// partitioning across increasingly skewed matrices. Reports per-strategy
+// simulated time, processor load imbalance, and steady-state communication,
+// exposing the trade-off the paper describes: non-zero partitions buy load
+// balance at the cost of reduction communication.
+#include "bench_util.h"
+
+int main() {
+  using namespace spdbench;
+  using base::KernelKind;
+  const int nodes = 8;
+  print_header("Ablation: SpMV partitioning strategy vs row-degree skew "
+               "(8 nodes)");
+  std::printf("%-8s %-12s %12s %12s %14s\n", "skew", "strategy", "ms/iter",
+              "imbalance", "comm KB/iter");
+  print_rule(78);
+  for (double skew : {0.4, 0.9, 1.2, 1.5}) {
+    const fmt::Coo coo = data::powerlaw_matrix(40000, 40000, 600000, skew, 5);
+    for (bool nz : {false, true}) {
+      Built b = build_kernel(KernelKind::SpMV, coo, nz, nodes);
+      rt::Machine m = make_machine(nodes, rt::ProcKind::CPU, nodes);
+      rt::Runtime runtime(m);
+      auto inst =
+          comp::CompiledKernel::compile(*b.stmt, m).instantiate(runtime);
+      inst->run(kWarmIters);
+      runtime.reset_timing();
+      inst->run(kTimedIters);
+      const rt::SimReport rep = inst->report();
+      std::printf("%-8.1f %-12s %12.2f %12.2f %14.1f\n", skew,
+                  nz ? "nonzero(~f)" : "universe",
+                  rep.sim_time / kTimedIters * 1e3, rep.imbalance,
+                  rep.inter_node_bytes / kTimedIters / 1024.0);
+    }
+  }
+  std::printf(
+      "\nExpected shape: universe imbalance grows with skew while the fused\n"
+      "non-zero partition stays near 1.0 at a small constant communication\n"
+      "cost (the reduction of overlapping output rows).\n");
+  return 0;
+}

@@ -1,0 +1,325 @@
+#include "bench_util.h"
+
+namespace spdbench {
+
+using base::KernelKind;
+using rt::Coord;
+
+rt::Machine make_machine(int nodes, rt::ProcKind kind, int grid_size) {
+  rt::MachineConfig cfg = data::paper_machine_config(nodes);
+  return rt::Machine(cfg, rt::Grid(grid_size), kind);
+}
+
+Built build_kernel(KernelKind kind, const fmt::Coo& coo, bool nz,
+                   int pieces) {
+  Built b;
+  IndexVar i("i"), j("j"), k("k"), l("l");
+  IndexVar io("io"), ii("ii"), f("f"), g("g"), fo("fo"), fi("fi");
+  const auto& dims = coo.dims;
+  const std::string row2 = "T(x, y) -> M(x)";
+  const std::string row1 = "T(x) -> M(x)";
+  const std::string repl1 = "T(x) -> M(q)";
+  const std::string repl2 = "T(x, y) -> M(q)";
+  const std::string nz2 = "T(x, y) fuse(x, y -> g) -> M(~g)";
+  const std::string row3 = "T(x, y, z) -> M(x)";
+  const std::string nz3 =
+      "T(x, y, z) fuse(x, y -> g) fuse(g, z -> h) -> M(~h)";
+  // Note: the TDN parser treats fuse clauses left to right, so nz3 fuses all
+  // three dimensions before the ~ partition (Figure 5's x y z -> f case).
+
+  switch (kind) {
+    case KernelKind::SpMV: {
+      Tensor a("a", {dims[0]}, fmt::dense_vector(),
+               tdn::parse_tdn(nz ? repl1 : row1));
+      Tensor B("B", dims, fmt::csr(), tdn::parse_tdn(nz ? nz2 : row2));
+      Tensor c("c", {dims[1]}, fmt::dense_vector(), tdn::parse_tdn(repl1));
+      B.from_coo(coo);
+      c.init_dense([](const auto& x) {
+        return 1.0 + 0.01 * static_cast<double>(x[0] % 97);
+      });
+      b.stmt = &(a(i) = B(i, j) * c(j));
+      if (nz) {
+        a.schedule().fuse(i, j, f).divide_pos(f, fo, fi, pieces, "B")
+            .distribute(fo)
+            .parallelize(fi, sched::ParallelUnit::CPUThread);
+      } else {
+        a.schedule().divide(i, io, ii, pieces).distribute(io)
+            .communicate({"a", "B", "c"}, io)
+            .parallelize(ii, sched::ParallelUnit::CPUThread);
+      }
+      b.out = a;
+      return b;
+    }
+    case KernelKind::SpMM: {
+      Tensor A("A", {dims[0], kSpmmJ}, fmt::dense_matrix(),
+               tdn::parse_tdn(nz ? repl2 : row2));
+      Tensor B("B", dims, fmt::csr(), tdn::parse_tdn(nz ? nz2 : row2));
+      Tensor C("C", {dims[1], kSpmmJ}, fmt::dense_matrix(),
+               tdn::parse_tdn(repl2));
+      B.from_coo(coo);
+      C.init_dense([](const auto& x) {
+        return 0.5 + 0.01 * static_cast<double>((x[0] * 3 + x[1]) % 53);
+      });
+      b.stmt = &(A(i, j) = B(i, k) * C(k, j));
+      if (nz) {
+        A.schedule().fuse(i, k, f).divide_pos(f, fo, fi, pieces, "B")
+            .distribute(fo)
+            .parallelize(fi, sched::ParallelUnit::CPUThread);
+      } else {
+        A.schedule().divide(i, io, ii, pieces).distribute(io)
+            .communicate({"A", "B", "C"}, io)
+            .parallelize(ii, sched::ParallelUnit::CPUThread);
+      }
+      b.out = A;
+      return b;
+    }
+    case KernelKind::SpAdd3: {
+      SPD_CHECK(!nz, ScheduleError,
+                "SpAdd3 is incompatible with non-zero distribution");
+      Tensor A("A", dims, fmt::csr(), tdn::parse_tdn(row2));
+      Tensor B("B", dims, fmt::csr(), tdn::parse_tdn(row2));
+      Tensor C("C", dims, fmt::csr(), tdn::parse_tdn(row2));
+      Tensor D("D", dims, fmt::csr(), tdn::parse_tdn(row2));
+      B.from_coo(coo);
+      C.from_coo(data::shift_last_dim(coo, 1 % dims[1]));
+      D.from_coo(data::shift_last_dim(coo, 2 % dims[1]));
+      b.stmt = &(A(i, j) = B(i, j) + C(i, j) + D(i, j));
+      A.schedule().divide(i, io, ii, pieces).distribute(io)
+          .parallelize(ii, sched::ParallelUnit::CPUThread);
+      b.out = A;
+      return b;
+    }
+    case KernelKind::SDDMM: {
+      Tensor A("A", dims, fmt::csr());
+      Tensor B("B", dims, fmt::csr(), tdn::parse_tdn(nz ? nz2 : row2));
+      Tensor C("C", {dims[0], kSddmmK}, fmt::dense_matrix(),
+               tdn::parse_tdn(repl2));
+      Tensor D("D", {kSddmmK, dims[1]}, fmt::dense_matrix(),
+               tdn::parse_tdn(repl2));
+      B.from_coo(coo);
+      C.init_dense([](const auto& x) {
+        return 1.0 + 0.02 * static_cast<double>((x[0] + x[1]) % 31);
+      });
+      D.init_dense([](const auto& x) {
+        return 0.5 - 0.02 * static_cast<double>((x[0] * 2 + x[1]) % 29);
+      });
+      b.stmt = &(A(i, j) = B(i, j) * C(i, k) * D(k, j));
+      if (nz) {
+        A.schedule().fuse(i, j, f).divide_pos(f, fo, fi, pieces, "B")
+            .distribute(fo)
+            .parallelize(fi, sched::ParallelUnit::CPUThread);
+      } else {
+        A.schedule().divide(i, io, ii, pieces).distribute(io)
+            .parallelize(ii, sched::ParallelUnit::CPUThread);
+      }
+      b.out = A;
+      return b;
+    }
+    case KernelKind::SpTTV: {
+      // patents-style tensors have small, dense leading modes: store them
+      // {Dense, Dense, Compressed} as in the paper's methodology.
+      const bool patents_like =
+          coo.dims[0] * coo.dims[1] <= static_cast<Coord>(coo.nnz());
+      const fmt::Format bfmt = patents_like ? fmt::ddc3() : fmt::csf3();
+      Tensor A("A", {dims[0], dims[1]}, fmt::csr());
+      Tensor B("B", dims, bfmt, tdn::parse_tdn(nz ? nz3 : row3));
+      Tensor c("c", {dims[2]}, fmt::dense_vector(), tdn::parse_tdn(repl1));
+      B.from_coo(coo);
+      c.init_dense([](const auto& x) {
+        return 1.0 + 0.01 * static_cast<double>(x[0] % 89);
+      });
+      b.stmt = &(A(i, j) = B(i, j, k) * c(k));
+      if (nz) {
+        A.schedule().fuse(i, j, f).fuse(f, k, g)
+            .divide_pos(g, fo, fi, pieces, "B").distribute(fo)
+            .parallelize(fi, sched::ParallelUnit::CPUThread);
+      } else {
+        A.schedule().divide(i, io, ii, pieces).distribute(io)
+            .parallelize(ii, sched::ParallelUnit::CPUThread);
+      }
+      b.out = A;
+      return b;
+    }
+    case KernelKind::SpMTTKRP: {
+      const bool patents_like =
+          coo.dims[0] * coo.dims[1] <= static_cast<Coord>(coo.nnz());
+      const fmt::Format bfmt = patents_like ? fmt::ddc3() : fmt::csf3();
+      Tensor A("A", {dims[0], kRank}, fmt::dense_matrix(),
+               tdn::parse_tdn(nz ? repl2 : row2));
+      Tensor B("B", dims, bfmt, tdn::parse_tdn(nz ? nz3 : row3));
+      Tensor C("C", {dims[1], kRank}, fmt::dense_matrix(),
+               tdn::parse_tdn(repl2));
+      Tensor D("D", {dims[2], kRank}, fmt::dense_matrix(),
+               tdn::parse_tdn(repl2));
+      B.from_coo(coo);
+      C.init_dense([](const auto& x) {
+        return 0.5 + 0.01 * static_cast<double>((x[0] + 2 * x[1]) % 41);
+      });
+      D.init_dense([](const auto& x) {
+        return 1.0 - 0.01 * static_cast<double>((2 * x[0] + x[1]) % 37);
+      });
+      b.stmt = &(A(i, l) = B(i, j, k) * C(j, l) * D(k, l));
+      if (nz) {
+        A.schedule().fuse(i, j, f).fuse(f, k, g)
+            .divide_pos(g, fo, fi, pieces, "B").distribute(fo)
+            .parallelize(fi, sched::ParallelUnit::CPUThread);
+      } else {
+        A.schedule().divide(i, io, ii, pieces).distribute(io)
+            .parallelize(ii, sched::ParallelUnit::CPUThread);
+      }
+      b.out = A;
+      return b;
+    }
+    case KernelKind::Other:
+      SPD_ASSERT(false, "build_kernel(Other)");
+  }
+  return b;
+}
+
+Result run_spdistal(KernelKind kind, const fmt::Coo& coo, bool nz,
+                    const rt::Machine& machine) {
+  Result r;
+  try {
+    Built b = build_kernel(kind, coo, nz, machine.num_procs());
+    rt::Runtime runtime(machine);
+    auto inst =
+        comp::CompiledKernel::compile(*b.stmt, machine).instantiate(runtime);
+    inst->run(kWarmIters);
+    runtime.reset_timing();
+    inst->run(kTimedIters);
+    r.seconds = inst->report().sim_time / kTimedIters;
+  } catch (const OutOfMemoryError& e) {
+    r.dnc = true;
+    r.note = e.what();
+  } catch (const SpdError& e) {
+    r.unsupported = true;
+    r.note = e.what();
+  }
+  return r;
+}
+
+Result run_spdistal_spmm_batched(const fmt::Coo& coo,
+                                 const rt::Machine& machine) {
+  // Row-distributed SpMM whose dense operand C is partitioned by columns
+  // and cycled between devices in rounds: each device holds two C chunks at
+  // a time (current + staging) instead of a full replica, paying (P-1)/P of
+  // C in ring traffic per iteration.
+  Result r;
+  try {
+    const int pieces = machine.num_procs();
+    Built b = build_kernel(KernelKind::SpMM, coo, /*nz=*/false, pieces);
+    // Replace C's replicated distribution with a column partition.
+    Tensor C = b.stmt->tensor("C");
+    C.set_distribution(tdn::parse_tdn("C(x, y) -> M(y)"));
+    rt::Runtime runtime(machine);
+    auto inst =
+        comp::CompiledKernel::compile(*b.stmt, machine).instantiate(runtime);
+    // Staging chunk per device on top of the owned chunk.
+    const double c_bytes =
+        static_cast<double>(C.storage().vals()->size_bytes());
+    for (int p = 0; p < pieces; ++p) {
+      runtime.mems()
+          .pool(machine.proc_mem(machine.proc(p)))
+          .allocate(c_bytes / pieces, "C staging chunk");
+    }
+    auto ring = [&]() {
+      for (int p = 0; p < pieces; ++p) {
+        const rt::Proc dst = machine.proc(p);
+        const rt::Proc src = machine.proc((p + 1) % pieces);
+        // P-1 ring rounds, each moving one chunk.
+        for (int round = 1; round < pieces; ++round) {
+          runtime.charge_transfer(machine.proc_mem(src),
+                                  machine.proc_mem(dst), c_bytes / pieces);
+        }
+      }
+    };
+    inst->run(kWarmIters);
+    ring();
+    runtime.reset_timing();
+    for (int it = 0; it < kTimedIters; ++it) {
+      inst->run(1);
+      ring();
+    }
+    r.seconds = inst->report().sim_time / kTimedIters;
+  } catch (const OutOfMemoryError& e) {
+    r.dnc = true;
+    r.note = e.what();
+  } catch (const SpdError& e) {
+    r.unsupported = true;
+    r.note = e.what();
+  }
+  return r;
+}
+
+namespace {
+template <typename System>
+Result run_library(System&& system, KernelKind kind, const fmt::Coo& coo,
+                   const rt::Machine& machine) {
+  Result r;
+  try {
+    Built b = build_kernel(kind, coo, /*nz=*/false, machine.num_procs());
+    r.seconds = system.run(*b.stmt, kWarmIters, kTimedIters);
+  } catch (const OutOfMemoryError& e) {
+    r.dnc = true;
+    r.note = e.what();
+  } catch (const SpdError& e) {
+    r.unsupported = true;
+    r.note = e.what();
+  }
+  return r;
+}
+}  // namespace
+
+Result run_petsc(KernelKind kind, const fmt::Coo& coo,
+                 const rt::Machine& machine) {
+  return run_library(base::make_petsc_like(machine), kind, coo, machine);
+}
+
+Result run_trilinos(KernelKind kind, const fmt::Coo& coo,
+                    const rt::Machine& machine) {
+  return run_library(base::make_trilinos_like(machine), kind, coo, machine);
+}
+
+Result run_ctf(KernelKind kind, const fmt::Coo& coo,
+               const rt::Machine& machine) {
+  Result r;
+  try {
+    Built b = build_kernel(kind, coo, /*nz=*/false, machine.num_procs());
+    base::CtfLike ctf(machine);
+    r.seconds = ctf.run(*b.stmt, kWarmIters, kTimedIters);
+  } catch (const OutOfMemoryError& e) {
+    r.dnc = true;
+    r.note = e.what();
+  } catch (const SpdError& e) {
+    r.unsupported = true;
+    r.note = e.what();
+  }
+  return r;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double logsum = 0;
+  for (double x : xs) logsum += std::log(x);
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+std::string cell(const Result& r) {
+  if (r.dnc) return "DNC";
+  if (r.unsupported) return "n/a";
+  return strprintf("%.2f", r.seconds * 1e3);
+}
+
+void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule(78);
+  std::printf("%s\n", title.c_str());
+  print_rule(78);
+}
+
+}  // namespace spdbench

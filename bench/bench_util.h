@@ -1,0 +1,84 @@
+// Shared benchmark harness: builds each evaluation kernel (statement +
+// schedule + data distributions) for a dataset, runs SpDISTAL and the three
+// baseline systems on the scaled Lassen-like machine, and formats the
+// tables/series of the paper's figures.
+//
+// Methodology (mirroring paper §VI): every run performs warm-up iterations
+// (first-touch communication, instance placement), resets the simulated
+// clocks, then times steady-state iterations. Trial counts are reduced from
+// the paper's 10+20 because the simulator is deterministic.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/ctf_like.h"
+#include "baselines/petsc_like.h"
+#include "compiler/lower.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "common/str_util.h"
+#include "tensor/tensor.h"
+
+namespace spdbench {
+
+using namespace spdistal;  // NOLINT: benchmark binaries only
+
+inline constexpr int kWarmIters = 1;
+inline constexpr int kTimedIters = 3;
+inline constexpr rt::Coord kSpmmJ = 32;   // dense columns in SpMM
+inline constexpr rt::Coord kSddmmK = 32;  // inner dimension in SDDMM
+inline constexpr rt::Coord kRank = 16;    // factor rank in SpMTTKRP
+
+// A built kernel: output tensor (whose definition/schedule carry the
+// statement) ready to compile or hand to a baseline.
+struct Built {
+  Tensor out;
+  Statement* stmt = nullptr;
+};
+
+// Builds `kind` over `coo`. `nz` selects the non-zero (position-space)
+// distribution + fused schedule; otherwise row-based universe distribution.
+// Data distributions are matched to the computation distribution.
+Built build_kernel(base::KernelKind kind, const fmt::Coo& coo, bool nz,
+                   int pieces);
+
+// One benchmark cell.
+struct Result {
+  double seconds = 0;
+  bool dnc = false;
+  bool unsupported = false;
+  std::string note;
+
+  bool ok() const { return !dnc && !unsupported; }
+};
+
+rt::Machine make_machine(int nodes, rt::ProcKind kind, int grid_size);
+
+Result run_spdistal(base::KernelKind kind, const fmt::Coo& coo, bool nz,
+                    const rt::Machine& machine);
+// The memory-conserving GPU SpMM schedule (SpDISTAL-Batched, §VI-A2):
+// row-distributed compute with the dense operand partitioned by columns and
+// cycled between devices in rounds.
+Result run_spdistal_spmm_batched(const fmt::Coo& coo,
+                                 const rt::Machine& machine);
+Result run_petsc(base::KernelKind kind, const fmt::Coo& coo,
+                 const rt::Machine& machine);
+Result run_trilinos(base::KernelKind kind, const fmt::Coo& coo,
+                    const rt::Machine& machine);
+Result run_ctf(base::KernelKind kind, const fmt::Coo& coo,
+               const rt::Machine& machine);
+
+// --- formatting ---------------------------------------------------------------
+
+double geomean(const std::vector<double>& xs);
+std::string cell(const Result& r);  // "12.3" (ms) or "DNC"/"n/a"
+
+void print_rule(int width);
+void print_header(const std::string& title);
+
+}  // namespace spdbench

@@ -1,0 +1,104 @@
+// Figure 10: CPU strong scaling of SpMV, SpMM, SpAdd3, SDDMM, SpTTV and
+// SpMTTKRP on 1-16 nodes, SpDISTAL vs PETSc-like, Trilinos-like and
+// CTF-like. For each kernel the harness prints, per system and node count,
+// the geometric-mean speedup over SpDISTAL on one node (the paper's
+// normalization), plus the median speedup of SpDISTAL over each baseline
+// (the §VI-A1 headline numbers).
+#include "bench_util.h"
+
+namespace spdbench {
+
+using base::KernelKind;
+
+struct SystemSpec {
+  std::string name;
+  std::function<Result(KernelKind, const fmt::Coo&, const rt::Machine&)> run;
+};
+
+void run_kernel(KernelKind kind, bool spd_nz,
+                const std::vector<data::DatasetInfo>& datasets,
+                const std::vector<SystemSpec>& baselines) {
+  const std::vector<int> node_counts = {1, 2, 4, 8, 16};
+  print_header(strprintf("Figure 10: %s CPU strong scaling (speedup over "
+                         "SpDISTAL @ 1 node)",
+                         base::kernel_kind_name(kind)));
+
+  // results[system][nodes][dataset] = seconds (absent => DNC/unsupported).
+  std::map<std::string, std::map<int, std::map<std::string, double>>> times;
+  std::vector<double> spd_base;  // SpDISTAL 1-node per dataset
+
+  for (const auto& ds : datasets) {
+    const fmt::Coo coo = ds.make();
+    for (int nodes : node_counts) {
+      rt::Machine m = make_machine(nodes, rt::ProcKind::CPU, nodes);
+      Result spd = run_spdistal(kind, coo, spd_nz, m);
+      if (spd.ok()) times["SpDISTAL"][nodes][ds.name] = spd.seconds;
+      if (nodes == 1 && spd.ok()) spd_base.push_back(spd.seconds);
+      for (const auto& sys : baselines) {
+        Result r = sys.run(kind, coo, m);
+        if (r.ok()) times[sys.name][nodes][ds.name] = r.seconds;
+      }
+    }
+  }
+
+  std::printf("%-10s", "system");
+  for (int n : node_counts) std::printf(" %8dN", n);
+  std::printf("\n");
+  print_rule(78);
+  const double base1 = geomean(spd_base);
+  std::vector<std::string> order = {"SpDISTAL"};
+  for (const auto& sys : baselines) order.push_back(sys.name);
+  for (const auto& name : order) {
+    std::printf("%-10s", name.c_str());
+    for (int n : node_counts) {
+      std::vector<double> xs;
+      for (const auto& [ds, t] : times[name][n]) xs.push_back(t);
+      if (xs.empty()) {
+        std::printf(" %9s", "n/a");
+      } else {
+        std::printf(" %8.2fx", base1 / geomean(xs));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Median speedups of SpDISTAL over each baseline across all
+  // (dataset, node-count) pairs.
+  for (const auto& sys : baselines) {
+    std::vector<double> ratios;
+    for (int n : node_counts) {
+      const auto& spd = times["SpDISTAL"][n];
+      for (const auto& [ds, t] : times[sys.name][n]) {
+        auto it = spd.find(ds);
+        if (it != spd.end()) ratios.push_back(t / it->second);
+      }
+    }
+    if (ratios.empty()) continue;
+    std::sort(ratios.begin(), ratios.end());
+    std::printf("median SpDISTAL speedup over %-9s: %.2fx\n",
+                sys.name.c_str(), ratios[ratios.size() / 2]);
+  }
+}
+
+}  // namespace spdbench
+
+int main() {
+  using namespace spdbench;
+  const SystemSpec petsc{"PETSc", run_petsc};
+  const SystemSpec trilinos{"Trilinos", run_trilinos};
+  const SystemSpec ctf{"CTF", run_ctf};
+
+  const auto& matrices = data::matrix_datasets();
+  const auto& tensors = data::tensor_datasets();
+
+  run_kernel(base::KernelKind::SpMV, false, matrices,
+             {petsc, trilinos, ctf});
+  run_kernel(base::KernelKind::SpMM, false, matrices,
+             {petsc, trilinos, ctf});
+  run_kernel(base::KernelKind::SpAdd3, false, matrices,
+             {petsc, trilinos, ctf});
+  run_kernel(base::KernelKind::SDDMM, true, matrices, {ctf});
+  run_kernel(base::KernelKind::SpTTV, false, tensors, {ctf});
+  run_kernel(base::KernelKind::SpMTTKRP, false, tensors, {ctf});
+  return 0;
+}

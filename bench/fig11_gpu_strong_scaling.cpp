@@ -1,0 +1,150 @@
+// Figure 11: GPU strong scaling heatmaps for SpMV, SpMM, SpAdd3 and SDDMM.
+// For every (tensor, GPU count) cell each system's time in milliseconds is
+// printed ("DNC" = did not complete: simulated OOM or unsupported), followed
+// by the fastest-system grid that the paper renders as a colored heatmap.
+#include "bench_util.h"
+
+namespace spdbench {
+
+struct GpuSystem {
+  std::string name;
+  // gpus -> result
+  std::function<Result(const fmt::Coo&, int gpus)> run;
+};
+
+rt::Machine gpu_machine(int gpus) {
+  const int nodes = (gpus + 3) / 4;
+  return make_machine(nodes, rt::ProcKind::GPU, gpus);
+}
+
+void heatmap(const std::string& title,
+             const std::vector<data::DatasetInfo>& datasets,
+             const std::vector<int>& gpu_counts,
+             const std::vector<GpuSystem>& systems) {
+  print_header(title);
+  // results[system][dataset][gpu] text cells.
+  std::map<std::string, std::map<std::string, std::map<int, Result>>> grid;
+  for (const auto& ds : datasets) {
+    const fmt::Coo coo = ds.make();
+    for (int g : gpu_counts) {
+      for (const auto& sys : systems) {
+        grid[sys.name][ds.name][g] = sys.run(coo, g);
+      }
+    }
+  }
+  for (const auto& sys : systems) {
+    std::printf("\n[%s] time per iteration (ms)\n", sys.name.c_str());
+    std::printf("%-18s", "tensor");
+    for (int g : gpu_counts) std::printf(" %7dG", g);
+    std::printf("\n");
+    print_rule(78);
+    for (const auto& ds : datasets) {
+      std::printf("%-18s", ds.name.c_str());
+      for (int g : gpu_counts) {
+        std::printf(" %8s", cell(grid[sys.name][ds.name][g]).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n[fastest system per cell]\n");
+  std::printf("%-18s", "tensor");
+  for (int g : gpu_counts) std::printf(" %12dG", g);
+  std::printf("\n");
+  print_rule(78);
+  for (const auto& ds : datasets) {
+    std::printf("%-18s", ds.name.c_str());
+    for (int g : gpu_counts) {
+      std::string best = "DNC";
+      double best_t = 0;
+      for (const auto& sys : systems) {
+        const Result& r = grid[sys.name][ds.name][g];
+        if (r.ok() && (best == "DNC" || r.seconds < best_t)) {
+          best = sys.name;
+          best_t = r.seconds;
+        }
+      }
+      std::printf(" %13s", best.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace spdbench
+
+int main() {
+  using namespace spdbench;
+  using base::KernelKind;
+  const auto& matrices = data::matrix_datasets();
+
+  heatmap("Figure 11a: GPU SpMV (row-based; vs PETSc, Trilinos)", matrices,
+          {1, 2, 4, 8},
+          {
+              {"SpDISTAL",
+               [](const fmt::Coo& coo, int g) {
+                 return run_spdistal(KernelKind::SpMV, coo, false,
+                                     gpu_machine(g));
+               }},
+              {"PETSc",
+               [](const fmt::Coo& coo, int g) {
+                 return run_petsc(KernelKind::SpMV, coo, gpu_machine(g));
+               }},
+              {"Trilinos",
+               [](const fmt::Coo& coo, int g) {
+                 return run_trilinos(KernelKind::SpMV, coo, gpu_machine(g));
+               }},
+          });
+
+  heatmap(
+      "Figure 11b: GPU SpMM (load-balanced nz + memory-conserving Batched)",
+      matrices, {1, 2, 4, 8, 16},
+      {
+          {"SpDISTAL",
+           [](const fmt::Coo& coo, int g) {
+             return run_spdistal(KernelKind::SpMM, coo, true, gpu_machine(g));
+           }},
+          {"SpD-Batched",
+           [](const fmt::Coo& coo, int g) {
+             return run_spdistal_spmm_batched(coo, gpu_machine(g));
+           }},
+          {"PETSc",
+           [](const fmt::Coo& coo, int g) {
+             return run_petsc(KernelKind::SpMM, coo, gpu_machine(g));
+           }},
+          {"Trilinos",
+           [](const fmt::Coo& coo, int g) {
+             return run_trilinos(KernelKind::SpMM, coo, gpu_machine(g));
+           }},
+      });
+
+  heatmap("Figure 11c: GPU SpAdd3 (row-based; PETSc lacks GPU support)",
+          matrices, {1, 2, 4, 8, 16},
+          {
+              {"SpDISTAL",
+               [](const fmt::Coo& coo, int g) {
+                 return run_spdistal(KernelKind::SpAdd3, coo, false,
+                                     gpu_machine(g));
+               }},
+              {"Trilinos",
+               [](const fmt::Coo& coo, int g) {
+                 return run_trilinos(KernelKind::SpAdd3, coo, gpu_machine(g));
+               }},
+          });
+
+  heatmap("Figure 11d: GPU SDDMM (nz; vs SpDISTAL's CPU kernel per node)",
+          matrices, {1, 2, 4, 8, 16},
+          {
+              {"SpDISTAL",
+               [](const fmt::Coo& coo, int g) {
+                 return run_spdistal(KernelKind::SDDMM, coo, true,
+                                     gpu_machine(g));
+               }},
+              {"SpD-CPU",
+               [](const fmt::Coo& coo, int g) {
+                 const int nodes = (g + 3) / 4;
+                 return run_spdistal(KernelKind::SDDMM, coo, true,
+                                     make_machine(nodes, rt::ProcKind::CPU,
+                                                  nodes));
+               }},
+          });
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12: GPU strong scaling for SpTTV and SpMTTKRP, comparing
+// SpDISTAL's non-zero-based GPU kernels against SpDISTAL's CPU kernels on
+// the same number of nodes. Each cell prints the speedup of the faster
+// system over the slower (positive = GPU wins), matching the paper's
+// presentation.
+#include "bench_util.h"
+
+namespace spdbench {
+
+void fig12(base::KernelKind kind) {
+  const auto& datasets = data::tensor_datasets();
+  const std::vector<int> gpu_counts = {4, 8, 16};
+  print_header(strprintf(
+      "Figure 12: GPU %s (nz) vs CPU (row) — speedup of the faster system",
+      base::kernel_kind_name(kind)));
+  std::printf("%-18s", "tensor");
+  for (int g : gpu_counts) std::printf(" %11dG", g);
+  std::printf("\n");
+  print_rule(78);
+  for (const auto& ds : datasets) {
+    const fmt::Coo coo = ds.make();
+    std::printf("%-18s", ds.name.c_str());
+    for (int g : gpu_counts) {
+      const int nodes = (g + 3) / 4;
+      Result gpu = run_spdistal(kind, coo, /*nz=*/true,
+                                make_machine(nodes, rt::ProcKind::GPU, g));
+      Result cpu = run_spdistal(kind, coo, /*nz=*/false,
+                                make_machine(nodes, rt::ProcKind::CPU,
+                                             nodes));
+      if (!gpu.ok() && !cpu.ok()) {
+        std::printf(" %12s", "DNC");
+      } else if (!gpu.ok()) {
+        std::printf(" %12s", "GPU-DNC");
+      } else if (!cpu.ok()) {
+        std::printf(" %12s", "CPU-DNC");
+      } else if (gpu.seconds <= cpu.seconds) {
+        std::printf("  GPU %6.2fx", cpu.seconds / gpu.seconds);
+      } else {
+        std::printf("  CPU %6.2fx", gpu.seconds / cpu.seconds);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace spdbench
+
+int main() {
+  spdbench::fig12(spdbench::base::KernelKind::SpTTV);
+  spdbench::fig12(spdbench::base::KernelKind::SpMTTKRP);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 13: SpMV weak scaling on synthetic banded matrices, 1-64 nodes
+// (4-256 GPUs), ~700M-scaled non-zeros per node, SpDISTAL vs PETSc on both
+// CPUs and GPUs. The metric is throughput per node (iterations/second),
+// flat = perfect weak scaling.
+#include "bench_util.h"
+
+int main() {
+  using namespace spdbench;
+  using base::KernelKind;
+  // 700M paper non-zeros per node, scaled.
+  const int64_t nnz_per_node =
+      static_cast<int64_t>(7.0e8 / data::kScaleFactor);
+  const int band = 27;
+  const std::vector<int> node_counts = {1, 2, 4, 8, 16, 32, 64};
+
+  print_header("Figure 13: SpMV weak scaling on synthetic banded matrices "
+               "(throughput/node = iterations/second)");
+  std::printf("%-14s %10s %10s %12s %12s\n", "nodes (GPUs)", "SpDISTAL",
+              "PETSc", "SpDISTAL-GPU", "PETSc-GPU");
+  print_rule(78);
+
+  for (int nodes : node_counts) {
+    const rt::Coord n = nnz_per_node * nodes / band;
+    const fmt::Coo coo = data::banded_matrix(n, band, 77);
+    // The paper sizes the GPU problem at 700M non-zeros per *GPU*.
+    const rt::Coord ng = nnz_per_node * nodes * 4 / band;
+    const fmt::Coo coo_gpu = data::banded_matrix(ng, band, 78);
+    auto tput = [&](const Result& r) {
+      return r.ok() ? strprintf("%10.2f", 1.0 / r.seconds)
+                    : strprintf("%10s", cell(r).c_str());
+    };
+    Result cpu = run_spdistal(KernelKind::SpMV, coo, false,
+                              make_machine(nodes, rt::ProcKind::CPU, nodes));
+    Result pet = run_petsc(KernelKind::SpMV, coo,
+                           make_machine(nodes, rt::ProcKind::CPU, nodes));
+    Result gpu =
+        run_spdistal(KernelKind::SpMV, coo_gpu, false,
+                     make_machine(nodes, rt::ProcKind::GPU, 4 * nodes));
+    Result pet_gpu = run_petsc(KernelKind::SpMV, coo_gpu,
+                               make_machine(nodes, rt::ProcKind::GPU,
+                                            4 * nodes));
+    std::printf("%3d (%4d)     %s %s   %s   %s\n", nodes, 4 * nodes,
+                tput(cpu).c_str(), tput(pet).c_str(), tput(gpu).c_str(),
+                tput(pet_gpu).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks for the leaf kernels: specialized kernels
+// vs the general co-iteration engine (the specialization gap compilation
+// buys at the leaves).
+#include <benchmark/benchmark.h>
+
+#include "compiler/kernel_select.h"
+#include "data/generators.h"
+#include "kernels/assembly.h"
+#include "kernels/leaf_kernels.h"
+
+namespace {
+
+using namespace spdistal;
+using rt::Coord;
+
+struct SpmvFixture {
+  IndexVar i{"i"}, j{"j"};
+  Tensor a, B, c;
+  Statement* stmt;
+  explicit SpmvFixture(int64_t nnz) {
+    fmt::Coo coo = data::powerlaw_matrix(nnz / 12, nnz / 12, nnz, 1.1, 7);
+    a = Tensor("a", {coo.dims[0]}, fmt::dense_vector());
+    B = Tensor("B", coo.dims, fmt::csr());
+    c = Tensor("c", {coo.dims[1]}, fmt::dense_vector());
+    B.from_coo(std::move(coo));
+    c.init_dense([](const auto&) { return 1.0; });
+    stmt = &(a(i) = B(i, j) * c(j));
+  }
+};
+
+void BM_SpmvSpecialized(benchmark::State& state) {
+  SpmvFixture f(state.range(0));
+  kern::Leaf leaf = kern::make_spmv_row(f.a, f.B, f.c);
+  for (auto _ : state) {
+    f.a.zero();
+    benchmark::DoNotOptimize(leaf(kern::PieceBounds{}).flops);
+  }
+  state.SetItemsProcessed(state.iterations() * f.B.storage().nnz());
+}
+BENCHMARK(BM_SpmvSpecialized)->Arg(100000);
+
+void BM_SpmvCoiter(benchmark::State& state) {
+  SpmvFixture f(state.range(0));
+  kern::CoiterEngine engine(*f.stmt);
+  for (auto _ : state) {
+    f.a.zero();
+    benchmark::DoNotOptimize(engine.run().flops);
+  }
+  state.SetItemsProcessed(state.iterations() * f.B.storage().nnz());
+}
+BENCHMARK(BM_SpmvCoiter)->Arg(100000);
+
+void BM_SpmvNz(benchmark::State& state) {
+  SpmvFixture f(state.range(0));
+  kern::Leaf leaf = kern::make_spmv_nz(f.a, f.B, f.c);
+  for (auto _ : state) {
+    f.a.zero();
+    benchmark::DoNotOptimize(leaf(kern::PieceBounds{}).flops);
+  }
+  state.SetItemsProcessed(state.iterations() * f.B.storage().nnz());
+}
+BENCHMARK(BM_SpmvNz)->Arg(100000);
+
+void BM_Spadd3Fused(benchmark::State& state) {
+  IndexVar i("i"), j("j");
+  fmt::Coo coo = data::powerlaw_matrix(8000, 8000, state.range(0), 1.1, 8);
+  Tensor A("A", coo.dims, fmt::csr());
+  Tensor B("B", coo.dims, fmt::csr());
+  Tensor C("C", coo.dims, fmt::csr());
+  Tensor D("D", coo.dims, fmt::csr());
+  B.from_coo(coo);
+  C.from_coo(data::shift_last_dim(coo, 1));
+  D.from_coo(data::shift_last_dim(coo, 2));
+  Statement& stmt = (A(i, j) = B(i, j) + C(i, j) + D(i, j));
+  kern::assemble_output(stmt);
+  kern::Leaf leaf = kern::make_spadd3_row(A, B, C, D);
+  for (auto _ : state) {
+    A.zero();
+    benchmark::DoNotOptimize(leaf(kern::PieceBounds{}).bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * B.storage().nnz());
+}
+BENCHMARK(BM_Spadd3Fused)->Arg(100000);
+
+void BM_Assembly(benchmark::State& state) {
+  IndexVar i("i"), j("j");
+  fmt::Coo coo = data::powerlaw_matrix(8000, 8000, state.range(0), 1.1, 9);
+  for (auto _ : state) {
+    Tensor A("A", coo.dims, fmt::csr());
+    Tensor B("B", coo.dims, fmt::csr());
+    Tensor C("C", coo.dims, fmt::csr());
+    B.from_coo(coo);
+    C.from_coo(data::shift_last_dim(coo, 1));
+    Statement& stmt = (A(i, j) = B(i, j) + C(i, j));
+    benchmark::DoNotOptimize(kern::assemble_output(stmt).output_nnz);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_Assembly)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks for the runtime substrate: direct and
+// dependent partitioning (the operations SpDISTAL's generated code performs
+// at instance setup), packing, and subset algebra.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "format/storage.h"
+#include "runtime/partition.h"
+
+namespace {
+
+using namespace spdistal;
+using rt::Coord;
+
+fmt::TensorStorage make_csr(int64_t nnz) {
+  fmt::Coo coo = data::powerlaw_matrix(nnz / 12, nnz / 12, nnz, 1.1, 3);
+  // Copy dims before passing coo by value: argument evaluation order is
+  // unspecified, so reading coo.dims in the same call is a hazard.
+  const std::vector<rt::Coord> dims = coo.dims;
+  return fmt::pack("B", fmt::csr(), dims, std::move(coo));
+}
+
+void BM_PackCsr(benchmark::State& state) {
+  fmt::Coo coo = data::powerlaw_matrix(state.range(0) / 12,
+                                       state.range(0) / 12, state.range(0),
+                                       1.1, 3);
+  for (auto _ : state) {
+    auto st = fmt::pack("B", fmt::csr(), coo.dims, coo);
+    benchmark::DoNotOptimize(st.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackCsr)->Arg(10000)->Arg(100000);
+
+void BM_PartitionEqual(benchmark::State& state) {
+  rt::IndexSpace space(1 << 20);
+  for (auto _ : state) {
+    auto p = rt::partition_equal(space, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(p.num_colors());
+  }
+}
+BENCHMARK(BM_PartitionEqual)->Arg(16)->Arg(256);
+
+void BM_Image(benchmark::State& state) {
+  fmt::TensorStorage st = make_csr(state.range(0));
+  const auto& level = st.level(1);
+  rt::Partition rows = rt::partition_equal(level.pos->space(), 16);
+  for (auto _ : state) {
+    auto p = rt::image(*level.pos, rows,
+                       rt::IndexSpace(level.positions));
+    benchmark::DoNotOptimize(p.num_colors());
+  }
+  state.SetItemsProcessed(state.iterations() * st.dims()[0]);
+}
+BENCHMARK(BM_Image)->Arg(10000)->Arg(100000);
+
+void BM_Preimage(benchmark::State& state) {
+  fmt::TensorStorage st = make_csr(state.range(0));
+  const auto& level = st.level(1);
+  rt::Partition nz = rt::partition_equal(rt::IndexSpace(level.positions), 16);
+  for (auto _ : state) {
+    auto p = rt::preimage(*level.pos, nz);
+    benchmark::DoNotOptimize(p.num_colors());
+  }
+  state.SetItemsProcessed(state.iterations() * st.dims()[0]);
+}
+BENCHMARK(BM_Preimage)->Arg(10000)->Arg(100000);
+
+void BM_PartitionByValueRanges(benchmark::State& state) {
+  fmt::TensorStorage st = make_csr(state.range(0));
+  const auto& level = st.level(1);
+  std::vector<rt::Rect1> ranges;
+  const Coord m = st.dims()[1];
+  for (int c = 0; c < 16; ++c) {
+    ranges.push_back(rt::Rect1{c * m / 16, (c + 1) * m / 16 - 1});
+  }
+  for (auto _ : state) {
+    auto p = rt::partition_by_value_ranges(*level.crd, ranges);
+    benchmark::DoNotOptimize(p.num_colors());
+  }
+  state.SetItemsProcessed(state.iterations() * st.nnz());
+}
+BENCHMARK(BM_PartitionByValueRanges)->Arg(10000)->Arg(100000);
+
+void BM_SubsetSubtract(benchmark::State& state) {
+  rt::IndexSubset a(1), b(1);
+  for (Coord k = 0; k < state.range(0); ++k) {
+    a.add(rt::RectN::make1(k * 10, k * 10 + 6));
+    b.add(rt::RectN::make1(k * 10 + 3, k * 10 + 8));
+  }
+  a.normalize();
+  b.normalize();
+  for (auto _ : state) {
+    auto d = a.subtract(b);
+    benchmark::DoNotOptimize(d.volume());
+  }
+}
+BENCHMARK(BM_SubsetSubtract)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

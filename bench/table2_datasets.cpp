@@ -1,0 +1,27 @@
+// Table II: the tensors and matrices of the evaluation. Prints the paper's
+// inventory next to the synthetic stand-ins actually generated (scaled by
+// data::kScaleFactor), with their realized dimensions and non-zero counts.
+#include "bench_util.h"
+
+int main() {
+  using namespace spdbench;
+  print_header("Table II: tensors and matrices (synthetic equivalents, "
+               "scale 1/" +
+               strprintf("%.0f", data::kScaleFactor) + ")");
+  std::printf("%-18s %-18s %9s | %11s %-22s\n", "Tensor", "Domain",
+              "paper nnz", "scaled nnz", "dims");
+  print_rule(78);
+  auto show = [](const data::DatasetInfo& d) {
+    fmt::Coo coo = d.make();
+    std::vector<std::string> ds;
+    for (auto x : coo.dims) ds.push_back(strprintf("%lld", (long long)x));
+    std::printf("%-18s %-18s %9.2e | %11lld %-22s\n", d.name.c_str(),
+                d.domain.c_str(), d.paper_nnz,
+                static_cast<long long>(coo.nnz()),
+                join(ds, "x").c_str());
+  };
+  for (const auto& d : data::matrix_datasets()) show(d);
+  print_rule(78);
+  for (const auto& d : data::tensor_datasets()) show(d);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Graph analytics: PageRank-style power iteration on a power-law web graph.
+//
+// Demonstrates the paper's central scheduling trade-off (§II-D): on a skewed
+// degree distribution, a row-based distribution suffers load imbalance while
+// a fused non-zero (~) distribution balances perfectly at the cost of a
+// small reduction. The same computation is run under both schedules and the
+// ranks are verified identical.
+#include <cmath>
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "compiler/lower.h"
+#include "data/generators.h"
+
+using namespace spdistal;
+
+namespace {
+
+struct Ranker {
+  Tensor next, A, rank;
+  Statement* stmt = nullptr;
+  std::unique_ptr<comp::Instance> instance;
+  std::unique_ptr<rt::Runtime> runtime;
+
+  Ranker(const fmt::Coo& adjacency, bool nonzero_dist, const rt::Machine& M) {
+    const Coord n = adjacency.dims[0];
+    IndexVar i("i"), j("j"), io("io"), ii("ii"), f("f"), fo("fo"), fi("fi");
+    next = Tensor("next", {n}, fmt::dense_vector(),
+                  tdn::parse_tdn("T(x) -> M(x)"));
+    A = Tensor("A", {n, n}, fmt::csr(),
+               tdn::parse_tdn(nonzero_dist
+                                  ? "T(x, y) fuse(x, y -> g) -> M(~g)"
+                                  : "T(x, y) -> M(x)"));
+    rank = Tensor("rank", {n}, fmt::dense_vector(),
+                  tdn::parse_tdn("T(x) -> M(q)"));
+    A.from_coo(adjacency);
+    rank.init_dense([n](const auto&) { return 1.0 / static_cast<double>(n); });
+    stmt = &(next(i) = A(i, j) * rank(j));
+    if (nonzero_dist) {
+      next.schedule().fuse(i, j, f)
+          .divide_pos(f, fo, fi, M.num_procs(), "A")
+          .distribute(fo)
+          .parallelize(fi, sched::ParallelUnit::CPUThread);
+    } else {
+      next.schedule().divide(i, io, ii, M.num_procs()).distribute(io)
+          .parallelize(ii, sched::ParallelUnit::CPUThread);
+    }
+    runtime = std::make_unique<rt::Runtime>(M);
+    instance = comp::CompiledKernel::compile(*stmt, M).instantiate(*runtime);
+  }
+
+  // One damped power-iteration step (the SpMV runs distributed; the damping
+  // update is a cheap local pass).
+  void step(double damping) {
+    instance->run(1);
+    const Coord n = next.dims()[0];
+    auto& r = *rank.storage().vals();
+    auto& nx = *next.storage().vals();
+    for (Coord k = 0; k < n; ++k) {
+      r[k] = (1.0 - damping) / static_cast<double>(n) + damping * nx[k];
+    }
+    runtime->invalidate(*rank.storage().vals());  // host rewrote the vector
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int nodes = 8;
+  rt::MachineConfig config;
+  config.nodes = nodes;
+  config.time_scale = 8192;
+  config.capacity_scale = 8192;
+  rt::Machine M(config, rt::Grid(nodes), rt::ProcKind::CPU);
+
+  // A skewed web crawl: 40k pages, 600k links, Zipf-distributed degrees,
+  // normalized column-stochastic so the power iteration converges.
+  fmt::Coo web = data::powerlaw_matrix(40000, 40000, 600000, 1.3, 42);
+  {
+    std::vector<double> out_degree(40000, 0.0);
+    for (const auto& c : web.coords) out_degree[static_cast<size_t>(c[1])] += 1;
+    for (size_t e = 0; e < web.vals.size(); ++e) {
+      web.vals[e] = 1.0 / out_degree[static_cast<size_t>(web.coords[e][1])];
+    }
+  }
+  std::printf("web graph: %lld pages, %lld links\n",
+              static_cast<long long>(web.dims[0]),
+              static_cast<long long>(web.nnz()));
+
+  const int steps = 10;
+  double times[2] = {0, 0};
+  double imbalance[2] = {0, 0};
+  double checksum[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    Ranker ranker(web, /*nonzero_dist=*/mode == 1, M);
+    ranker.step(0.85);  // warm-up: distribution + first-touch communication
+    ranker.runtime->reset_timing();
+    for (int s = 0; s < steps; ++s) ranker.step(0.85);
+    const rt::SimReport rep = ranker.instance->report();
+    times[mode] = rep.sim_time / steps;
+    imbalance[mode] = rep.imbalance;
+    for (Coord k = 0; k < ranker.rank.dims()[0]; ++k) {
+      checksum[mode] += (*ranker.rank.storage().vals())[k];
+    }
+  }
+
+  std::printf("row-based distribution    : %s/step, imbalance %.2f\n",
+              human_seconds(times[0]).c_str(), imbalance[0]);
+  std::printf("non-zero (~f) distribution: %s/step, imbalance %.2f\n",
+              human_seconds(times[1]).c_str(), imbalance[1]);
+  std::printf("rank checksums            : %.9f vs %.9f (%s)\n", checksum[0],
+              checksum[1],
+              std::abs(checksum[0] - checksum[1]) < 1e-9 ? "identical"
+                                                         : "MISMATCH");
+  return 0;
+}

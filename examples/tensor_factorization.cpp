@@ -1,0 +1,87 @@
+// Tensor factorization: alternating least squares (ALS) style CP
+// decomposition steps on a sparse 3-tensor, driven by distributed SpMTTKRP
+// — the data-analytics workload motivating the paper's higher-order kernels
+// (§VI-A: "SpTTV and SpMTTKRP are used in tensor factorizations").
+//
+// Each "sweep" computes the mode-0 MTTKRP A(i,l) = B(i,j,k)·C(j,l)·D(k,l)
+// distributed over the machine, then applies a cheap local normalization as
+// a stand-in for the least-squares solve.
+#include <cmath>
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "compiler/lower.h"
+#include "data/generators.h"
+
+using namespace spdistal;
+
+int main() {
+  const int nodes = 8;
+  const Coord rank = 16;
+  rt::MachineConfig config;
+  config.nodes = nodes;
+  config.time_scale = 8192;
+  config.capacity_scale = 8192;
+  rt::Machine M(config, rt::Grid(nodes), rt::ProcKind::CPU);
+
+  // A freebase-like knowledge-graph tensor: skewed slices.
+  const fmt::Coo coo =
+      data::powerlaw_3tensor(4000, 4000, 160, 250000, 1.1, 99);
+  const auto dims = coo.dims;
+  std::printf("factorizing %lldx%lldx%lld tensor, %lld non-zeros, rank %lld\n",
+              static_cast<long long>(dims[0]), static_cast<long long>(dims[1]),
+              static_cast<long long>(dims[2]),
+              static_cast<long long>(coo.nnz()),
+              static_cast<long long>(rank));
+
+  IndexVar i("i"), j("j"), k("k"), l("l"), io("io"), ii("ii");
+  Tensor A("A", {dims[0], rank}, fmt::dense_matrix(),
+           tdn::parse_tdn("T(x, y) -> M(x)"));
+  Tensor B("B", dims, fmt::csf3(), tdn::parse_tdn("T(x, y, z) -> M(x)"));
+  Tensor C("C", {dims[1], rank}, fmt::dense_matrix(),
+           tdn::parse_tdn("T(x, y) -> M(q)"));
+  Tensor D("D", {dims[2], rank}, fmt::dense_matrix(),
+           tdn::parse_tdn("T(x, y) -> M(q)"));
+  B.from_coo(coo);
+  // Deterministic pseudo-random factor initialization.
+  auto init = [](uint64_t salt) {
+    return [salt](const std::array<Coord, rt::kMaxDim>& x) {
+      const uint64_t h =
+          (static_cast<uint64_t>(x[0]) * 2654435761u + x[1] + salt) *
+          0x9E3779B97F4A7C15ull;
+      return 0.5 + static_cast<double>(h >> 40) / (1 << 25);
+    };
+  };
+  C.init_dense(init(1));
+  D.init_dense(init(2));
+
+  Statement& stmt = (A(i, l) = B(i, j, k) * C(j, l) * D(k, l));
+  A.schedule().divide(i, io, ii, nodes).distribute(io).parallelize(
+      ii, sched::ParallelUnit::CPUThread);
+
+  rt::Runtime runtime(M);
+  auto instance = comp::CompiledKernel::compile(stmt, M).instantiate(runtime);
+
+  const int sweeps = 5;
+  instance->run(1);
+  runtime.reset_timing();
+  double norm = 0;
+  for (int s = 0; s < sweeps; ++s) {
+    instance->run(1);
+    // Local normalization step (stand-in for the per-mode LS solve).
+    norm = 0;
+    auto& av = *A.storage().vals();
+    for (Coord r = 0; r < dims[0]; ++r) {
+      for (Coord c = 0; c < rank; ++c) norm += av.at2(r, c) * av.at2(r, c);
+    }
+    norm = std::sqrt(norm);
+  }
+  const rt::SimReport rep = instance->report();
+  std::printf("MTTKRP sweep (distributed)  : %s\n",
+              human_seconds(rep.sim_time / sweeps).c_str());
+  std::printf("leaf load imbalance         : %.2f\n", rep.imbalance);
+  std::printf("steady-state comm per sweep : %s\n",
+              human_bytes(rep.inter_node_bytes / sweeps).c_str());
+  std::printf("||A||_F after %d sweeps     : %.6f\n", sweeps, norm);
+  return 0;
+}

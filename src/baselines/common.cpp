@@ -1,0 +1,165 @@
+#include "baselines/common.h"
+
+#include "compiler/kernel_select.h"
+#include "kernels/assembly.h"
+#include "kernels/coiter.h"
+
+namespace spdistal::base {
+
+const char* kernel_kind_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::SpMV: return "SpMV";
+    case KernelKind::SpMM: return "SpMM";
+    case KernelKind::SpAdd3: return "SpAdd3";
+    case KernelKind::SDDMM: return "SDDMM";
+    case KernelKind::SpTTV: return "SpTTV";
+    case KernelKind::SpMTTKRP: return "SpMTTKRP";
+    case KernelKind::Other: return "Other";
+  }
+  return "?";
+}
+
+Operands classify(const Statement& stmt) {
+  Operands ops;
+  ops.out = stmt.tensor(stmt.assignment.lhs.tensor);
+  std::vector<tin::Expr> terms;
+  try {
+    terms = tin::sum_of_products(stmt.assignment.rhs);
+  } catch (const NotationError&) {
+    return ops;
+  }
+  auto sparse = [&](const tin::Access& a) {
+    return !stmt.tensor(a.tensor).format().all_dense();
+  };
+
+  if (terms.size() == 3) {
+    bool spadd = !ops.out.format().all_dense();
+    for (const auto& t : terms) {
+      if (t->kind != tin::ExprKind::Access || !sparse(*tin::expr_accesses(t).begin()) ||
+          t->vars != stmt.assignment.lhs.vars) {
+        spadd = false;
+      }
+    }
+    if (spadd) {
+      ops.kind = KernelKind::SpAdd3;
+      for (const auto& t : terms) ops.sparse_ins.push_back(stmt.tensor(t->tensor));
+      return ops;
+    }
+  }
+  if (terms.size() != 1) return ops;
+  const auto accs = tin::expr_accesses(terms[0]);
+  // One sparse input in all remaining kernels.
+  const tin::Access* sp = nullptr;
+  for (const auto& a : accs) {
+    if (sparse(a)) {
+      if (sp != nullptr) return ops;
+      sp = &a;
+    }
+  }
+  if (sp == nullptr) return ops;
+  ops.sparse_ins.push_back(stmt.tensor(sp->tensor));
+  for (const auto& a : accs) {
+    if (!sparse(a)) ops.dense_ins.push_back(stmt.tensor(a.tensor));
+  }
+  const size_t lhs_arity = stmt.assignment.lhs.vars.size();
+  const size_t sp_arity = sp->vars.size();
+  const size_t dense_count = ops.dense_ins.size();
+  const bool out_sparse = !ops.out.format().all_dense();
+
+  if (sp_arity == 2 && lhs_arity == 1 && dense_count == 1) {
+    ops.kind = KernelKind::SpMV;
+  } else if (sp_arity == 2 && lhs_arity == 2 && dense_count == 1 &&
+             !out_sparse) {
+    ops.kind = KernelKind::SpMM;
+  } else if (sp_arity == 2 && lhs_arity == 2 && dense_count == 2 &&
+             out_sparse) {
+    ops.kind = KernelKind::SDDMM;
+  } else if (sp_arity == 3 && lhs_arity == 2 && dense_count == 1 &&
+             out_sparse) {
+    ops.kind = KernelKind::SpTTV;
+  } else if (sp_arity == 3 && lhs_arity == 2 && dense_count == 2 &&
+             !out_sparse) {
+    ops.kind = KernelKind::SpMTTKRP;
+  }
+  return ops;
+}
+
+void compute_values(Statement& stmt) {
+  if (kern::needs_assembly(stmt)) {
+    kern::assemble_output(stmt);
+  }
+  Tensor out = stmt.tensor(stmt.assignment.lhs.tensor);
+  out.storage().vals()->fill(0.0);
+  // Use the fastest verified leaf (specialized kernels when the statement
+  // matches, co-iteration otherwise) over the full iteration space.
+  comp::SelectedLeaf leaf = comp::select_leaf(stmt, /*position_space=*/false);
+  leaf.fn(kern::PieceBounds{});
+}
+
+std::vector<int64_t> row_block_nnz(const fmt::TensorStorage& B, int pieces) {
+  const rt::Coord rows = B.dims()[0];
+  std::vector<int64_t> per_row(static_cast<size_t>(rows), 0);
+  // Count stored values per top-level coordinate via the level-1 pos array
+  // (level 0 is Dense in every rowable format).
+  SPD_ASSERT(B.level(0).kind == fmt::ModeFormat::Dense,
+             "row_block_nnz requires a Dense row level");
+  // Use vals_part-equivalent: count leaves under each row by walking.
+  B.for_each([&](const std::array<rt::Coord, rt::kMaxDim>& c, double) {
+    per_row[static_cast<size_t>(c[0])]++;
+  });
+  return block_sums(per_row, pieces);
+}
+
+std::vector<int64_t> block_sums(const std::vector<int64_t>& weights,
+                                int pieces) {
+  const int64_t n = static_cast<int64_t>(weights.size());
+  std::vector<int64_t> out(static_cast<size_t>(pieces), 0);
+  const int64_t base = n / pieces;
+  const int64_t rem = n % pieces;
+  int64_t at = 0;
+  for (int c = 0; c < pieces; ++c) {
+    const int64_t len = base + (c >= pieces - rem ? 1 : 0);
+    for (int64_t k = 0; k < len; ++k) {
+      out[static_cast<size_t>(c)] += weights[static_cast<size_t>(at++)];
+    }
+  }
+  return out;
+}
+
+double bytes_per_nnz(const Operands& ops) {
+  switch (ops.kind) {
+    case KernelKind::SpMV:
+    case KernelKind::SpAdd3:
+    case KernelKind::SpTTV:
+      return 20.0;
+    case KernelKind::SpMM:
+      return 8.0 * static_cast<double>(ops.out.dims()[1]) + 12.0;
+    case KernelKind::SDDMM:
+      return 8.0 * static_cast<double>(ops.dense_ins[0].dims()[1]) + 12.0;
+    case KernelKind::SpMTTKRP:
+      return 16.0 * static_cast<double>(ops.out.dims()[1]) + 12.0;
+    case KernelKind::Other:
+      return 20.0;
+  }
+  return 20.0;
+}
+
+double flops_per_nnz(const Operands& ops) {
+  switch (ops.kind) {
+    case KernelKind::SpMV:
+    case KernelKind::SpAdd3:
+    case KernelKind::SpTTV:
+      return 2.0;
+    case KernelKind::SpMM:
+      return 2.0 * static_cast<double>(ops.out.dims()[1]);
+    case KernelKind::SDDMM:
+      return 2.0 * static_cast<double>(ops.dense_ins[0].dims()[1]);
+    case KernelKind::SpMTTKRP:
+      return 4.0 * static_cast<double>(ops.out.dims()[1]);
+    case KernelKind::Other:
+      return 2.0;
+  }
+  return 2.0;
+}
+
+}  // namespace spdistal::base

@@ -1,0 +1,50 @@
+// Shared infrastructure for the baseline system models (paper §VI:
+// PETSc, Trilinos, CTF). Baselines compute the same values as SpDISTAL
+// (through the same verified kernels) but charge simulated time according to
+// their own execution models: bulk-synchronous MPI ranks, pairwise
+// operations with intermediate assembly, or interpretation by redistributed
+// pairwise contractions.
+#pragma once
+
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "tensor/tensor.h"
+
+namespace spdistal::base {
+
+enum class KernelKind { SpMV, SpMM, SpAdd3, SDDMM, SpTTV, SpMTTKRP, Other };
+
+const char* kernel_kind_name(KernelKind k);
+
+struct Operands {
+  KernelKind kind = KernelKind::Other;
+  Tensor out;
+  std::vector<Tensor> sparse_ins;  // SpMV/SpMM/SDDMM/SpTTV/SpMTTKRP: {B};
+                                   // SpAdd3: {B, C, D}
+  std::vector<Tensor> dense_ins;   // dense operands in expression order
+};
+
+// Pattern-matches the statement against the six evaluation kernels.
+Operands classify(const Statement& stmt);
+
+// Computes the output values once (assembling sparse outputs first) through
+// the verified co-iteration engine; all baselines produce these values.
+void compute_values(Statement& stmt);
+
+// Non-zeros of `B` falling into each of `pieces` equal row blocks — the
+// per-rank work profile of a static row-block distribution.
+std::vector<int64_t> row_block_nnz(const fmt::TensorStorage& B, int pieces);
+
+// Sums of `weights` over equal index blocks (generic block profile).
+std::vector<int64_t> block_sums(const std::vector<int64_t>& weights,
+                                int pieces);
+
+// Flops-per-stored-nonzero of a kernel (inner dense dimension included).
+double flops_per_nnz(const Operands& ops);
+// Streaming bytes per stored non-zero, matching the verified leaf kernels'
+// work profiles (so library compute differs from SpDISTAL only by rank
+// structure and leaf efficiency, not by accounting).
+double bytes_per_nnz(const Operands& ops);
+
+}  // namespace spdistal::base

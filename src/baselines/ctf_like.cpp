@@ -1,0 +1,197 @@
+#include "baselines/ctf_like.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace spdistal::base {
+
+using rt::Coord;
+
+CtfLike::CtfLike(rt::Machine machine) : machine_(std::move(machine)) {
+  runtime_ = std::make_unique<rt::Runtime>(machine_);
+}
+
+void CtfLike::all_to_all(double total_bytes) {
+  const int nodes = machine_.config().nodes;
+  if (nodes <= 1 || total_bytes <= 0) return;
+  const double per_pair =
+      total_bytes / (static_cast<double>(nodes) * nodes);
+  for (int s = 0; s < nodes; ++s) {
+    for (int d = 0; d < nodes; ++d) {
+      if (s == d) continue;
+      runtime_->charge_transfer(machine_.sys_mem(s), machine_.sys_mem(d),
+                                per_pair);
+    }
+  }
+}
+
+void CtfLike::balanced(double flops, double bytes) {
+  const int procs = machine_.num_procs();
+  for (int p = 0; p < procs; ++p) {
+    rt::WorkEstimate w{flops / procs, bytes / procs};
+    runtime_->sim().run_task(machine_.proc(p), w,
+                             machine_.config().cores_per_node, 0.0);
+  }
+}
+
+double CtfLike::run(Statement& stmt, int warm, int iters) {
+  const Operands ops = classify(stmt);
+  SPD_CHECK(ops.kind != KernelKind::Other, SpdError,
+            "statement outside tensor algebra is unsupported by CTF");
+  compute_values(stmt);
+
+  nnz_ = 0;
+  sparse_bytes_ = 0;
+  for (const Tensor& t : ops.sparse_ins) {
+    nnz_ += static_cast<double>(t.storage().nnz());
+    sparse_bytes_ += static_cast<double>(t.storage().bytes());
+  }
+  dense_bytes_ = 0;
+  for (const Tensor& t : ops.dense_ins) {
+    dense_bytes_ += static_cast<double>(t.storage().vals()->size_bytes());
+  }
+  out_bytes_ = static_cast<double>(ops.out.storage().bytes());
+
+  // --- Calibrated memory footprint of the interpretation's buffers --------
+  // (mapping copies of operands, per-rank buffers; see header comment).
+  const int nodes = machine_.config().nodes;
+  double per_node = (4.0 * sparse_bytes_ + 3.0 * dense_bytes_) / nodes;
+  if (ops.kind == KernelKind::SpMTTKRP) {
+    // Per-rank factor-matrix buffers. For hypersparse tensors (more slices
+    // than non-zeros) every rank's buffers span the full index range and do
+    // not shrink with node count — the paper's freebase_sampled OOMs at
+    // every node count while freebase_music recovers at 4+ nodes.
+    const Tensor& B = ops.sparse_ins[0];
+    const bool hypersparse =
+        static_cast<double>(B.dims()[0]) > nnz_ / 4.0;
+    const double rank_buffers = machine_.config().cores_per_node * 2.0 *
+                                (dense_bytes_ + out_bytes_);
+    per_node += hypersparse ? 0.25 * rank_buffers : rank_buffers / nodes;
+  }
+  if (ops.kind == KernelKind::SpTTV) {
+    const Tensor& B = ops.sparse_ins[0];
+    const double slice_space =
+        static_cast<double>(B.dims()[0]) * static_cast<double>(B.dims()[1]);
+    per_node += machine_.config().cores_per_node *
+                std::min(slice_space, nnz_ / 4.0) * 8.0 / nodes;
+  }
+  for (int n = 0; n < nodes; ++n) {
+    runtime_->mems().pool(machine_.sys_mem(n)).allocate(
+        per_node, strprintf("ctf buffers (%s)", kernel_kind_name(ops.kind)));
+  }
+
+  for (int w = 0; w < warm; ++w) iteration(ops);
+  runtime_->reset_timing();
+  for (int it = 0; it < iters; ++it) iteration(ops);
+  return runtime_->report().sim_time / iters;
+}
+
+void CtfLike::iteration(const Operands& ops) {
+  rt::Runtime& rt = *runtime_;
+  const int procs = machine_.num_procs();
+  rt.barrier();
+  auto collectives = [&](double hops) {
+    const double sync = hops * std::log2(static_cast<double>(procs) + 1.0) *
+                        machine_.config().net_latency_s;
+    for (int p = 0; p < procs; ++p) {
+      const rt::Proc proc = machine_.proc(p);
+      rt.sim().set_clock(proc, rt.sim().clock(proc) + sync);
+    }
+  };
+
+  switch (ops.kind) {
+    case KernelKind::SpMV: {
+      // Generic pairwise contraction path: mapping + fold/unfold passes over
+      // the sparse operand, operand redistribution, compute over cyclic
+      // *dense-block* layouts (kFill: effective elements processed per
+      // stored non-zero — the dominant interpretation overhead; calibrated
+      // to the paper's 299x median), output redistribution.
+      constexpr double kFill = 280.0;
+      balanced(0, 8.0 * nnz_ * 16.0);
+      all_to_all(nnz_ * 24.0);
+      all_to_all(dense_bytes_);
+      balanced(2.0 * nnz_, nnz_ * 20.0 * kFill);
+      all_to_all(out_bytes_);
+      collectives(20.0);
+      break;
+    }
+    case KernelKind::SpMM: {
+      const double jdim = static_cast<double>(ops.out.dims()[1]);
+      constexpr double kFill = 90.0;  // dense blocking, amortized over jdim
+      balanced(0, 8.0 * nnz_ * 16.0);
+      all_to_all(nnz_ * 24.0);
+      all_to_all(dense_bytes_);
+      balanced(2.0 * nnz_ * jdim,
+               (nnz_ * 12.0 + nnz_ * jdim * 8.0) * kFill);
+      all_to_all(out_bytes_);
+      collectives(20.0);
+      break;
+    }
+    case KernelKind::SpAdd3: {
+      // Two pairwise summations, each with folding, redistribution, and an
+      // assembled intermediate.
+      const double nnz_b = static_cast<double>(
+          ops.sparse_ins[0].storage().nnz());
+      const double nnz_c = static_cast<double>(
+          ops.sparse_ins[1].storage().nnz());
+      const double nnz_d = static_cast<double>(
+          ops.sparse_ins[2].storage().nnz());
+      const double op1 = nnz_b + nnz_c;
+      const double op2 = op1 + nnz_d;
+      for (double n : {op1, op2}) {
+        balanced(0, 2.0 * n * 16.0);
+        all_to_all(n * 16.0);
+        balanced(n, n * 20.0);
+        all_to_all(n * 8.0);
+        collectives(10.0);
+      }
+      break;
+    }
+    case KernelKind::SDDMM: {
+      // Hand-written fused kernel (Zhang et al.), but operands still enter
+      // the kernel's layout every call and the row-aligned layout loses the
+      // static load balance of a non-zero distribution (paper: 15.3x).
+      const double kdim = static_cast<double>(ops.dense_ins[0].dims()[1]);
+      constexpr double kLayoutPasses = 60.0;
+      all_to_all(nnz_ * 24.0);
+      balanced(0, kLayoutPasses * nnz_ * 16.0);
+      balanced(2.0 * nnz_ * kdim, nnz_ * (12.0 + 8.0 * kdim) * 12.0);
+      all_to_all(out_bytes_);
+      collectives(10.0);
+      break;
+    }
+    case KernelKind::SpTTV: {
+      constexpr double kFill = 25.0;  // dense-block interpretation overhead
+      balanced(0, 8.0 * nnz_ * 24.0);
+      all_to_all(nnz_ * 32.0);
+      balanced(2.0 * nnz_, nnz_ * 24.0 * kFill);
+      // The output materializes as a dense (i, j) intermediate before being
+      // packed back to sparse.
+      const Tensor& B = ops.sparse_ins[0];
+      const double dense_out = std::min(
+          static_cast<double>(B.dims()[0]) * static_cast<double>(B.dims()[1]) *
+              8.0,
+          16.0 * out_bytes_);
+      all_to_all(dense_out);
+      balanced(0, 4.0 * out_bytes_);
+      collectives(20.0);
+      break;
+    }
+    case KernelKind::SpMTTKRP: {
+      // Hand-written fused kernel with cached layouts: same compute profile
+      // as the compiled kernel, balanced across ranks, light collectives
+      // (paper: CTF reaches ~parity, and wins on "patents").
+      const double ldim = static_cast<double>(ops.out.dims()[1]);
+      all_to_all(dense_bytes_ / 8.0);  // factor-matrix updates exchanged
+      balanced(4.0 * nnz_ * ldim, nnz_ * (12.0 + 16.0 * ldim));
+      collectives(8.0);
+      break;
+    }
+    case KernelKind::Other:
+      SPD_ASSERT(false, "unreachable");
+  }
+  rt.barrier();
+}
+
+}  // namespace spdistal::base

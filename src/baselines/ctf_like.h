@@ -1,0 +1,52 @@
+// Interpretation-based baseline: the Cyclops Tensor Framework model.
+//
+// CTF executes a tensor algebra expression by interpreting it as a sequence
+// of pairwise distributed contraction / summation operations over its own
+// cyclic data layouts. Every call pays for (a) mapping search and sparse
+// folding/unfolding passes, (b) redistribution of operands into the
+// contraction's layout (all-to-all), (c) the balanced local compute, and
+// (d) redistribution of the (sometimes dense) output — the "unnecessary
+// data reorganization and communication" that costs one to two orders of
+// magnitude in the paper. SDDMM and SpMTTKRP use the hand-written
+// specialized kernels of Zhang et al. (paper §VI-A1): a single fused op
+// whose layouts are cached across calls, which is why CTF reaches parity on
+// SpMTTKRP.
+//
+// Memory model: CTF's mapping buffers replicate operands; the calibrated
+// footprint rules below reproduce the paper's OOM cells (SpMTTKRP on the
+// freebase tensors, SpTTV on patents at 1 node).
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.h"
+
+namespace spdistal::base {
+
+class CtfLike {
+ public:
+  explicit CtfLike(rt::Machine machine);
+
+  // Returns simulated seconds/iteration; throws OutOfMemoryError when the
+  // interpretation's buffers exceed node memory (paper's OOM cases) and
+  // SpdError for statements outside tensor algebra.
+  double run(Statement& stmt, int warm, int iters);
+
+  rt::SimReport report() const { return runtime_->report(); }
+
+ private:
+  void iteration(const Operands& ops);
+  void all_to_all(double total_bytes);
+  // Balanced conversion/compute pass across all nodes.
+  void balanced(double flops, double bytes);
+
+  rt::Machine machine_;
+  std::unique_ptr<rt::Runtime> runtime_;
+  // Cached per-kernel volumes computed at setup.
+  double sparse_bytes_ = 0;
+  double dense_bytes_ = 0;
+  double out_bytes_ = 0;
+  double nnz_ = 0;
+};
+
+}  // namespace spdistal::base

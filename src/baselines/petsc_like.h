@@ -1,0 +1,65 @@
+// Hand-written-library baseline model (paper §VI "Comparison Targets").
+//
+// LibrarySystem models the execution strategy shared by PETSc and Trilinos:
+// fixed row-block data distribution, bulk-synchronous MPI ranks, per-call
+// operand gathers, and pairwise operations with intermediate assembly for
+// expressions outside the library's kernel set (SpAdd3 = two MatAXPY-style
+// adds with pattern unions). The two systems differ in rank granularity,
+// intra-rank threading, leaf-kernel efficiency, and GPU behaviour, captured
+// by LibraryParams (make_petsc_like / make_trilinos_like).
+//
+// Values are computed through the verified co-iteration engine; only *time*
+// follows the library execution model, so baseline comparisons isolate the
+// architectural differences the paper studies.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/common.h"
+
+namespace spdistal::base {
+
+struct LibraryParams {
+  std::string name;
+  int ranks_per_node = 40;       // CPU ranks per node (1 per GPU on GPUs)
+  int threads_per_rank = 1;      // intra-rank threads (OpenMP)
+  double spmv_leaf_factor = 1.0; // leaf inefficiency vs the compiled kernel
+  double spmm_leaf_factor = 1.0;
+  double add_assembly_passes = 3.0;  // extra streams per pairwise-add assembly
+  double collective_hops = 2.0;      // per-op collective latency multiplier
+  bool gpu_spmm_host_staging = false;  // PETSc GPU SpMM penalty
+  bool gpu_uvm = false;                // Trilinos CUDA-UVM paging
+  bool supports_gpu_spadd = false;     // PETSc lacks GPU unknown-pattern add
+};
+
+class LibrarySystem {
+ public:
+  LibrarySystem(LibraryParams params, rt::Machine machine);
+
+  const std::string& name() const { return params_.name; }
+
+  // Distributes data, computes the values once, runs `warm` + `iters`
+  // bulk-synchronous iterations, and returns simulated seconds/iteration.
+  // Throws SpdError for kernels outside the library (the "unsupported by
+  // PETSc and Trilinos" cases of the paper) and OutOfMemoryError for DNC.
+  double run(Statement& stmt, int warm, int iters);
+
+  rt::SimReport report() const { return runtime_->report(); }
+
+ private:
+  void iteration(const Operands& ops,
+                 const std::vector<std::vector<int64_t>>& rank_nnz);
+
+  LibraryParams params_;
+  rt::Machine machine_;
+  std::unique_ptr<rt::Runtime> runtime_;
+  double uvm_overflow_bytes_ = 0;
+  // Distinct remote operand columns each processor gathers per call.
+  std::vector<double> gather_cols_;
+};
+
+LibrarySystem make_petsc_like(const rt::Machine& machine);
+LibrarySystem make_trilinos_like(const rt::Machine& machine);
+
+}  // namespace spdistal::base

@@ -1,0 +1,8 @@
+// Trilinos (Tpetra) specifics live in make_trilinos_like (petsc_like.cpp):
+// socket-level ranks with OpenMP threading, heavier pairwise-add assembly,
+// single-gather communication, and CUDA-UVM oversubscription on GPUs. This
+// TU anchors the baseline in the build and hosts Trilinos-only helpers if
+// the model grows further.
+#include "baselines/petsc_like.h"
+
+namespace spdistal::base {}  // namespace spdistal::base

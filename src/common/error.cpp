@@ -1,0 +1,16 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spdistal {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "SPD_ASSERT failed: %s at %s:%d\n  %s\n", expr, file,
+               line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace spdistal

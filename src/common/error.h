@@ -1,0 +1,75 @@
+// Error handling primitives for SpDISTAL.
+//
+// Two failure classes are distinguished:
+//  - SpdError: user-facing errors (bad notation, illegal schedule, I/O
+//    failures, simulated OOM). Thrown and expected to be catchable.
+//  - SPD_ASSERT: internal invariant violations. Abort in all build types so
+//    that miscompilations never silently produce wrong numbers.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spdistal {
+
+// Base class for all user-facing SpDISTAL errors.
+class SpdError : public std::runtime_error {
+ public:
+  explicit SpdError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when a simulated memory cannot hold a requested instance.
+class OutOfMemoryError : public SpdError {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : SpdError(what) {}
+};
+
+// Raised for malformed tensor index notation / distribution notation.
+class NotationError : public SpdError {
+ public:
+  explicit NotationError(const std::string& what) : SpdError(what) {}
+};
+
+// Raised when a schedule is illegal for the statement it is applied to.
+class ScheduleError : public SpdError {
+ public:
+  explicit ScheduleError(const std::string& what) : SpdError(what) {}
+};
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+namespace detail {
+// Builds an assertion message from a stream expression lazily.
+struct MsgStream {
+  std::ostringstream os;
+  template <typename T>
+  MsgStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  std::string str() const { return os.str(); }
+};
+}  // namespace detail
+
+}  // namespace spdistal
+
+// Internal invariant check; always on.
+#define SPD_ASSERT(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::spdistal::assert_fail(#expr, __FILE__, __LINE__,               \
+                              (::spdistal::detail::MsgStream() << msg) \
+                                  .str());                             \
+    }                                                                  \
+  } while (0)
+
+// User-facing check; throws the given exception type with a streamed message.
+#define SPD_CHECK(expr, ExcType, msg)                                        \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      throw ExcType((::spdistal::detail::MsgStream() << msg).str());         \
+    }                                                                        \
+  } while (0)

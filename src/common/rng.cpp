@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace spdistal {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  SPD_ASSERT(n > 0, "next_below(0)");
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % n);
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+int64_t Rng::next_range(int64_t lo, int64_t hi) {
+  SPD_ASSERT(lo <= hi, "next_range: lo > hi");
+  return lo +
+         static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+uint64_t Rng::next_zipf(uint64_t n, double s) {
+  SPD_ASSERT(n > 0, "next_zipf(0)");
+  // Inverse-CDF approximation of a Zipf law using the continuous bounded
+  // Pareto distribution; adequate for generating skewed degree sequences.
+  if (s <= 0.0) return next_below(n);
+  const double u = next_double();
+  double v;
+  if (std::abs(s - 1.0) < 1e-9) {
+    v = std::pow(static_cast<double>(n), u);
+  } else {
+    const double a = 1.0 - s;
+    v = std::pow(u * (std::pow(static_cast<double>(n), a) - 1.0) + 1.0,
+                 1.0 / a);
+  }
+  uint64_t r = static_cast<uint64_t>(v) - (v >= 1.0 ? 1 : 0);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace spdistal

@@ -1,0 +1,44 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the repository (synthetic tensor generators,
+// property-test inputs) draw from this generator so that every test and
+// benchmark table is reproducible bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+namespace spdistal {
+
+// xoshiro256** seeded via splitmix64. Small, fast, and good enough for
+// workload generation (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5D15741 /* "SpDISTAL" */) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t next_u64();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t next_below(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t next_range(int64_t lo, int64_t hi);
+
+  // Approximately Zipf-distributed value in [0, n) with exponent `s`.
+  // Used to synthesize power-law row-degree distributions (web/social
+  // matrices from Table II).
+  uint64_t next_zipf(uint64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace spdistal

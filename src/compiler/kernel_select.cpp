@@ -1,0 +1,238 @@
+#include "compiler/kernel_select.h"
+
+#include "kernels/leaf_kernels.h"
+
+namespace spdistal::comp {
+
+namespace {
+
+using tin::Access;
+using tin::IndexVar;
+
+bool is_dc(const Tensor& t) {
+  return t.format().modes() ==
+             std::vector<fmt::ModeFormat>{fmt::ModeFormat::Dense,
+                                          fmt::ModeFormat::Compressed} &&
+         t.format().ordering() == std::vector<int>{0, 1};
+}
+
+bool is_sparse3_rowable(const Tensor& t) {
+  // {Dense, Compressed, Compressed} or {Dense, Dense, Compressed}, identity
+  // ordering; both have a Dense row level the row kernels iterate.
+  const auto& m = t.format().modes();
+  if (m.size() != 3 || m[0] != fmt::ModeFormat::Dense ||
+      m[2] != fmt::ModeFormat::Compressed) {
+    return false;
+  }
+  return t.format().ordering() == std::vector<int>{0, 1, 2};
+}
+
+bool dense(const Tensor& t) { return t.format().all_dense(); }
+
+// Finds the unique access with `arity` variables for which `pred` holds;
+// returns nullptr if none or ambiguous.
+const Access* find_access(const std::vector<Access>& accs, size_t arity,
+                          const std::function<bool(const Access&)>& pred) {
+  const Access* found = nullptr;
+  for (const auto& a : accs) {
+    if (a.vars.size() == arity && pred(a)) {
+      if (found != nullptr) return nullptr;
+      found = &a;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
+  const tin::Assignment& asg = stmt.assignment;
+  auto coiter_fallback = [&]() {
+    auto engine = std::make_shared<kern::CoiterEngine>(stmt);
+    return SelectedLeaf{
+        [engine](const kern::PieceBounds& piece) { return engine->run(piece); },
+        "coiter"};
+  };
+
+  std::vector<tin::Expr> terms;
+  try {
+    terms = tin::sum_of_products(asg.rhs);
+  } catch (const NotationError&) {
+    return coiter_fallback();
+  }
+  const Tensor& out = stmt.tensor(asg.lhs.tensor);
+
+  // --- SpAdd3: A(i,j) = B(i,j) + C(i,j) + D(i,j), all {Dense, Compressed}.
+  if (terms.size() == 3 && asg.lhs.vars.size() == 2 && is_dc(out)) {
+    std::vector<Tensor> ins;
+    bool ok = true;
+    for (const auto& t : terms) {
+      if (t->kind != tin::ExprKind::Access || t->vars != asg.lhs.vars) {
+        ok = false;
+        break;
+      }
+      const Tensor& in = stmt.tensor(t->tensor);
+      if (!is_dc(in)) {
+        ok = false;
+        break;
+      }
+      ins.push_back(in);
+    }
+    if (ok && !position_space) {
+      return SelectedLeaf{kern::make_spadd3_row(out, ins[0], ins[1], ins[2]),
+                          "spadd3_row"};
+    }
+  }
+
+  if (terms.size() != 1) return coiter_fallback();
+  const std::vector<Access> accs = tin::expr_accesses(terms[0]);
+
+  // --- SpMV: a(i) = B(i,j) * c(j).
+  if (asg.lhs.vars.size() == 1 && accs.size() == 2 && dense(out)) {
+    const IndexVar i = asg.lhs.vars[0];
+    const Access* B = find_access(accs, 2, [&](const Access& a) {
+      return a.vars[0] == i && is_dc(stmt.tensor(a.tensor));
+    });
+    if (B != nullptr) {
+      const IndexVar j = B->vars[1];
+      const Access* c = find_access(accs, 1, [&](const Access& a) {
+        return a.vars[0] == j && dense(stmt.tensor(a.tensor));
+      });
+      if (c != nullptr) {
+        if (position_space) {
+          return SelectedLeaf{kern::make_spmv_nz(out, stmt.tensor(B->tensor),
+                                           stmt.tensor(c->tensor)),
+                              "spmv_nz"};
+        }
+        return SelectedLeaf{kern::make_spmv_row(out, stmt.tensor(B->tensor),
+                                          stmt.tensor(c->tensor)),
+                            "spmv_row"};
+      }
+    }
+  }
+
+  // --- SpMM: A(i,j) = B(i,k) * C(k,j), A/C dense.
+  if (asg.lhs.vars.size() == 2 && accs.size() == 2 && dense(out)) {
+    const IndexVar i = asg.lhs.vars[0];
+    const IndexVar j = asg.lhs.vars[1];
+    const Access* B = find_access(accs, 2, [&](const Access& a) {
+      return a.vars[0] == i && !(a.vars[1] == j) &&
+             is_dc(stmt.tensor(a.tensor));
+    });
+    if (B != nullptr) {
+      const IndexVar k = B->vars[1];
+      const Access* C = find_access(accs, 2, [&](const Access& a) {
+        return a.vars[0] == k && a.vars[1] == j &&
+               dense(stmt.tensor(a.tensor));
+      });
+      if (C != nullptr) {
+        if (position_space) {
+          return SelectedLeaf{kern::make_spmm_nz(out, stmt.tensor(B->tensor),
+                                                 stmt.tensor(C->tensor)),
+                              "spmm_nz"};
+        }
+        return SelectedLeaf{kern::make_spmm_row(out, stmt.tensor(B->tensor),
+                                          stmt.tensor(C->tensor)),
+                            "spmm_row"};
+      }
+    }
+  }
+
+  // --- SDDMM: A(i,j) = B(i,j) * C(i,k) * D(k,j), B sparse, C/D dense,
+  //     A sparse with B's pattern (assembled).
+  if (asg.lhs.vars.size() == 2 && accs.size() == 3 && is_dc(out)) {
+    const IndexVar i = asg.lhs.vars[0];
+    const IndexVar j = asg.lhs.vars[1];
+    const Access* B = find_access(accs, 2, [&](const Access& a) {
+      return a.vars == asg.lhs.vars && is_dc(stmt.tensor(a.tensor));
+    });
+    const Access* C = find_access(accs, 2, [&](const Access& a) {
+      return a.vars[0] == i && !(a.vars[1] == j) &&
+             dense(stmt.tensor(a.tensor));
+    });
+    if (B != nullptr && C != nullptr) {
+      const IndexVar k = C->vars[1];
+      const Access* D = find_access(accs, 2, [&](const Access& a) {
+        return a.vars[0] == k && a.vars[1] == j &&
+               dense(stmt.tensor(a.tensor));
+      });
+      if (D != nullptr) {
+        if (position_space) {
+          return SelectedLeaf{
+              kern::make_sddmm_nz(out, stmt.tensor(B->tensor),
+                                  stmt.tensor(C->tensor),
+                                  stmt.tensor(D->tensor)),
+              "sddmm_nz"};
+        }
+        return SelectedLeaf{
+            kern::make_sddmm_row(out, stmt.tensor(B->tensor),
+                                 stmt.tensor(C->tensor),
+                                 stmt.tensor(D->tensor)),
+            "sddmm_row"};
+      }
+    }
+  }
+
+  // --- SpTTV: A(i,j) = B(i,j,k) * c(k).
+  if (asg.lhs.vars.size() == 2 && accs.size() == 2 && is_dc(out)) {
+    const Access* B = find_access(accs, 3, [&](const Access& a) {
+      return a.vars[0] == asg.lhs.vars[0] && a.vars[1] == asg.lhs.vars[1] &&
+             is_sparse3_rowable(stmt.tensor(a.tensor));
+    });
+    if (B != nullptr) {
+      const IndexVar k = B->vars[2];
+      const Access* c = find_access(accs, 1, [&](const Access& a) {
+        return a.vars[0] == k && dense(stmt.tensor(a.tensor));
+      });
+      if (c != nullptr) {
+        if (position_space) {
+          return SelectedLeaf{kern::make_spttv_nz(out, stmt.tensor(B->tensor),
+                                                  stmt.tensor(c->tensor)),
+                              "spttv_nz"};
+        }
+        return SelectedLeaf{kern::make_spttv_row(out, stmt.tensor(B->tensor),
+                                                 stmt.tensor(c->tensor)),
+                            "spttv_row"};
+      }
+    }
+  }
+
+  // --- SpMTTKRP: A(i,l) = B(i,j,k) * C(j,l) * D(k,l).
+  if (asg.lhs.vars.size() == 2 && accs.size() == 3 && dense(out)) {
+    const IndexVar i = asg.lhs.vars[0];
+    const IndexVar l = asg.lhs.vars[1];
+    const Access* B = find_access(accs, 3, [&](const Access& a) {
+      return a.vars[0] == i && is_sparse3_rowable(stmt.tensor(a.tensor));
+    });
+    if (B != nullptr) {
+      const IndexVar j = B->vars[1];
+      const IndexVar k = B->vars[2];
+      const Access* C = find_access(accs, 2, [&](const Access& a) {
+        return a.vars[0] == j && a.vars[1] == l &&
+               dense(stmt.tensor(a.tensor));
+      });
+      const Access* D = find_access(accs, 2, [&](const Access& a) {
+        return a.vars[0] == k && a.vars[1] == l &&
+               dense(stmt.tensor(a.tensor));
+      });
+      if (C != nullptr && D != nullptr) {
+        if (position_space) {
+          return SelectedLeaf{
+              kern::make_spmttkrp_nz(out, stmt.tensor(B->tensor),
+                                     stmt.tensor(C->tensor),
+                                     stmt.tensor(D->tensor)),
+              "spmttkrp_nz"};
+        }
+        return SelectedLeaf{
+            kern::make_spmttkrp_row(out, stmt.tensor(B->tensor),
+                                    stmt.tensor(C->tensor),
+                                    stmt.tensor(D->tensor)),
+            "spmttkrp_row"};
+      }
+    }
+  }
+
+  return coiter_fallback();
+}
+
+}  // namespace spdistal::comp

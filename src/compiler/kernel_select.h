@@ -1,0 +1,24 @@
+// Leaf kernel selection: pattern-matches the statement against the
+// specialized kernels (SpMV, SpMM, SpAdd3, SDDMM, SpTTV, SpMTTKRP — the
+// kernels of the paper's evaluation) and falls back to the general
+// co-iteration engine for everything else.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "kernels/coiter.h"
+#include "runtime/simulator.h"
+#include "tensor/tensor.h"
+
+namespace spdistal::comp {
+
+struct SelectedLeaf {
+  std::function<rt::WorkEstimate(const kern::PieceBounds&)> fn;
+  std::string name;  // e.g. "spmv_row", "coiter"
+};
+
+// `position_space` selects the non-zero-iteration variant where one exists.
+SelectedLeaf select_leaf(const Statement& stmt, bool position_space);
+
+}  // namespace spdistal::comp

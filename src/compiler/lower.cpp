@@ -1,0 +1,489 @@
+#include "compiler/lower.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "compiler/kernel_select.h"
+#include "kernels/assembly.h"
+#include "tdn/tdn.h"
+
+namespace spdistal::comp {
+
+using fmt::LevelFuncs;
+using fmt::LevelPartitions;
+using fmt::ModeFormat;
+using fmt::TensorPartition;
+using rt::Coord;
+using rt::Partition;
+using rt::Privilege;
+using tin::IndexVar;
+
+CompiledKernel CompiledKernel::compile(const Statement& stmt,
+                                       const rt::Machine& machine) {
+  return compile(stmt, stmt.tensor(stmt.assignment.lhs.tensor).schedule(),
+                 machine);
+}
+
+CompiledKernel CompiledKernel::compile(const Statement& stmt,
+                                       const sched::Schedule& schedule,
+                                       const rt::Machine& machine) {
+  CompiledKernel ck;
+  ck.stmt_ = stmt;
+  ck.schedule_ = schedule;
+  ck.machine_ = machine;
+
+  SPD_CHECK(schedule.distributed_var().has_value(), ScheduleError,
+            "schedule must distribute() an index variable: "
+                << stmt.str());
+  ck.pieces_ = schedule.distributed_pieces();
+  SPD_CHECK(ck.pieces_ >= 1, ScheduleError, "non-positive piece count");
+  ck.position_space_ = schedule.distributed_is_position_space();
+  ck.dist_source_var_ = schedule.distributed_source();
+
+  if (ck.position_space_) {
+    // Position-space distribution cannot express union co-iteration (the
+    // paper: "SpAdd3 on CSR matrices is incompatible with the non-zero
+    // splitting scheduling transformation").
+    SPD_CHECK(tin::is_pure_product(stmt.assignment.rhs), ScheduleError,
+              "position-space (non-zero) distribution is incompatible with "
+              "additions (union co-iteration): "
+                  << stmt.str());
+    ck.split_tensor_ = schedule.position_split_tensor();
+    ck.fused_sources_ = schedule.fused_sources(ck.dist_source_var_);
+    if (ck.fused_sources_.empty()) {
+      ck.fused_sources_ = {ck.dist_source_var_};
+    }
+    // Locate the split tensor's access and check the fused variables match
+    // its leading storage levels.
+    const Tensor& T = stmt.tensor(ck.split_tensor_);
+    const tin::Access* taccess = nullptr;
+    for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+      if (a.tensor == ck.split_tensor_) taccess = &a;
+    }
+    SPD_CHECK(taccess != nullptr, ScheduleError,
+              "position-split tensor " << ck.split_tensor_
+                                       << " is not read by " << stmt.str());
+    for (size_t l = 0; l < ck.fused_sources_.size(); ++l) {
+      const int dim = T.format().dim_of_level(static_cast<int>(l));
+      SPD_CHECK(taccess->vars[static_cast<size_t>(dim)] ==
+                    ck.fused_sources_[l],
+                ScheduleError,
+                "fused variables must name the leading storage dimensions of "
+                    << ck.split_tensor_);
+    }
+    ck.split_level_ = static_cast<int>(ck.fused_sources_.size()) - 1;
+  } else {
+    // The distributed variable must be iterated outermost; our leaves assume
+    // so (as do the paper's schedules).
+    const auto vars = tin::statement_vars(stmt.assignment);
+    SPD_CHECK(!vars.empty() && vars[0] == ck.dist_source_var_, ScheduleError,
+              "only outermost-variable distribution is supported (got "
+                  << ck.dist_source_var_.name() << " for " << stmt.str()
+                  << ")");
+  }
+
+  auto unit = schedule.leaf_parallel_unit();
+  if (unit.has_value() && *unit == sched::ParallelUnit::CPUThread) {
+    ck.leaf_threads_ = machine.config().cores_per_node;
+  } else {
+    ck.leaf_threads_ = 1;
+  }
+
+  SelectedLeaf leaf = select_leaf(stmt, ck.position_space_);
+  ck.leaf_ = leaf.fn;
+  ck.leaf_name_ = leaf.name;
+  return ck;
+}
+
+namespace {
+
+// Variable extent from the statement's tensor dims.
+Coord var_extent(const Statement& stmt, const IndexVar& v) {
+  auto check = [&](const tin::Access& a) -> Coord {
+    const Tensor& t = stmt.tensor(a.tensor);
+    for (size_t d = 0; d < a.vars.size(); ++d) {
+      if (a.vars[d] == v) return t.dims()[d];
+    }
+    return -1;
+  };
+  Coord n = check(stmt.assignment.lhs);
+  if (n >= 0) return n;
+  for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+    n = check(a);
+    if (n >= 0) return n;
+  }
+  SPD_ASSERT(false, "variable " << v.name() << " not used in statement");
+  return -1;
+}
+
+// The logical dimension at which tensor `name` uses `v`, or -1.
+int dim_of_var(const Statement& stmt, const std::string& name,
+               const IndexVar& v) {
+  auto scan = [&](const tin::Access& a) -> int {
+    if (a.tensor != name) return -1;
+    for (size_t d = 0; d < a.vars.size(); ++d) {
+      if (a.vars[d] == v) return static_cast<int>(d);
+    }
+    return -1;
+  };
+  int d = scan(stmt.assignment.lhs);
+  if (d >= 0) return d;
+  for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+    d = scan(a);
+    if (d >= 0) return d;
+  }
+  return -1;
+}
+
+// Builds per-color "needed coordinate" subsets of a 1-D dense operand from
+// a partition of a Compressed level's crd positions: each color needs
+// exactly the coordinate values its piece stores (e.g. the halo of c in a
+// banded SpMV). This is the fine-grained data movement Legion's dependent
+// partitioning infers (§II-C).
+Partition needed_coords_partition(const fmt::LevelStorage& sl,
+                                  const Partition& crd_part,
+                                  const rt::IndexSpace& vals_space,
+                                  int pieces) {
+  std::vector<rt::IndexSubset> needed(static_cast<size_t>(pieces),
+                                      rt::IndexSubset(1));
+  for (int c = 0; c < pieces; ++c) {
+    std::vector<Coord> vals;
+    for (const auto& r : crd_part.subset(c).rects()) {
+      for (Coord q = r.lo[0]; q <= r.hi[0]; ++q) {
+        vals.push_back((*sl.crd)[q]);
+      }
+    }
+    std::sort(vals.begin(), vals.end());
+    auto& out = needed[static_cast<size_t>(c)];
+    for (size_t k = 0; k < vals.size();) {
+      Coord lo = vals[k];
+      Coord hi = lo;
+      while (k < vals.size() && vals[k] <= hi + 1) {
+        hi = std::max(hi, vals[k]);
+        ++k;
+      }
+      out.add(rt::RectN::make1(lo, hi));
+    }
+    out.normalize();
+  }
+  return Partition(vals_space, std::move(needed));
+}
+
+}  // namespace
+
+std::unique_ptr<Instance> CompiledKernel::instantiate(
+    rt::Runtime& runtime) const {
+  auto inst = std::unique_ptr<Instance>(new Instance());
+  inst->runtime_ = &runtime;
+  inst->kernel_ = this;
+  Statement stmt = stmt_;  // shares tensor handles
+  inst->output_ = stmt.tensor(stmt.assignment.lhs.tensor);
+  PlanTrace& trace = inst->trace_;
+
+  // --- Sparse output assembly (two-phase, §V-B) ------------------------------
+  bool pattern_preserved = false;
+  if (kern::needs_assembly(stmt)) {
+    kern::AssemblyResult res = kern::assemble_output(stmt);
+    pattern_preserved = res.pattern_preserved;
+    trace.append(PlanOpKind::LeafKernel,
+                 strprintf("assemble %s: symbolic phase, %lld output "
+                           "non-zeros",
+                           inst->output_.name().c_str(),
+                           static_cast<long long>(res.output_nnz)));
+    // Symbolic execution runs once, distributed; charge it round-robin.
+    for (int p = 0; p < pieces_; ++p) {
+      rt::WorkEstimate w{res.symbolic_work.flops / pieces_,
+                         res.symbolic_work.bytes / pieces_};
+      runtime.sim().run_task(runtime.proc_for_point(p, pieces_), w,
+                             leaf_threads_, 0.0);
+    }
+  }
+
+  // --- Install data distributions (TDN statements) ---------------------------
+  for (const auto& [name, tensor] : stmt.bindings) {
+    if (tensor.distribution().has_value() && tensor.has_storage()) {
+      tdn::distribute_tensor(trace, runtime, tensor.storage(),
+                             *tensor.distribution(), machine_);
+    }
+  }
+
+  // --- Partitioning phase (Figure 9a) ----------------------------------------
+  auto own = [&](Partition p) -> Partition* {
+    inst->parts_.push_back(std::make_unique<Partition>(std::move(p)));
+    return inst->parts_.back().get();
+  };
+
+  rt::IndexLaunch& launch = inst->launch_;
+  launch.name = leaf_name_;
+  launch.domain = pieces_;
+  launch.leaf_threads = leaf_threads_;
+
+  // Adds requirements for a sparse tensor partitioned by `tp`.
+  auto add_sparse_reqs = [&](const fmt::TensorStorage& st,
+                             const TensorPartition& tp, Privilege vals_priv,
+                             Privilege meta_priv) {
+    launch.reqs.push_back(
+        rt::RegionReq{st.vals(), own(tp.vals_part), vals_priv});
+    for (int l = 0; l < st.num_levels(); ++l) {
+      const auto& level = st.level(l);
+      if (level.kind != ModeFormat::Compressed) continue;
+      launch.reqs.push_back(rt::RegionReq{
+          level.crd, own(tp.level_parts[static_cast<size_t>(l)]), meta_priv});
+      if (l == 0) {
+        launch.reqs.push_back(rt::RegionReq{level.pos, nullptr, meta_priv});
+      } else {
+        launch.reqs.push_back(rt::RegionReq{
+            level.pos,
+            own(rt::copy_partition(
+                tp.level_parts[static_cast<size_t>(l - 1)],
+                level.pos->space())),
+            meta_priv});
+      }
+    }
+  };
+  // Adds whole-region (replicated) requirements for a tensor.
+  auto add_replicated_reqs = [&](const fmt::TensorStorage& st,
+                                 Privilege priv) {
+    launch.reqs.push_back(rt::RegionReq{st.vals(), nullptr, priv});
+    for (int l = 0; l < st.num_levels(); ++l) {
+      const auto& level = st.level(l);
+      if (level.kind != ModeFormat::Compressed) continue;
+      launch.reqs.push_back(rt::RegionReq{level.crd, nullptr, Privilege::RO});
+      launch.reqs.push_back(rt::RegionReq{level.pos, nullptr, Privilege::RO});
+    }
+  };
+
+  inst->piece_bounds_.resize(static_cast<size_t>(pieces_));
+
+  if (!position_space_) {
+    // === Coordinate-value iteration: universe partitions =====================
+    const IndexVar v = dist_source_var_;
+    const Coord extent = var_extent(stmt, v);
+    const std::vector<rt::Rect1> bounds = tdn::equal_bounds(extent, pieces_);
+    for (int c = 0; c < pieces_; ++c) {
+      inst->piece_bounds_[static_cast<size_t>(c)].dist_coords =
+          bounds[static_cast<size_t>(c)];
+    }
+    trace.append(PlanOpKind::DistributedFor,
+                 strprintf("distributed for %so in [0, %d) over %s blocks",
+                           v.name().c_str(), pieces_, v.name().c_str()));
+
+    // First pass: sparse and var-partitioned tensors; remember each sparse
+    // tensor's coordinate-tree partition so the second pass can derive the
+    // data other operands actually need (the "infers what data to
+    // communicate" behavior of §II-C).
+    std::map<std::string, TensorPartition> sparse_tps;
+    for (const auto& [name, tensor] : stmt.bindings) {
+      const bool is_output = name == stmt.assignment.lhs.tensor;
+      const int dim = dim_of_var(stmt, name, v);
+      const fmt::TensorStorage& st = tensor.storage();
+      if (dim < 0) continue;  // second pass
+      const int level = tensor.format().level_of_dim(dim);
+      if (tensor.format().all_dense()) {
+        std::vector<rt::RectN> rb;
+        for (const auto& b : bounds) rb.push_back(rt::RectN(b));
+        Partition oned = rt::partition_by_bounds(
+            rt::IndexSpace(tensor.dims()[static_cast<size_t>(dim)]), rb);
+        Partition lifted =
+            rt::lift_to_dim(oned, st.vals()->space(), level);
+        launch.reqs.push_back(rt::RegionReq{
+            st.vals(), own(std::move(lifted)),
+            is_output ? Privilege::WO : Privilege::RO});
+        continue;
+      }
+      const fmt::LevelStorage& ls = st.level(level);
+      LevelPartitions init = LevelFuncs::get(ls.kind).universe_partition(
+          trace, name, level, ls, bounds);
+      TensorPartition tp =
+          fmt::partition_coordinate_tree(trace, st, level, init);
+      add_sparse_reqs(st, tp, is_output ? Privilege::WO : Privilege::RO,
+                      Privilege::RO);
+      sparse_tps.emplace(name, std::move(tp));
+    }
+    // Second pass: tensors not indexed by the distributed variable. A 1-D
+    // dense operand indexed by a Compressed level's variable of some
+    // partitioned sparse tensor only needs the coordinates that level's
+    // pieces actually store (e.g. the halo of c in a banded SpMV) — derived
+    // by bucketing each piece's crd values. Everything else is replicated.
+    for (const auto& [name, tensor] : stmt.bindings) {
+      const bool is_output = name == stmt.assignment.lhs.tensor;
+      if (dim_of_var(stmt, name, v) >= 0) continue;
+      const fmt::TensorStorage& st = tensor.storage();
+      bool derived = false;
+      if (!is_output && tensor.format().all_dense() &&
+          tensor.format().order() == 1) {
+        // The operand's single variable.
+        IndexVar u = dist_source_var_;  // placeholder; replaced below
+        bool found = false;
+        for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+          if (a.tensor == name && a.vars.size() == 1) {
+            u = a.vars[0];
+            found = true;
+          }
+        }
+        if (found) {
+          for (const auto& [sname, tp] : sparse_tps) {
+            const Tensor& s = stmt.tensor(sname);
+            const int sdim = dim_of_var(stmt, sname, u);
+            if (sdim < 0) continue;
+            const int slevel = s.format().level_of_dim(sdim);
+            const fmt::LevelStorage& sl = s.storage().level(slevel);
+            if (sl.kind != ModeFormat::Compressed) continue;
+            Partition p = needed_coords_partition(
+                sl, tp.level_parts[static_cast<size_t>(slevel)],
+                st.vals()->space(), pieces_);
+            trace.append(PlanOpKind::Image,
+                         strprintf("%s_part = neededCoordinates(%s%d_crd)",
+                                   name.c_str(), sname.c_str(), slevel + 1));
+            launch.reqs.push_back(
+                rt::RegionReq{st.vals(), own(std::move(p)), Privilege::RO});
+            derived = true;
+            break;
+          }
+        }
+      }
+      if (!derived) {
+        add_replicated_reqs(st,
+                            is_output ? Privilege::REDUCE : Privilege::RO);
+      }
+    }
+  } else {
+    // === Coordinate-position iteration: non-zero partitions ==================
+    const Tensor& T = stmt.tensor(split_tensor_);
+    const fmt::TensorStorage& tst = T.storage();
+    const fmt::LevelStorage& sl = tst.level(split_level_);
+    const std::vector<rt::Rect1> bounds =
+        tdn::equal_bounds(std::max<Coord>(sl.positions, 1), pieces_);
+    for (int c = 0; c < pieces_; ++c) {
+      auto& pb = inst->piece_bounds_[static_cast<size_t>(c)];
+      pb.dist_pos = bounds[static_cast<size_t>(c)];
+      pb.pos_tensor = split_tensor_;
+      pb.pos_level = split_level_;
+    }
+    trace.append(
+        PlanOpKind::DistributedFor,
+        strprintf("distributed for over %d equal non-zero blocks of %s",
+                  pieces_, split_tensor_.c_str()));
+
+    LevelPartitions init = LevelFuncs::get(sl.kind).nonzero_partition(
+        trace, split_tensor_, split_level_, sl, bounds);
+    TensorPartition ttp =
+        fmt::partition_coordinate_tree(trace, tst, split_level_, init);
+    // Keep a handle on the split tensor's top-level (possibly overlapping)
+    // partition: it derives the partitions of every other tensor (Figure 9a,
+    // partitionRemainingCoordinateTrees).
+    const Partition top = ttp.level_parts[0];
+    add_sparse_reqs(tst, ttp, Privilege::RO, Privilege::RO);
+
+    const IndexVar v0 = fused_sources_[0];
+    SPD_CHECK(tst.level(0).kind == ModeFormat::Dense, ScheduleError,
+              "position-space distribution requires a Dense top level on "
+                  << split_tensor_);
+    for (const auto& [name, tensor] : stmt.bindings) {
+      if (name == split_tensor_) continue;
+      const bool is_output = name == stmt.assignment.lhs.tensor;
+      const fmt::TensorStorage& st = tensor.storage();
+      if (is_output && pattern_preserved &&
+          stmt.assignment.lhs.vars ==
+              std::vector<IndexVar>(fused_sources_.begin(),
+                                    fused_sources_.end())) {
+        // Output pattern aligns 1:1 with the split tensor's positions
+        // (SDDMM): reuse the split tensor's level partitions directly —
+        // a disjoint, statically load-balanced output distribution.
+        TensorPartition otp;
+        for (int l = 0; l <= split_level_; ++l) {
+          otp.level_parts.push_back(rt::copy_partition(
+              ttp.level_parts[static_cast<size_t>(l)],
+              l == split_level_
+                  ? rt::IndexSpace(std::max<Coord>(
+                        st.level(l).positions, 1))
+                  : rt::IndexSpace(st.level(l).positions)));
+        }
+        otp.vals_part =
+            rt::copy_partition(ttp.vals_part, st.vals()->space());
+        trace.append(PlanOpKind::CopyPartition,
+                     strprintf("%s partitions copied from %s (aligned "
+                               "pattern)",
+                               name.c_str(), split_tensor_.c_str()));
+        add_sparse_reqs(st, otp, Privilege::WO, Privilege::RO);
+        continue;
+      }
+      const int dim = dim_of_var(stmt, name, v0);
+      if (dim >= 0 && tensor.format().all_dense()) {
+        // Partition this dense tensor by the split tensor's (overlapping)
+        // top-level row partition.
+        const int level = tensor.format().level_of_dim(dim);
+        Partition lifted = rt::lift_to_dim(
+            rt::copy_partition(
+                top, rt::IndexSpace(tensor.dims()[static_cast<size_t>(dim)])),
+            st.vals()->space(), level);
+        launch.reqs.push_back(rt::RegionReq{
+            st.vals(), own(std::move(lifted)),
+            is_output ? Privilege::REDUCE : Privilege::RO});
+        continue;
+      }
+      if (dim >= 0 && !tensor.format().all_dense()) {
+        // Sparse tensor sharing the top-level variable (e.g. the SpTTV
+        // output): universe-partition its coordinate tree by the bounds of
+        // the split tensor's (possibly overlapping) row subsets.
+        const int level = tensor.format().level_of_dim(dim);
+        std::vector<rt::Rect1> row_bounds;
+        for (int c = 0; c < pieces_; ++c) {
+          if (top.subset(c).empty()) {
+            row_bounds.push_back(rt::Rect1{0, -1});
+          } else {
+            const rt::RectN b = top.subset(c).bounds();
+            row_bounds.push_back(rt::Rect1{b.lo[0], b.hi[0]});
+          }
+        }
+        const fmt::LevelStorage& ls = st.level(level);
+        LevelPartitions oinit = LevelFuncs::get(ls.kind).universe_partition(
+            trace, name, level, ls, row_bounds);
+        TensorPartition otp =
+            fmt::partition_coordinate_tree(trace, st, level, oinit);
+        // Overlapping row ranges => reduction privilege for outputs.
+        add_sparse_reqs(st, otp,
+                        is_output ? Privilege::REDUCE : Privilege::RO,
+                        Privilege::RO);
+        continue;
+      }
+      // 1-D dense operands indexed by the split tensor's innermost fused
+      // variable need only the coordinates each non-zero piece stores.
+      if (!is_output && tensor.format().all_dense() &&
+          tensor.format().order() == 1) {
+        const IndexVar inner = fused_sources_.back();
+        if (dim_of_var(stmt, name, inner) == 0 &&
+            tst.level(split_level_).kind == ModeFormat::Compressed) {
+          Partition p = needed_coords_partition(
+              tst.level(split_level_),
+              ttp.level_parts[static_cast<size_t>(split_level_)],
+              st.vals()->space(), pieces_);
+          trace.append(PlanOpKind::Image,
+                       strprintf("%s_part = neededCoordinates(%s%d_crd)",
+                                 name.c_str(), split_tensor_.c_str(),
+                                 split_level_ + 1));
+          launch.reqs.push_back(
+              rt::RegionReq{st.vals(), own(std::move(p)), Privilege::RO});
+          continue;
+        }
+      }
+      // Everything else is replicated (the paper's non-zero algorithms
+      // replicate the remaining dense operands, e.g. C in the load-balanced
+      // GPU SpMM).
+      add_replicated_reqs(st, is_output ? Privilege::REDUCE : Privilege::RO);
+    }
+  }
+
+  // --- The distributed loop ---------------------------------------------------
+  Instance* raw = inst.get();
+  const LeafFn leaf = leaf_;
+  launch.body = [raw, leaf](const rt::TaskContext& ctx) {
+    return leaf(raw->piece_bounds_[static_cast<size_t>(ctx.color())]);
+  };
+  trace.append(PlanOpKind::LeafKernel,
+               strprintf("leaf kernel: %s x%d pieces", leaf_name_.c_str(),
+                         pieces_));
+  return inst;
+}
+
+}  // namespace spdistal::comp

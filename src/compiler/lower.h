@@ -1,0 +1,98 @@
+// Lowering scheduled TIN statements to distributed execution plans — the
+// code generation algorithm of Figure 9a.
+//
+// compile() analyzes a statement + schedule against a machine: which index
+// variable is distributed, over how many pieces, coordinate-value vs
+// coordinate-position iteration (universe vs non-zero partitions), leaf
+// parallelism, and legality (e.g. union co-iteration is incompatible with
+// position-space distribution, as the paper notes for SpAdd3).
+//
+// instantiate() executes the "generated" partitioning code against a
+// Runtime: initial level partitions via the Table I level functions, full
+// coordinate-tree derivation, placements for tensor distribution statements,
+// sparse output assembly (§V-B), and finally constructs the distributed loop
+// (an IndexLaunch whose leaves run the selected kernel). Every partitioning
+// operation is recorded in a PlanTrace — the printable Figure 9b program.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "compiler/plan_ir.h"
+#include "format/level_format.h"
+#include "kernels/coiter.h"
+#include "runtime/runtime.h"
+#include "sched/schedule.h"
+#include "tensor/tensor.h"
+
+namespace spdistal::comp {
+
+// A leaf kernel: evaluates one piece, returns measured work.
+using LeafFn = std::function<rt::WorkEstimate(const kern::PieceBounds&)>;
+
+class Instance;
+
+class CompiledKernel {
+ public:
+  // Uses the schedule recorded on the statement's output tensor.
+  static CompiledKernel compile(const Statement& stmt,
+                                const rt::Machine& machine);
+  static CompiledKernel compile(const Statement& stmt,
+                                const sched::Schedule& schedule,
+                                const rt::Machine& machine);
+
+  // Builds partitions and placements against `runtime` and returns a
+  // runnable instance. May throw OutOfMemoryError (surfaced as DNC).
+  std::unique_ptr<Instance> instantiate(rt::Runtime& runtime) const;
+
+  // --- analysis results (inspectable, used by tests) -------------------------
+  int pieces() const { return pieces_; }
+  bool position_space() const { return position_space_; }
+  const std::string& split_tensor() const { return split_tensor_; }
+  int split_level() const { return split_level_; }
+  const tin::IndexVar& dist_source_var() const { return dist_source_var_; }
+  int leaf_threads() const { return leaf_threads_; }
+  const std::string& leaf_kernel_name() const { return leaf_name_; }
+
+ private:
+  friend class Instance;
+  Statement stmt_;
+  sched::Schedule schedule_;
+  rt::Machine machine_;
+  int pieces_ = 1;
+  bool position_space_ = false;
+  std::string split_tensor_;   // position-space only
+  int split_level_ = 0;        // position-space only
+  tin::IndexVar dist_source_var_;  // the divided variable (or fused var)
+  std::vector<tin::IndexVar> fused_sources_;
+  int leaf_threads_ = 1;
+  LeafFn leaf_;
+  std::string leaf_name_;
+};
+
+// An instantiated kernel: owns partitions, the reusable distributed launch,
+// and the plan trace. run() executes timed iterations.
+class Instance {
+ public:
+  // Executes `iters` iterations of the distributed loop (no barriers between
+  // iterations — Legion-style deferred execution).
+  void run(int iters = 1);
+
+  const PlanTrace& trace() const { return trace_; }
+  rt::SimReport report() const { return runtime_->report(); }
+  rt::Runtime& runtime() { return *runtime_; }
+  int pieces() const { return launch_.domain; }
+
+ private:
+  friend class CompiledKernel;
+  rt::Runtime* runtime_ = nullptr;
+  const CompiledKernel* kernel_ = nullptr;
+  PlanTrace trace_;
+  // Owned partitions referenced by launch_.reqs (stable addresses).
+  std::vector<std::unique_ptr<rt::Partition>> parts_;
+  rt::IndexLaunch launch_;
+  std::vector<kern::PieceBounds> piece_bounds_;
+  Tensor output_;
+};
+
+}  // namespace spdistal::comp

@@ -1,0 +1,16 @@
+#include "compiler/lower.h"
+
+namespace spdistal::comp {
+
+void Instance::run(int iters) {
+  SPD_ASSERT(runtime_ != nullptr, "Instance not bound to a runtime");
+  for (int it = 0; it < iters; ++it) {
+    // Assignment semantics: the output is rebuilt every iteration; leaves
+    // accumulate into zeroed values (reduction-safe for overlapping
+    // non-zero partitions).
+    output_.storage().vals()->fill(0.0);
+    runtime_->execute(launch_);
+  }
+}
+
+}  // namespace spdistal::comp

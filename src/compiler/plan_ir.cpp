@@ -1,0 +1,48 @@
+#include "compiler/plan_ir.h"
+
+#include <sstream>
+
+namespace spdistal::comp {
+
+const char* plan_op_kind_name(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::MakeUniverseColoring: return "MakeUniverseColoring";
+    case PlanOpKind::MakeNonZeroColoring: return "MakeNonZeroColoring";
+    case PlanOpKind::PartitionByBounds: return "PartitionByBounds";
+    case PlanOpKind::PartitionByValueRanges: return "PartitionByValueRanges";
+    case PlanOpKind::Image: return "Image";
+    case PlanOpKind::Preimage: return "Preimage";
+    case PlanOpKind::CopyPartition: return "CopyPartition";
+    case PlanOpKind::ExpandDense: return "ExpandDense";
+    case PlanOpKind::CollapseDense: return "CollapseDense";
+    case PlanOpKind::SetPlacement: return "SetPlacement";
+    case PlanOpKind::DistributedFor: return "DistributedFor";
+    case PlanOpKind::LeafKernel: return "LeafKernel";
+  }
+  return "?";
+}
+
+std::vector<PlanOpKind> PlanTrace::kinds() const {
+  std::vector<PlanOpKind> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) out.push_back(op.kind);
+  return out;
+}
+
+int PlanTrace::count(PlanOpKind kind) const {
+  int n = 0;
+  for (const auto& op : ops_) {
+    if (op.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string PlanTrace::str() const {
+  std::ostringstream os;
+  for (const auto& op : ops_) {
+    os << op.text << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spdistal::comp

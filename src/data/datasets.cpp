@@ -1,0 +1,120 @@
+#include "data/datasets.h"
+
+#include "common/error.h"
+#include "data/generators.h"
+
+namespace spdistal::data {
+
+namespace {
+
+int64_t scaled(double paper_nnz) {
+  return static_cast<int64_t>(paper_nnz / kScaleFactor);
+}
+
+std::vector<DatasetInfo> build_matrices() {
+  std::vector<DatasetInfo> out;
+  auto web = [&](const std::string& name, double nnz, double skew,
+                 uint64_t seed) {
+    const int64_t k = scaled(nnz);
+    const rt::Coord n = std::max<rt::Coord>(64, k / 12);
+    out.push_back(DatasetInfo{name, "Web Connectivity", 2, nnz, [=] {
+                                return powerlaw_matrix(n, n, k, skew, seed);
+                              }});
+  };
+  auto kmer = [&](const std::string& name, double nnz, uint64_t seed) {
+    const int64_t k = scaled(nnz);
+    const rt::Coord n = std::max<rt::Coord>(64, k / 2);
+    out.push_back(DatasetInfo{name, "Protein Structure", 2, nnz, [=] {
+                                return regular_matrix(n, 3, seed);
+                              }});
+  };
+  web("arabic-2005", 6.39e8, 1.1, 11);
+  web("it-2004", 1.15e9, 1.1, 12);
+  kmer("kmer_A2a", 3.60e8, 13);
+  kmer("kmer_V1r", 4.65e8, 14);
+  {
+    const int64_t k = scaled(9.03e8);
+    const rt::Coord n = std::max<rt::Coord>(64, k / 55);
+    out.push_back(DatasetInfo{"mycielskian19", "Synthetic", 2, 9.03e8, [=] {
+                                return uniform_matrix(n, n, k, 15);
+                              }});
+  }
+  {
+    const int64_t k = scaled(7.60e8);
+    const int band = 27;
+    const rt::Coord n = std::max<rt::Coord>(64, k / band);
+    out.push_back(DatasetInfo{"nlpkkt240", "PDE's", 2, 7.60e8, [=] {
+                                return banded_matrix(n, band, 16);
+                              }});
+  }
+  web("sk-2005", 1.94e9, 1.2, 17);
+  // twitter7 is a social graph; same power-law class, heavier skew.
+  web("twitter7", 1.46e9, 1.3, 18);
+  out.back().domain = "Social Network";
+  web("uk-2005", 9.36e8, 1.1, 19);
+  web("webbase-2001", 1.01e9, 1.15, 20);
+  return out;
+}
+
+std::vector<DatasetInfo> build_tensors() {
+  std::vector<DatasetInfo> out;
+  {
+    const int64_t k = scaled(1.74e9);
+    out.push_back(
+        DatasetInfo{"freebase_music", "Data Mining", 3, 1.74e9, [=] {
+                      // real freebase_music has ~76 nnz per mode-0 slice
+                      return powerlaw_3tensor(k / 76, k / 76, 160, k, 1.1, 21);
+                    }});
+  }
+  {
+    const int64_t k = scaled(9.95e7);
+    out.push_back(
+        DatasetInfo{"freebase_sampled", "Data Mining", 3, 9.95e7, [=] {
+                      // hypersparse: ~1 nnz per slice, as in the sampled graph
+                      return powerlaw_3tensor((k * 5) / 6, (k * 5) / 6, 128, k, 1.1, 22);
+                    }});
+  }
+  {
+    const int64_t k = scaled(7.68e7);
+    out.push_back(DatasetInfo{"nell-2", "NLP", 3, 7.68e7, [=] {
+                                return uniform_3tensor(
+                                    std::max<rt::Coord>(32, k / 8),
+                                    std::max<rt::Coord>(32, k / 10),
+                                    std::max<rt::Coord>(32, k / 4), k, 23);
+                              }});
+  }
+  {
+    // "patents": small dense leading modes, {Dense, Dense, Compressed}.
+    out.push_back(DatasetInfo{"patents", "Data Mining", 3, 3.59e9, [] {
+                                return patents_like_3tensor(40, 110, 4000,
+                                                            0.025, 24);
+                              }});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& matrix_datasets() {
+  static const std::vector<DatasetInfo> datasets = build_matrices();
+  return datasets;
+}
+
+const std::vector<DatasetInfo>& tensor_datasets() {
+  static const std::vector<DatasetInfo> datasets = build_tensors();
+  return datasets;
+}
+
+const DatasetInfo& dataset(const std::string& name) {
+  for (const auto& d : matrix_datasets()) {
+    if (d.name == name) return d;
+  }
+  for (const auto& d : tensor_datasets()) {
+    if (d.name == name) return d;
+  }
+  SPD_ASSERT(false, "unknown dataset " << name);
+  static DatasetInfo dummy;
+  return dummy;
+}
+
+}  // namespace spdistal::data

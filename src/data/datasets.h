@@ -1,0 +1,52 @@
+// The Table II dataset registry: a synthetic stand-in for every matrix and
+// tensor in the paper's evaluation, scaled down by kScaleFactor (~8192x) to
+// single-core wall-clock while preserving each tensor's structural class.
+// Machine memory capacities are scaled accordingly (machine.h), so
+// footprint-driven effects (Figure 11 OOM cells) are preserved.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "format/storage.h"
+
+namespace spdistal::data {
+
+// Paper nnz divided by this gives our target nnz.
+inline constexpr double kScaleFactor = 8192.0;
+
+struct DatasetInfo {
+  std::string name;    // matches Table II
+  std::string domain;  // matches Table II
+  int order = 2;
+  double paper_nnz = 0;  // Table II non-zeros
+  std::function<fmt::Coo()> make;
+};
+
+// The ten SuiteSparse matrices of Table II (synthetic equivalents).
+const std::vector<DatasetInfo>& matrix_datasets();
+// The four FROSTT/Freebase 3-tensors of Table II.
+const std::vector<DatasetInfo>& tensor_datasets();
+
+// Lookup by name across both lists.
+const DatasetInfo& dataset(const std::string& name);
+
+}  // namespace spdistal::data
+
+#include "runtime/machine.h"
+
+namespace spdistal::data {
+
+// A Lassen-like machine configuration whose time and capacity scales match
+// kScaleFactor: running a scaled-down dataset on it reproduces the timing
+// ratios of the full-size dataset on the real machine.
+inline rt::MachineConfig paper_machine_config(int nodes) {
+  rt::MachineConfig cfg;
+  cfg.nodes = nodes;
+  cfg.time_scale = kScaleFactor;
+  cfg.capacity_scale = kScaleFactor;
+  return cfg;
+}
+
+}  // namespace spdistal::data

@@ -1,0 +1,76 @@
+#include "format/format.h"
+
+#include <numeric>
+
+#include "common/str_util.h"
+
+namespace spdistal::fmt {
+
+const char* mode_format_name(ModeFormat mf) {
+  return mf == ModeFormat::Dense ? "Dense" : "Compressed";
+}
+
+Format::Format(std::vector<ModeFormat> modes) : modes_(std::move(modes)) {
+  ordering_.resize(modes_.size());
+  std::iota(ordering_.begin(), ordering_.end(), 0);
+}
+
+Format::Format(std::vector<ModeFormat> modes, std::vector<int> mode_ordering)
+    : modes_(std::move(modes)), ordering_(std::move(mode_ordering)) {
+  SPD_CHECK(modes_.size() == ordering_.size(), NotationError,
+            "format: ordering size must match mode count");
+  std::vector<bool> seen(modes_.size(), false);
+  for (int d : ordering_) {
+    SPD_CHECK(d >= 0 && d < order() && !seen[static_cast<size_t>(d)],
+              NotationError, "format: ordering must be a permutation");
+    seen[static_cast<size_t>(d)] = true;
+  }
+}
+
+int Format::level_of_dim(int dim) const {
+  for (int l = 0; l < order(); ++l) {
+    if (ordering_[static_cast<size_t>(l)] == dim) return l;
+  }
+  SPD_ASSERT(false, "level_of_dim: dim " << dim << " not in ordering");
+  return -1;
+}
+
+bool Format::all_dense() const {
+  for (ModeFormat m : modes_) {
+    if (m != ModeFormat::Dense) return false;
+  }
+  return true;
+}
+
+std::string Format::str() const {
+  std::vector<std::string> parts;
+  for (int l = 0; l < order(); ++l) {
+    parts.push_back(strprintf("%s(d%d)", mode_format_name(modes_[static_cast<size_t>(l)]),
+                              dim_of_level(l) + 1));
+  }
+  return "{" + join(parts, ", ") + "}";
+}
+
+Format dense_vector() { return Format({ModeFormat::Dense}); }
+Format dense_matrix() {
+  return Format({ModeFormat::Dense, ModeFormat::Dense});
+}
+Format csr() { return Format({ModeFormat::Dense, ModeFormat::Compressed}); }
+Format csc() {
+  return Format({ModeFormat::Dense, ModeFormat::Compressed}, {1, 0});
+}
+Format dcsr() {
+  return Format({ModeFormat::Compressed, ModeFormat::Compressed});
+}
+Format csf3() {
+  return Format(
+      {ModeFormat::Dense, ModeFormat::Compressed, ModeFormat::Compressed});
+}
+Format ddc3() {
+  return Format({ModeFormat::Dense, ModeFormat::Dense, ModeFormat::Compressed});
+}
+Format dense3() {
+  return Format({ModeFormat::Dense, ModeFormat::Dense, ModeFormat::Dense});
+}
+
+}  // namespace spdistal::fmt

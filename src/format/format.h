@@ -1,0 +1,64 @@
+// The format language (paper §II-B): per-dimension level formats and mode
+// orderings, exactly as in TACO. A k-dimensional tensor is stored as k
+// levels, each Dense or Compressed; CSR is {Dense, Compressed} with identity
+// ordering, CSC is {Dense, Compressed} with ordering {1, 0} (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spdistal::fmt {
+
+enum class ModeFormat { Dense, Compressed };
+
+const char* mode_format_name(ModeFormat mf);
+
+class Format {
+ public:
+  Format() = default;
+
+  // Identity mode ordering: level d stores logical dimension d.
+  explicit Format(std::vector<ModeFormat> modes);
+
+  // Explicit ordering: level d stores logical dimension mode_ordering[d].
+  Format(std::vector<ModeFormat> modes, std::vector<int> mode_ordering);
+
+  int order() const { return static_cast<int>(modes_.size()); }
+  ModeFormat mode(int level) const {
+    return modes_.at(static_cast<size_t>(level));
+  }
+  const std::vector<ModeFormat>& modes() const { return modes_; }
+  // The logical dimension stored at `level`.
+  int dim_of_level(int level) const {
+    return ordering_.at(static_cast<size_t>(level));
+  }
+  // The level storing logical dimension `dim`.
+  int level_of_dim(int dim) const;
+  const std::vector<int>& ordering() const { return ordering_; }
+
+  bool all_dense() const;
+  std::string str() const;
+  bool operator==(const Format&) const = default;
+
+ private:
+  std::vector<ModeFormat> modes_;
+  std::vector<int> ordering_;
+};
+
+// Common formats.
+Format dense_vector();
+Format dense_matrix();
+Format csr();
+Format csc();
+Format dcsr();  // {Compressed, Compressed}
+// CSF for 3-tensors: {Dense, Compressed, Compressed} (the format used for
+// all paper 3-tensors except "patents").
+Format csf3();
+// "patents" format: {Dense, Dense, Compressed}.
+Format ddc3();
+Format dense3();
+
+}  // namespace spdistal::fmt

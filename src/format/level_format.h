@@ -1,0 +1,96 @@
+// Format abstractions for sparse tensor partitioning (paper §IV-B, Table I).
+//
+// Each level format implements six level functions that the code generator
+// calls to produce partitioning code:
+//   - universe partition  (init/create/finalizeUniversePartition): an
+//     initial partition of the level from per-color *coordinate* bounds;
+//   - non-zero partition  (init/create/finalizeNonZeroPartition): an initial
+//     partition from per-color *position* bounds;
+//   - partitionFromParent / partitionFromChild: derived partitions that
+//     propagate an existing partition down/up the coordinate tree.
+//
+// Conventions (matching §III-B's storage layout):
+//   * "this level's positions" are crd indices (Compressed) or implicit
+//     coordinates (Dense);
+//   * a Compressed level's pos region is indexed by the parent level's
+//     positions, so its preimage-derived P_pos is directly a partition of
+//     the parent's position space;
+//   * parent_facing results partition the PARENT level's position space;
+//     child_facing results partition THIS level's position space (which is
+//     what the child level's pos region is indexed by).
+//
+// Every function appends the operations it generates to a PlanTrace — the
+// Figure 9b-style "generated code" that compiler tests inspect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/plan_ir.h"
+#include "format/storage.h"
+#include "runtime/partition.h"
+
+namespace spdistal::fmt {
+
+struct LevelPartitions {
+  rt::Partition parent_facing;
+  rt::Partition child_facing;
+};
+
+class LevelFuncs {
+ public:
+  virtual ~LevelFuncs() = default;
+
+  // Dispatch by mode format (the registry of Chou et al.'s abstraction).
+  static const LevelFuncs& get(ModeFormat mf);
+
+  // Initial universe partition from per-color coordinate ranges.
+  virtual LevelPartitions universe_partition(
+      comp::PlanTrace& trace, const std::string& tensor, int level_idx,
+      const LevelStorage& level,
+      const std::vector<rt::Rect1>& coord_bounds) const = 0;
+
+  // Initial non-zero partition from per-color position ranges.
+  virtual LevelPartitions nonzero_partition(
+      comp::PlanTrace& trace, const std::string& tensor, int level_idx,
+      const LevelStorage& level,
+      const std::vector<rt::Rect1>& pos_bounds) const = 0;
+
+  // Derived partition of this level from a partition of the parent level's
+  // positions; returns the child-facing partition.
+  virtual rt::Partition partition_from_parent(
+      comp::PlanTrace& trace, const std::string& tensor, int level_idx,
+      const LevelStorage& level, const rt::Partition& parent) const = 0;
+
+  // Derived partition of the parent level's positions from a partition of
+  // this level's positions.
+  virtual rt::Partition partition_from_child(
+      comp::PlanTrace& trace, const std::string& tensor, int level_idx,
+      const LevelStorage& level, const rt::Partition& child) const = 0;
+};
+
+// A full coordinate-tree partition of one tensor: a partition of every
+// level's position space plus the aligned vals partition (Figures 8 & 9c/d).
+struct TensorPartition {
+  // child-facing partition per level (level_parts[l] partitions level l's
+  // position space).
+  std::vector<rt::Partition> level_parts;
+  rt::Partition vals_part;
+
+  int num_colors() const {
+    return vals_part.num_colors();
+  }
+  // Bytes of tensor data assigned to `color` across pos/crd/vals regions.
+  int64_t color_bytes(const TensorStorage& storage, int color) const;
+};
+
+// Implements partitionCoordinateTrees / partitionNonZeroCoordinateTree of
+// Figure 9a: given an initial partition of level `initial_level`, derive
+// partitions of every level above (via partitionFromChild) and below (via
+// partitionFromParent), then copy the last level's partition onto vals.
+TensorPartition partition_coordinate_tree(comp::PlanTrace& trace,
+                                          const TensorStorage& storage,
+                                          int initial_level,
+                                          const LevelPartitions& initial);
+
+}  // namespace spdistal::fmt

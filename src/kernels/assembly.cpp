@@ -1,0 +1,121 @@
+#include "kernels/assembly.h"
+
+#include <algorithm>
+#include <set>
+
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using rt::Coord;
+
+bool needs_assembly(const Statement& stmt) {
+  return !stmt.tensor(stmt.assignment.lhs.tensor).format().all_dense();
+}
+
+namespace {
+
+using CoordKey = std::array<Coord, rt::kMaxDim>;
+
+// Projects the stored coordinates of `acc` onto the output variables.
+void project_pattern(const Statement& stmt, const tin::Access& acc,
+                     const std::vector<tin::IndexVar>& out_vars,
+                     std::set<CoordKey>& into, WorkCounter& work) {
+  const Tensor& t = stmt.tensor(acc.tensor);
+  // out position of each access var (or -1).
+  std::vector<int> proj(acc.vars.size(), -1);
+  for (size_t d = 0; d < acc.vars.size(); ++d) {
+    for (size_t o = 0; o < out_vars.size(); ++o) {
+      if (acc.vars[d] == out_vars[o]) proj[d] = static_cast<int>(o);
+    }
+  }
+  t.storage().for_each([&](const CoordKey& c, double) {
+    CoordKey key{};
+    for (size_t d = 0; d < acc.vars.size(); ++d) {
+      if (proj[d] >= 0) key[static_cast<size_t>(proj[d])] = c[d];
+    }
+    into.insert(key);
+    work.stream(1, 12.0);
+  });
+}
+
+}  // namespace
+
+AssemblyResult assemble_output(Statement& stmt) {
+  AssemblyResult res;
+  if (!needs_assembly(stmt)) return res;
+  WorkCounter work;
+
+  const std::vector<tin::IndexVar>& out_vars = stmt.assignment.lhs.vars;
+  Tensor out = stmt.tensor(stmt.assignment.lhs.tensor);
+
+  std::set<CoordKey> pattern;
+  int sparse_terms_with_same_vars = 0;
+  const auto terms = tin::sum_of_products(stmt.assignment.rhs);
+  for (const auto& term : terms) {
+    // Sparse accesses of this term.
+    std::vector<tin::Access> sparse;
+    for (const auto& acc : tin::expr_accesses(term)) {
+      if (!stmt.tensor(acc.tensor).format().all_dense()) sparse.push_back(acc);
+    }
+    SPD_CHECK(!sparse.empty(), NotationError,
+              "sparse output with an all-dense term would be dense: "
+                  << stmt.str());
+    // Every sparse access must determine the output coordinates.
+    for (const auto& ov : out_vars) {
+      bool covered = false;
+      for (const auto& s : sparse) {
+        for (const auto& v : s.vars) {
+          if (v == ov) covered = true;
+        }
+      }
+      SPD_CHECK(covered, NotationError,
+                "cannot assemble sparse output: variable "
+                    << ov.name() << " is not covered by a sparse input in "
+                    << stmt.str());
+    }
+    if (sparse.size() == 1) {
+      project_pattern(stmt, sparse[0], out_vars, pattern, work);
+      if (sparse[0].vars == out_vars) ++sparse_terms_with_same_vars;
+      continue;
+    }
+    // Multiple sparse accesses: require identical variable lists and
+    // intersect their patterns.
+    for (const auto& s : sparse) {
+      SPD_CHECK(s.vars == sparse[0].vars, NotationError,
+                "assembly of products of sparse tensors requires identical "
+                "access variables: "
+                    << stmt.str());
+    }
+    std::set<CoordKey> inter;
+    project_pattern(stmt, sparse[0], out_vars, inter, work);
+    for (size_t s = 1; s < sparse.size(); ++s) {
+      std::set<CoordKey> other;
+      project_pattern(stmt, sparse[s], out_vars, other, work);
+      std::set<CoordKey> next;
+      std::set_intersection(inter.begin(), inter.end(), other.begin(),
+                            other.end(), std::inserter(next, next.begin()));
+      inter = std::move(next);
+    }
+    pattern.insert(inter.begin(), inter.end());
+  }
+
+  res.pattern_preserved =
+      terms.size() == 1 && sparse_terms_with_same_vars == 1;
+
+  // Phase 2: pack zero-valued storage with the assembled pattern.
+  fmt::Coo coo;
+  coo.dims = out.dims();
+  for (const auto& key : pattern) {
+    coo.coords.push_back(key);
+    coo.vals.push_back(0.0);
+  }
+  work.stream(static_cast<int64_t>(pattern.size()), 24.0);
+  out.set_storage(
+      fmt::pack(out.name(), out.format(), out.dims(), std::move(coo)));
+  res.output_nnz = static_cast<int64_t>(pattern.size());
+  res.symbolic_work = work.done();
+  return res;
+}
+
+}  // namespace spdistal::kern

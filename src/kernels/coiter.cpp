@@ -1,0 +1,412 @@
+#include "kernels/coiter.h"
+
+#include <algorithm>
+
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using fmt::LevelStorage;
+using fmt::ModeFormat;
+using fmt::TensorStorage;
+using rt::Coord;
+using tin::IndexVar;
+
+namespace {
+
+// Binary search for coordinate `c` in crd[seg.lo..seg.hi]; returns position
+// or -1 (crd is sorted within a segment by construction).
+Coord find_in_segment(const rt::Region<int32_t>& crd, rt::PosRange seg,
+                      Coord c) {
+  Coord lo = seg.lo;
+  Coord hi = seg.hi;
+  while (lo <= hi) {
+    const Coord mid = lo + (hi - lo) / 2;
+    const Coord v = crd[mid];
+    if (v == c) return mid;
+    if (v < c) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Coord locate_position(const TensorStorage& st,
+                      const std::array<Coord, rt::kMaxDim>& coords) {
+  Coord parent = 0;
+  for (int l = 0; l < st.num_levels(); ++l) {
+    const LevelStorage& level = st.level(l);
+    const Coord c = coords[static_cast<size_t>(level.dim)];
+    if (level.kind == ModeFormat::Dense) {
+      parent = parent * level.extent + c;
+    } else {
+      const rt::PosRange seg = (*level.pos)[parent];
+      if (seg.empty()) return -1;
+      const Coord q = find_in_segment(*level.crd, seg, c);
+      if (q < 0) return -1;
+      parent = q;
+    }
+  }
+  return parent;
+}
+
+CoiterEngine::CoiterEngine(const Statement& stmt,
+                           std::vector<IndexVar> var_order)
+    : stmt_(stmt), order_(std::move(var_order)) {
+  if (order_.empty()) order_ = tin::statement_vars(stmt_.assignment);
+
+  auto resolve = [&](const std::string& name,
+                     const std::vector<IndexVar>& vars) {
+    Access a;
+    const Tensor& t = stmt_.tensor(name);
+    a.st = &t.storage();
+    a.vars = vars;
+    a.all_dense = t.format().all_dense();
+    for (int l = 0; l < t.format().order(); ++l) {
+      a.level_var_ids.push_back(
+          vars[static_cast<size_t>(t.format().dim_of_level(l))].id());
+    }
+    return a;
+  };
+
+  // Validate: for each (non-all-dense) access, the subsequence of order_
+  // restricted to its level variables must equal its level sequence.
+  auto check = [&](const Access& a, const std::string& name) {
+    if (a.all_dense) return;
+    std::vector<uint32_t> in_order;
+    for (const auto& v : order_) {
+      for (uint32_t id : a.level_var_ids) {
+        if (id == v.id()) in_order.push_back(id);
+      }
+    }
+    SPD_CHECK(in_order == a.level_var_ids, ScheduleError,
+              "iteration order is incompatible with the level order of "
+                  << name << " (" << tin::assignment_str(stmt_.assignment)
+                  << "); reorder loops or change the format");
+  };
+
+  output_ = resolve(stmt_.assignment.lhs.tensor, stmt_.assignment.lhs.vars);
+  check(output_, stmt_.assignment.lhs.tensor);
+  for (const auto& acc : tin::expr_accesses(stmt_.assignment.rhs)) {
+    Access a = resolve(acc.tensor, acc.vars);
+    check(a, acc.tensor);
+  }
+}
+
+rt::WorkEstimate CoiterEngine::run(const PieceBounds& piece) const {
+  rt::WorkEstimate total;
+  for (const auto& term : tin::sum_of_products(stmt_.assignment.rhs)) {
+    total += run_term(term, piece);
+  }
+  return total;
+}
+
+rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
+                                        const PieceBounds& piece) const {
+  WorkCounter work;
+
+  // Resolve term accesses and the literal coefficient.
+  struct TermAccess {
+    const TensorStorage* st;
+    std::vector<uint32_t> level_var_ids;
+    bool all_dense;
+    std::vector<IndexVar> vars;
+  };
+  std::vector<TermAccess> accs;
+  double coeff = 1.0;
+  {
+    std::function<void(const tin::Expr&)> gather = [&](const tin::Expr& e) {
+      switch (e->kind) {
+        case tin::ExprKind::Literal:
+          coeff *= e->value;
+          break;
+        case tin::ExprKind::Access: {
+          const Tensor& t = stmt_.tensor(e->tensor);
+          TermAccess a;
+          a.st = &t.storage();
+          a.all_dense = t.format().all_dense();
+          a.vars = e->vars;
+          for (int l = 0; l < t.format().order(); ++l) {
+            a.level_var_ids.push_back(
+                e->vars[static_cast<size_t>(t.format().dim_of_level(l))].id());
+          }
+          accs.push_back(std::move(a));
+          break;
+        }
+        case tin::ExprKind::Mul:
+          for (const auto& op : e->operands) gather(op);
+          break;
+        case tin::ExprKind::Add:
+          SPD_ASSERT(false, "Add inside product term");
+      }
+    };
+    gather(term);
+  }
+
+  // Variable extents from tensor dims.
+  std::map<uint32_t, Coord> extent;
+  auto note = [&](const std::vector<IndexVar>& vars,
+                  const std::vector<Coord>& dims) {
+    for (size_t d = 0; d < vars.size(); ++d) {
+      extent[vars[d].id()] = dims[d];
+    }
+  };
+  note(output_.vars, output_.st->dims());
+  for (const auto& a : accs) note(a.vars, a.st->dims());
+
+  // Per-access cursor: how many levels consumed and the current parent
+  // position. The output is cursor index accs.size() when not all-dense.
+  struct Cursor {
+    int depth = 0;
+    Coord parent = 0;
+  };
+  std::vector<Cursor> cur(accs.size());
+
+  // env[k] = coordinate of order_[k].
+  std::vector<Coord> env(order_.size(), 0);
+  auto coord_of = [&](uint32_t var_id) -> Coord {
+    for (size_t k = 0; k < order_.size(); ++k) {
+      if (order_[k].id() == var_id) return env[k];
+    }
+    SPD_ASSERT(false, "variable not in iteration order");
+    return -1;
+  };
+
+  const Tensor& out_tensor = stmt_.tensor(stmt_.assignment.lhs.tensor);
+  fmt::TensorStorage& out_st =
+      const_cast<Tensor&>(out_tensor).storage();
+  auto emit = [&]() {
+    double v = coeff;
+    for (size_t a = 0; a < accs.size(); ++a) {
+      if (accs[a].all_dense) {
+        // Linearize in storage (level) order.
+        Coord pos = 0;
+        const TensorStorage* st = accs[a].st;
+        for (size_t l = 0; l < accs[a].level_var_ids.size(); ++l) {
+          const Coord c = coord_of(accs[a].level_var_ids[l]);
+          pos = pos * st->level(static_cast<int>(l)).extent + c;
+        }
+        v *= st->vals()->at_linear(pos);
+        work.fma_dense();
+      } else {
+        SPD_ASSERT(cur[a].depth ==
+                       static_cast<int>(accs[a].level_var_ids.size()),
+                   "sparse access not fully descended at emit");
+        v *= accs[a].st->vals()->at_linear(cur[a].parent);
+        work.fma_sparse();
+      }
+    }
+    // Write into the output at its coordinates.
+    if (output_.all_dense) {
+      Coord pos = 0;
+      for (size_t l = 0; l < output_.level_var_ids.size(); ++l) {
+        const Coord c = coord_of(output_.level_var_ids[l]);
+        pos = pos * out_st.level(static_cast<int>(l)).extent + c;
+      }
+      out_st.vals()->at_linear(pos) += v;
+    } else {
+      std::array<Coord, rt::kMaxDim> coords{};
+      for (size_t d = 0; d < output_.vars.size(); ++d) {
+        coords[d] = coord_of(output_.vars[d].id());
+      }
+      const Coord pos = locate_position(out_st, coords);
+      SPD_ASSERT(pos >= 0,
+                 "sparse output pattern is missing a computed coordinate; "
+                 "run assembly first");
+      out_st.vals()->at_linear(pos) += v;
+      work.stream(1, 12.0);
+    }
+  };
+
+  // Advances access `a`'s cursor through every level whose variable has a
+  // known coordinate in env up to var order position `upto` (exclusive).
+  // Returns false if a Compressed level lacks the coordinate.
+  auto descend = [&](size_t a, size_t upto) -> bool {
+    while (cur[a].depth < static_cast<int>(accs[a].level_var_ids.size())) {
+      const uint32_t vid =
+          accs[a].level_var_ids[static_cast<size_t>(cur[a].depth)];
+      bool known = false;
+      size_t order_pos = 0;
+      for (size_t k = 0; k < upto; ++k) {
+        if (order_[k].id() == vid) {
+          known = true;
+          order_pos = k;
+          break;
+        }
+      }
+      if (!known) break;
+      const LevelStorage& level =
+          accs[a].st->level(cur[a].depth);
+      const Coord c = env[order_pos];
+      if (level.kind == ModeFormat::Dense) {
+        cur[a].parent = cur[a].parent * level.extent + c;
+      } else {
+        const rt::PosRange seg = (*level.pos)[cur[a].parent];
+        work.segment();
+        if (seg.empty()) return false;
+        const Coord q = find_in_segment(*level.crd, seg, c);
+        if (q < 0) return false;
+        cur[a].parent = q;
+      }
+      ++cur[a].depth;
+    }
+    return true;
+  };
+
+  // Recursive coordinate-value iteration from var order position `k`,
+  // assuming all cursors are descended through vars < k.
+  std::function<void(size_t)> iterate = [&](size_t k) {
+    if (k == order_.size()) {
+      emit();
+      return;
+    }
+    const IndexVar& v = order_[k];
+    // If no access (and not the output) uses v, it contributes a factor of
+    // extent via plain iteration; usually every var is used.
+    // Find a sparse driver whose next level is v.
+    int driver = -1;
+    for (size_t a = 0; a < accs.size(); ++a) {
+      if (accs[a].all_dense) continue;
+      if (cur[a].depth < static_cast<int>(accs[a].level_var_ids.size()) &&
+          accs[a].level_var_ids[static_cast<size_t>(cur[a].depth)] == v.id() &&
+          accs[a].st->level(cur[a].depth).kind == ModeFormat::Compressed) {
+        driver = static_cast<int>(a);
+        break;
+      }
+    }
+    const bool restrict0 = k == 0 && piece.dist_coords.has_value();
+    const Coord rlo = restrict0 ? piece.dist_coords->lo : 0;
+    const Coord rhi = restrict0 ? piece.dist_coords->hi
+                                : (extent.count(v.id())
+                                       ? extent.at(v.id()) - 1
+                                       : -1);
+    const std::vector<Cursor> saved = cur;
+    if (driver >= 0) {
+      const auto& d = accs[static_cast<size_t>(driver)];
+      const LevelStorage& level =
+          d.st->level(cur[static_cast<size_t>(driver)].depth);
+      const rt::PosRange seg =
+          (*level.pos)[cur[static_cast<size_t>(driver)].parent];
+      work.segment();
+      for (Coord q = seg.lo; q <= seg.hi; ++q) {
+        const Coord c = (*level.crd)[q];
+        work.stream(1, 4.0);
+        if (restrict0 && (c < rlo || c > rhi)) continue;
+        env[k] = c;
+        cur = saved;
+        cur[static_cast<size_t>(driver)].parent = q;
+        cur[static_cast<size_t>(driver)].depth += 1;
+        bool alive = true;
+        for (size_t a = 0; a < accs.size() && alive; ++a) {
+          if (static_cast<int>(a) == driver || accs[a].all_dense) continue;
+          alive = descend(a, k + 1);
+        }
+        if (alive) iterate(k + 1);
+      }
+      cur = saved;
+      return;
+    }
+    // Dense loop over the variable's extent.
+    SPD_ASSERT(rhi >= -1, "unknown extent for variable " << v.name());
+    for (Coord c = rlo; c <= rhi; ++c) {
+      env[k] = c;
+      cur = saved;
+      bool alive = true;
+      for (size_t a = 0; a < accs.size() && alive; ++a) {
+        if (accs[a].all_dense) continue;
+        alive = descend(a, k + 1);
+      }
+      if (alive) iterate(k + 1);
+    }
+    cur = saved;
+  };
+
+  if (!piece.dist_pos.has_value()) {
+    // Coordinate-value iteration over the whole ordered loop nest.
+    iterate(0);
+    return work.done();
+  }
+
+  // --- Coordinate-position iteration ----------------------------------------
+  // Drive over stored positions [dist_pos] of the split tensor's level
+  // `pos_level`; reconstruct the fused coordinates, then continue normal
+  // iteration below the split.
+  int split = -1;
+  for (size_t a = 0; a < accs.size(); ++a) {
+    if (accs[a].st->name() == piece.pos_tensor) split = static_cast<int>(a);
+  }
+  SPD_CHECK(split >= 0, ScheduleError,
+            "position-split tensor " << piece.pos_tensor
+                                     << " does not appear in this term");
+  const TermAccess& sa = accs[static_cast<size_t>(split)];
+  const int L = piece.pos_level;
+  SPD_CHECK(L < static_cast<int>(sa.level_var_ids.size()), ScheduleError,
+            "split level out of range");
+  // The first L+1 iteration variables must be the split tensor's leading
+  // level variables.
+  for (int l = 0; l <= L; ++l) {
+    SPD_CHECK(order_[static_cast<size_t>(l)].id() ==
+                  sa.level_var_ids[static_cast<size_t>(l)],
+              ScheduleError,
+              "position-space iteration requires the split tensor's leading "
+              "variables to be outermost");
+  }
+
+  // Owner maps: owner[l][q] = parent position of q at level l (Compressed
+  // levels only; Dense parents are q / extent).
+  std::vector<std::vector<Coord>> owner(static_cast<size_t>(L + 1));
+  for (int l = 0; l <= L; ++l) {
+    const LevelStorage& level = sa.st->level(l);
+    if (level.kind != ModeFormat::Compressed) continue;
+    owner[static_cast<size_t>(l)].assign(
+        static_cast<size_t>(level.positions), 0);
+    for (Coord p = 0; p < level.parent_positions; ++p) {
+      const rt::PosRange seg = (*level.pos)[p];
+      for (Coord q = seg.lo; q <= seg.hi; ++q) {
+        owner[static_cast<size_t>(l)][static_cast<size_t>(q)] = p;
+      }
+    }
+  }
+
+  const std::vector<Cursor> init = cur;
+  for (Coord q = piece.dist_pos->lo; q <= piece.dist_pos->hi; ++q) {
+    // Reconstruct positions per level from the bottom up.
+    std::array<Coord, rt::kMaxDim> pos_at{};
+    pos_at[static_cast<size_t>(L)] = q;
+    for (int l = L; l > 0; --l) {
+      const LevelStorage& level = sa.st->level(l);
+      const Coord p = pos_at[static_cast<size_t>(l)];
+      pos_at[static_cast<size_t>(l - 1)] =
+          level.kind == ModeFormat::Compressed
+              ? owner[static_cast<size_t>(l)][static_cast<size_t>(p)]
+              : p / level.extent;
+    }
+    // Coordinates per fused level.
+    bool ok = true;
+    for (int l = 0; l <= L && ok; ++l) {
+      const LevelStorage& level = sa.st->level(l);
+      const Coord p = pos_at[static_cast<size_t>(l)];
+      const Coord c = level.kind == ModeFormat::Compressed
+                          ? (*level.crd)[p]
+                          : p % level.extent;
+      env[static_cast<size_t>(l)] = c;
+    }
+    work.stream(L + 1, 8.0);
+    cur = init;
+    cur[static_cast<size_t>(split)].depth = L + 1;
+    cur[static_cast<size_t>(split)].parent = q;
+    bool alive = true;
+    for (size_t a = 0; a < accs.size() && alive; ++a) {
+      if (static_cast<int>(a) == split || accs[a].all_dense) continue;
+      alive = descend(a, static_cast<size_t>(L + 1));
+    }
+    if (alive) iterate(static_cast<size_t>(L + 1));
+  }
+  return work.done();
+}
+
+}  // namespace spdistal::kern

@@ -1,0 +1,77 @@
+// General sparse co-iteration leaf engine.
+//
+// Evaluates one piece of an arbitrary sum-of-products tensor index notation
+// statement over Dense/Compressed storage: the universal leaf kernel the
+// compiler falls back to when no specialized kernel matches. It implements
+// TACO-style iteration (paper §II-C, Senanayake et al.):
+//   * coordinate-value iteration: loop index variables in order, co-iterating
+//     the Compressed levels that store them (driver + probers, intersection
+//     semantics for products) — used with universe partitions;
+//   * coordinate-position iteration: drive iteration directly over a range
+//     of stored positions of one tensor's (possibly fused) levels — used
+//     with non-zero partitions.
+//
+// Constraints (checked, with clear errors):
+//   * the statement must be a sum of products (no Add under Mul);
+//   * each access's Compressed levels must appear in iteration order; dense
+//     tensors are exempt (random access);
+//   * sparse outputs must have their pattern pre-assembled (see assembly.h).
+#pragma once
+
+#include <optional>
+
+#include "runtime/index_space.h"
+#include "tensor/tensor.h"
+
+namespace spdistal::kern {
+
+// Restriction of one evaluation to a piece of the iteration space.
+struct PieceBounds {
+  // Coordinate-value iteration: bounds on the outermost (distributed) index
+  // variable. Empty optional = full range.
+  std::optional<rt::Rect1> dist_coords;
+  // Coordinate-position iteration: bounds on stored positions of
+  // `pos_tensor`'s level `pos_level` (the last fused level).
+  std::optional<rt::Rect1> dist_pos;
+  std::string pos_tensor;
+  int pos_level = 0;
+};
+
+class CoiterEngine {
+ public:
+  // `var_order` is the loop order (defaults to statement_vars order when
+  // empty). Validates schedulability against every access.
+  CoiterEngine(const Statement& stmt, std::vector<tin::IndexVar> var_order = {});
+
+  // Evaluates the full statement (accumulating into the output's existing
+  // values) restricted to `piece`. Returns measured work.
+  rt::WorkEstimate run(const PieceBounds& piece) const;
+
+  // Convenience: full-space evaluation.
+  rt::WorkEstimate run() const { return run(PieceBounds{}); }
+
+  const std::vector<tin::IndexVar>& var_order() const { return order_; }
+
+ private:
+  struct Access {
+    const fmt::TensorStorage* st = nullptr;
+    std::vector<tin::IndexVar> vars;      // logical order (as written)
+    std::vector<uint32_t> level_var_ids;  // var id per storage level
+    bool all_dense = false;
+  };
+
+  rt::WorkEstimate run_term(const tin::Expr& term,
+                            const PieceBounds& piece) const;
+
+  Statement stmt_;
+  std::vector<tin::IndexVar> order_;
+  Access output_;
+};
+
+// Finds the storage position of logical coordinates `coords` in `st` by
+// descending its levels (binary search in Compressed segments). Returns -1
+// if absent.
+rt::Coord locate_position(const fmt::TensorStorage& st,
+                          const std::array<rt::Coord, rt::kMaxDim>& coords);
+
+}  // namespace spdistal::kern

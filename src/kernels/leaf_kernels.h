@@ -1,0 +1,58 @@
+// Specialized leaf kernels for the six expressions of the paper's
+// evaluation (§VI-A). Each maker captures the operand tensors and returns a
+// leaf that evaluates one piece (row range or non-zero position range),
+// accumulating into the (pre-zeroed) output and reporting measured work.
+//
+// All kernels are validated against the general co-iteration engine and the
+// dense reference oracle in tests; the compiler selects them by pattern
+// (kernel_select.h) and falls back to co-iteration otherwise.
+#pragma once
+
+#include <functional>
+
+#include "kernels/coiter.h"
+#include "tensor/tensor.h"
+
+namespace spdistal::kern {
+
+using Leaf = std::function<rt::WorkEstimate(const PieceBounds&)>;
+
+// a(i) = B(i,j) * c(j), B = {Dense, Compressed}. Row range pieces.
+Leaf make_spmv_row(Tensor a, Tensor B, Tensor c);
+// Same computation over non-zero position ranges of B (fused i,j).
+Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c);
+
+// A(i,j) = B(i,k) * C(k,j), A/C dense matrices, B = {Dense, Compressed}.
+Leaf make_spmm_row(Tensor A, Tensor B, Tensor C);
+// Non-zero variant (fused i,k over B): the load-balanced GPU schedule that
+// replicates C (§VI-A2).
+Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C);
+
+// A(i,j) = B(i,j) + C(i,j) + D(i,j), all {Dense, Compressed}; A assembled.
+// Single-pass three-way union merge per row (the fused kernel whose absence
+// costs PETSc/Trilinos 11.8x/38.5x in the paper).
+Leaf make_spadd3_row(Tensor A, Tensor B, Tensor C, Tensor D);
+
+// A(i,j) = B(i,j) * C(i,k) * D(k,j), B sparse, C/D dense, A assembled with
+// B's pattern (positions align 1:1).
+Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D);
+Leaf make_sddmm_nz(Tensor A, Tensor B, Tensor C, Tensor D);
+
+// A(i,j) = B(i,j,k) * c(k), B = {Dense, Compressed, Compressed} or
+// {Dense, Dense, Compressed}; A = {Dense, Compressed} assembled.
+Leaf make_spttv_row(Tensor A, Tensor B, Tensor c);
+// Non-zero variant over B's innermost positions (fully fused i,j,k): the
+// statically load-balanced GPU schedule of §VI-A2.
+Leaf make_spttv_nz(Tensor A, Tensor B, Tensor c);
+
+// A(i,l) = B(i,j,k) * C(j,l) * D(k,l), B as in SpTTV, A/C/D dense.
+Leaf make_spmttkrp_row(Tensor A, Tensor B, Tensor C, Tensor D);
+Leaf make_spmttkrp_nz(Tensor A, Tensor B, Tensor C, Tensor D);
+
+// Owner maps for non-zero iteration: owners[l][q] = parent position of
+// position q at level l (Dense levels use division, so their entry stays
+// empty). Shared by the *_nz kernels.
+std::shared_ptr<std::vector<std::vector<rt::Coord>>> build_owner_maps(
+    const Tensor& B, int levels);
+
+}  // namespace spdistal::kern

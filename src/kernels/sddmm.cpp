@@ -1,0 +1,82 @@
+#include "kernels/leaf_kernels.h"
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using rt::Coord;
+
+namespace {
+
+// Shared inner body: A and B patterns align 1:1, so the output value for
+// B's position q lives at A's position q.
+rt::WorkEstimate sddmm_positions(Tensor& A, Tensor& B, Tensor& C, Tensor& D,
+                                 rt::Rect1 range,
+                                 const std::vector<Coord>& row_of) {
+  WorkCounter work;
+  const auto& crd = *B.storage().level(1).crd;
+  const auto& bv = *B.storage().vals();
+  const auto& cv = *C.storage().vals();
+  const auto& dv = *D.storage().vals();
+  auto& av = *A.storage().vals();
+  const Coord K = C.dims()[1];
+  for (Coord q = range.lo; q <= range.hi; ++q) {
+    const Coord i = row_of[static_cast<size_t>(q)];
+    const Coord j = crd[q];
+    double dot = 0;
+    for (Coord k = 0; k < K; ++k) {
+      dot += cv.at2(i, k) * dv.at2(k, j);
+    }
+    av[q] += bv[q] * dot;
+    work.fma_dense(K);
+    work.fma_sparse(1);
+  }
+  return work.done();
+}
+
+std::shared_ptr<std::vector<Coord>> build_row_of(const Tensor& B) {
+  auto row_of = std::make_shared<std::vector<Coord>>();
+  const auto& Bl = B.storage().level(1);
+  row_of->assign(static_cast<size_t>(Bl.positions), 0);
+  for (Coord i = 0; i < Bl.parent_positions; ++i) {
+    const rt::PosRange seg = (*Bl.pos)[i];
+    for (Coord q = seg.lo; q <= seg.hi; ++q) {
+      (*row_of)[static_cast<size_t>(q)] = i;
+    }
+  }
+  return row_of;
+}
+
+}  // namespace
+
+Leaf make_sddmm_nz(Tensor A, Tensor B, Tensor C, Tensor D) {
+  auto row_of = build_row_of(B);
+  return [A, B, C, D, row_of](const PieceBounds& piece) mutable {
+    const rt::Rect1 range = piece.dist_pos.value_or(
+        rt::Rect1{0, B.storage().level(1).positions - 1});
+    return sddmm_positions(A, B, C, D, range, *row_of);
+  };
+}
+
+Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D) {
+  auto row_of = build_row_of(B);
+  return [A, B, C, D, row_of](const PieceBounds& piece) mutable {
+    const rt::Rect1 rows = piece.dist_coords.value_or(
+        rt::Rect1{0, B.dims()[0] - 1});
+    // Convert the row range to this piece's contiguous position range.
+    const auto& pos = *B.storage().level(1).pos;
+    rt::Rect1 range{0, -1};
+    for (Coord i = rows.lo; i <= rows.hi; ++i) {
+      const rt::PosRange seg = pos[i];
+      if (seg.empty()) continue;
+      if (range.empty()) {
+        range = rt::Rect1{seg.lo, seg.hi};
+      } else {
+        range.hi = seg.hi;
+      }
+    }
+    if (range.empty()) return rt::WorkEstimate{};
+    return sddmm_positions(A, B, C, D, range, *row_of);
+  };
+}
+
+}  // namespace spdistal::kern

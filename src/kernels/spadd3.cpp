@@ -1,0 +1,65 @@
+#include "kernels/leaf_kernels.h"
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using rt::Coord;
+
+// Fused three-way sparse matrix addition: one union merge per row, writing
+// directly into the assembled output segment — no intermediate sparse
+// matrices or re-assembly between additions (paper §VI-A / §VI-C).
+Leaf make_spadd3_row(Tensor A, Tensor B, Tensor C, Tensor D) {
+  return [A, B, C, D](const PieceBounds& piece) mutable -> rt::WorkEstimate {
+    WorkCounter work;
+    struct In {
+      const rt::Region<rt::PosRange>* pos;
+      const rt::Region<int32_t>* crd;
+      const rt::Region<double>* vals;
+    };
+    auto input = [](const Tensor& t) {
+      return In{t.storage().level(1).pos.get(), t.storage().level(1).crd.get(),
+                t.storage().vals().get()};
+    };
+    const In ins[3] = {input(B), input(C), input(D)};
+    const auto& apos = *A.storage().level(1).pos;
+    const auto& acrd = *A.storage().level(1).crd;
+    auto& avals = *A.storage().vals();
+    const rt::Rect1 rows = piece.dist_coords.value_or(
+        rt::Rect1{0, A.dims()[0] - 1});
+    for (Coord i = rows.lo; i <= rows.hi; ++i) {
+      // Three cursors over this row's segments.
+      Coord q[3], hi[3];
+      for (int s = 0; s < 3; ++s) {
+        const rt::PosRange seg = (*ins[s].pos)[i];
+        q[s] = seg.lo;
+        hi[s] = seg.hi;
+        work.segment();
+      }
+      Coord out = apos[i].lo;
+      const Coord out_hi = apos[i].hi;
+      while (q[0] <= hi[0] || q[1] <= hi[1] || q[2] <= hi[2]) {
+        // Smallest current column across the three inputs.
+        Coord col = A.dims()[1];
+        for (int s = 0; s < 3; ++s) {
+          if (q[s] <= hi[s]) col = std::min<Coord>(col, (*ins[s].crd)[q[s]]);
+        }
+        double sum = 0;
+        for (int s = 0; s < 3; ++s) {
+          if (q[s] <= hi[s] && (*ins[s].crd)[q[s]] == col) {
+            sum += (*ins[s].vals)[q[s]];
+            ++q[s];
+          }
+        }
+        SPD_ASSERT(out <= out_hi && acrd[out] == col,
+                   "SpAdd3: assembled pattern disagrees with union merge");
+        avals[out] += sum;
+        ++out;
+        work.fma_sparse(1);
+        work.stream(1, 16.0);
+      }
+    }
+    return work.done();
+  };
+}
+
+}  // namespace spdistal::kern

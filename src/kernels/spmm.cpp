@@ -1,0 +1,65 @@
+#include "kernels/leaf_kernels.h"
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using rt::Coord;
+
+Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C) {
+  auto owners = build_owner_maps(B, 2);
+  return [A, B, C, owners](const PieceBounds& piece) mutable
+             -> rt::WorkEstimate {
+    WorkCounter work;
+    const auto& Bl = B.storage().level(1);
+    const auto& crd = *Bl.crd;
+    const auto& bv = *B.storage().vals();
+    const auto& cv = *C.storage().vals();
+    auto& av = *A.storage().vals();
+    const Coord J = A.dims()[1];
+    const rt::Rect1 range = piece.dist_pos.value_or(
+        rt::Rect1{0, Bl.positions - 1});
+    for (Coord q = range.lo; q <= range.hi; ++q) {
+      const Coord i = (*owners)[1][static_cast<size_t>(q)];
+      const Coord k = crd[q];
+      const double v = bv[q];
+      for (Coord j = 0; j < J; ++j) {
+        av.at2(i, j) += v * cv.at2(k, j);
+      }
+      work.fma_dense_cached(J);
+    }
+    return work.done();
+  };
+}
+
+Leaf make_spmm_row(Tensor A, Tensor B, Tensor C) {
+  return [A, B, C](const PieceBounds& piece) mutable -> rt::WorkEstimate {
+    WorkCounter work;
+    const auto& Bl = B.storage().level(1);
+    const auto& pos = *Bl.pos;
+    const auto& crd = *Bl.crd;
+    const auto& bv = *B.storage().vals();
+    const auto& cv = *C.storage().vals();
+    auto& av = *A.storage().vals();
+    const Coord J = A.dims()[1];
+    const rt::Rect1 rows = piece.dist_coords.value_or(
+        rt::Rect1{0, B.dims()[0] - 1});
+    // The Senanayake et al. schedule: loop non-zeros of the row, stream the
+    // dense row of C into the dense row of A.
+    for (Coord i = rows.lo; i <= rows.hi; ++i) {
+      const rt::PosRange seg = pos[i];
+      work.segment();
+      for (Coord q = seg.lo; q <= seg.hi; ++q) {
+        const Coord k = crd[q];
+        const double v = bv[q];
+        for (Coord j = 0; j < J; ++j) {
+          av.at2(i, j) += v * cv.at2(k, j);
+        }
+        // 2J flops per non-zero; C's row streams, A's row stays resident.
+        work.fma_dense_cached(J);
+      }
+    }
+    return work.done();
+  };
+}
+
+}  // namespace spdistal::kern

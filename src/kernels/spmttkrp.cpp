@@ -1,0 +1,54 @@
+#include "kernels/leaf_kernels.h"
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using fmt::ModeFormat;
+using rt::Coord;
+
+// Matricized tensor-times-Khatri-Rao product:
+// A(i,l) = B(i,j,k) * C(j,l) * D(k,l) with dense factor matrices.
+Leaf make_spmttkrp_row(Tensor A, Tensor B, Tensor C, Tensor D) {
+  return [A, B, C, D](const PieceBounds& piece) mutable -> rt::WorkEstimate {
+    WorkCounter work;
+    const auto& l1 = B.storage().level(1);
+    const auto& l2 = B.storage().level(2);
+    const auto& bv = *B.storage().vals();
+    const auto& cv = *C.storage().vals();
+    const auto& dv = *D.storage().vals();
+    auto& av = *A.storage().vals();
+    const Coord L = A.dims()[1];
+    const rt::Rect1 rows = piece.dist_coords.value_or(
+        rt::Rect1{0, B.dims()[0] - 1});
+    for (Coord i = rows.lo; i <= rows.hi; ++i) {
+      auto fiber = [&](Coord j, Coord q1) {
+        const rt::PosRange seg = (*l2.pos)[q1];
+        work.segment();
+        for (Coord q2 = seg.lo; q2 <= seg.hi; ++q2) {
+          const Coord k = (*l2.crd)[q2];
+          const double v = bv[q2];
+          for (Coord l = 0; l < L; ++l) {
+            av.at2(i, l) += v * cv.at2(j, l) * dv.at2(k, l);
+          }
+          // 4L flops per non-zero; the C/D rows stream once and the A row
+          // stays cache-resident across the fiber.
+          work.fma_dense_cached(2 * L);
+        }
+      };
+      if (l1.kind == ModeFormat::Compressed) {
+        const rt::PosRange seg = (*l1.pos)[i];
+        work.segment();
+        for (Coord q1 = seg.lo; q1 <= seg.hi; ++q1) {
+          fiber((*l1.crd)[q1], q1);
+        }
+      } else {
+        for (Coord j = 0; j < l1.extent; ++j) {
+          fiber(j, i * l1.extent + j);
+        }
+      }
+    }
+    return work.done();
+  };
+}
+
+}  // namespace spdistal::kern

@@ -1,0 +1,4 @@
+#include "kernels/work.h"
+
+// Header-only; this TU anchors the module in the build.
+namespace spdistal::kern {}  // namespace spdistal::kern

@@ -1,0 +1,289 @@
+#include "runtime/index_space.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace spdistal::rt {
+
+RectN::RectN(std::initializer_list<Coord> los, std::initializer_list<Coord> his) {
+  SPD_ASSERT(los.size() == his.size() && los.size() >= 1 &&
+                 los.size() <= static_cast<size_t>(kMaxDim),
+             "RectN: bad initializer sizes");
+  dim = static_cast<int>(los.size());
+  hi.fill(-1);
+  std::copy(los.begin(), los.end(), lo.begin());
+  std::copy(his.begin(), his.end(), hi.begin());
+}
+
+RectN RectN::make1(Coord l, Coord h) { return RectN({l}, {h}); }
+RectN RectN::make2(Coord l0, Coord h0, Coord l1, Coord h1) {
+  return RectN({l0, l1}, {h0, h1});
+}
+RectN RectN::make3(Coord l0, Coord h0, Coord l1, Coord h1, Coord l2, Coord h2) {
+  return RectN({l0, l1, l2}, {h0, h1, h2});
+}
+
+bool RectN::empty() const {
+  for (int d = 0; d < dim; ++d) {
+    if (lo[d] > hi[d]) return true;
+  }
+  return false;
+}
+
+int64_t RectN::volume() const {
+  if (empty()) return 0;
+  int64_t v = 1;
+  for (int d = 0; d < dim; ++d) v *= hi[d] - lo[d] + 1;
+  return v;
+}
+
+bool RectN::contains(const RectN& r) const {
+  if (r.empty()) return true;
+  if (empty()) return false;
+  SPD_ASSERT(dim == r.dim, "RectN::contains: dim mismatch");
+  for (int d = 0; d < dim; ++d) {
+    if (lo[d] > r.lo[d] || hi[d] < r.hi[d]) return false;
+  }
+  return true;
+}
+
+bool RectN::contains_point(const std::array<Coord, kMaxDim>& p) const {
+  for (int d = 0; d < dim; ++d) {
+    if (p[d] < lo[d] || p[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+bool RectN::overlaps(const RectN& r) const {
+  if (empty() || r.empty()) return false;
+  SPD_ASSERT(dim == r.dim, "RectN::overlaps: dim mismatch");
+  for (int d = 0; d < dim; ++d) {
+    if (lo[d] > r.hi[d] || r.lo[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+RectN RectN::intersect(const RectN& r) const {
+  SPD_ASSERT(dim == r.dim, "RectN::intersect: dim mismatch");
+  RectN out;
+  out.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    out.lo[d] = std::max(lo[d], r.lo[d]);
+    out.hi[d] = std::min(hi[d], r.hi[d]);
+  }
+  return out;
+}
+
+bool RectN::operator==(const RectN& r) const {
+  if (dim != r.dim) return false;
+  if (empty() && r.empty()) return true;
+  for (int d = 0; d < dim; ++d) {
+    if (lo[d] != r.lo[d] || hi[d] != r.hi[d]) return false;
+  }
+  return true;
+}
+
+std::string RectN::str() const {
+  std::string s = "[";
+  for (int d = 0; d < dim; ++d) {
+    if (d) s += ",";
+    s += strprintf("%lld..%lld", static_cast<long long>(lo[d]),
+                   static_cast<long long>(hi[d]));
+  }
+  return s + "]";
+}
+
+bool IndexSubset::empty() const {
+  for (const auto& r : rects_) {
+    if (!r.empty()) return false;
+  }
+  return true;
+}
+
+int64_t IndexSubset::volume() const {
+  // Valid only post-normalize (rects disjoint).
+  int64_t v = 0;
+  for (const auto& r : rects_) v += r.volume();
+  return v;
+}
+
+void IndexSubset::add(const RectN& r) {
+  if (r.empty()) return;
+  SPD_ASSERT(rects_.empty() || r.dim == dim_, "IndexSubset::add: dim mismatch");
+  dim_ = r.dim;
+  rects_.push_back(r);
+}
+
+void IndexSubset::normalize() {
+  if (rects_.empty()) return;
+  if (dim_ == 1) {
+    std::sort(rects_.begin(), rects_.end(),
+              [](const RectN& a, const RectN& b) { return a.lo[0] < b.lo[0]; });
+    std::vector<RectN> out;
+    out.reserve(rects_.size());
+    for (const auto& r : rects_) {
+      if (!out.empty() && r.lo[0] <= out.back().hi[0] + 1) {
+        out.back().hi[0] = std::max(out.back().hi[0], r.hi[0]);
+      } else {
+        out.push_back(r);
+      }
+    }
+    rects_ = std::move(out);
+    return;
+  }
+  // N-D: drop rectangles fully contained in another; exact disjointness is
+  // not required by any N-D client (dense partitions are disjoint rects by
+  // construction), so containment pruning suffices.
+  std::vector<RectN> out;
+  for (const auto& r : rects_) {
+    bool contained = false;
+    for (const auto& o : rects_) {
+      if (&o != &r && o.contains(r) && !(o == r)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      bool dup = false;
+      for (const auto& o : out) {
+        if (o == r) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.push_back(r);
+    }
+  }
+  rects_ = std::move(out);
+}
+
+bool IndexSubset::contains_point(const std::array<Coord, kMaxDim>& p) const {
+  for (const auto& r : rects_) {
+    if (r.contains_point(p)) return true;
+  }
+  return false;
+}
+
+bool IndexSubset::contains_point1(Coord p) const {
+  // Binary search over normalized, sorted 1-D interval list.
+  if (dim_ == 1 && rects_.size() > 8) {
+    auto it = std::upper_bound(
+        rects_.begin(), rects_.end(), p,
+        [](Coord v, const RectN& r) { return v < r.lo[0]; });
+    if (it == rects_.begin()) return false;
+    --it;
+    return p <= it->hi[0];
+  }
+  return contains_point({p});
+}
+
+IndexSubset IndexSubset::intersect(const RectN& r) const {
+  IndexSubset out(dim_);
+  for (const auto& s : rects_) {
+    RectN i = s.intersect(r);
+    if (!i.empty()) out.add(i);
+  }
+  out.normalize();
+  return out;
+}
+
+IndexSubset IndexSubset::intersect(const IndexSubset& o) const {
+  IndexSubset out(dim_);
+  for (const auto& r : o.rects_) {
+    for (const auto& s : rects_) {
+      RectN i = s.intersect(r);
+      if (!i.empty()) out.add(i);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+IndexSubset IndexSubset::unite(const IndexSubset& o) const {
+  IndexSubset out = *this;
+  for (const auto& r : o.rects_) out.add(r);
+  out.normalize();
+  return out;
+}
+
+namespace {
+// Subtracts rectangle `b` from rectangle `a`, appending the (disjoint)
+// remainder pieces to `out`. Standard axis-by-axis slab decomposition:
+// at most 2*dim pieces.
+void rect_subtract(const RectN& a, const RectN& b, std::vector<RectN>& out) {
+  if (!a.overlaps(b)) {
+    if (!a.empty()) out.push_back(a);
+    return;
+  }
+  RectN rem = a;  // shrinking remainder that still intersects b
+  for (int d = 0; d < a.dim; ++d) {
+    if (rem.lo[d] < b.lo[d]) {
+      RectN below = rem;
+      below.hi[d] = b.lo[d] - 1;
+      if (!below.empty()) out.push_back(below);
+      rem.lo[d] = b.lo[d];
+    }
+    if (rem.hi[d] > b.hi[d]) {
+      RectN above = rem;
+      above.lo[d] = b.hi[d] + 1;
+      if (!above.empty()) out.push_back(above);
+      rem.hi[d] = b.hi[d];
+    }
+  }
+  // What's left of rem is fully inside b: dropped.
+}
+}  // namespace
+
+IndexSubset IndexSubset::subtract(const IndexSubset& o) const {
+  std::vector<RectN> cur(rects_);
+  for (const auto& b : o.rects()) {
+    std::vector<RectN> next;
+    for (const auto& a : cur) rect_subtract(a, b, next);
+    cur = std::move(next);
+    if (cur.empty()) break;
+  }
+  IndexSubset out(dim_);
+  for (const auto& r : cur) out.add(r);
+  out.normalize();
+  return out;
+}
+
+bool IndexSubset::overlaps(const IndexSubset& o) const {
+  for (const auto& r : o.rects()) {
+    for (const auto& s : rects_) {
+      if (s.overlaps(r)) return true;
+    }
+  }
+  return false;
+}
+
+RectN IndexSubset::bounds() const {
+  SPD_ASSERT(!rects_.empty(), "IndexSubset::bounds on empty subset");
+  RectN b = rects_.front();
+  for (const auto& r : rects_) {
+    for (int d = 0; d < dim_; ++d) {
+      b.lo[d] = std::min(b.lo[d], r.lo[d]);
+      b.hi[d] = std::max(b.hi[d], r.hi[d]);
+    }
+  }
+  return b;
+}
+
+std::string IndexSubset::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(rects_.size());
+  for (const auto& r : rects_) parts.push_back(r.str());
+  return "{" + join(parts, ", ") + "}";
+}
+
+int64_t linearize(const RectN& bounds, const std::array<Coord, kMaxDim>& p) {
+  int64_t idx = 0;
+  for (int d = 0; d < bounds.dim; ++d) {
+    idx = idx * (bounds.hi[d] - bounds.lo[d] + 1) + (p[d] - bounds.lo[d]);
+  }
+  return idx;
+}
+
+}  // namespace spdistal::rt

@@ -1,0 +1,80 @@
+#include "runtime/machine.h"
+
+#include "common/str_util.h"
+
+namespace spdistal::rt {
+
+const char* proc_kind_name(ProcKind k) {
+  return k == ProcKind::CPU ? "CPU" : "GPU";
+}
+const char* mem_kind_name(MemKind k) { return k == MemKind::SYS ? "SYS" : "FB"; }
+
+std::string Proc::str() const {
+  return strprintf("%s(n%d.%d)", proc_kind_name(kind), node, index);
+}
+
+std::string Mem::str() const {
+  return strprintf("%s(n%d.%d)", mem_kind_name(kind), node, index);
+}
+
+Machine::Machine(MachineConfig config, Grid grid, ProcKind kind)
+    : config_(config), grid_(grid), kind_(kind) {
+  if (kind_ == ProcKind::CPU) {
+    SPD_ASSERT(grid_.total() <= config_.nodes,
+               "CPU machine grid (" << grid_.total() << ") exceeds nodes ("
+                                    << config_.nodes << ")");
+  } else {
+    SPD_ASSERT(grid_.total() <= config_.nodes * config_.gpus_per_node,
+               "GPU machine grid (" << grid_.total() << ") exceeds GPUs ("
+                                    << config_.nodes * config_.gpus_per_node
+                                    << ")");
+  }
+}
+
+Proc Machine::proc(int flat) const {
+  SPD_ASSERT(flat >= 0 && flat < num_procs(), "proc index out of range");
+  if (kind_ == ProcKind::CPU) {
+    return Proc{flat, ProcKind::CPU, 0};
+  }
+  return Proc{flat / config_.gpus_per_node, ProcKind::GPU,
+              flat % config_.gpus_per_node};
+}
+
+Mem Machine::proc_mem(const Proc& p) const {
+  if (p.kind == ProcKind::CPU) return Mem{p.node, MemKind::SYS, 0};
+  return Mem{p.node, MemKind::FB, p.index};
+}
+
+std::vector<Mem> Machine::all_mems() const {
+  std::vector<Mem> mems;
+  for (int n = 0; n < config_.nodes; ++n) {
+    mems.push_back(Mem{n, MemKind::SYS, 0});
+    for (int g = 0; g < config_.gpus_per_node; ++g) {
+      mems.push_back(Mem{n, MemKind::FB, g});
+    }
+  }
+  return mems;
+}
+
+double Machine::proc_flops(const Proc& p, int threads) const {
+  if (p.kind == ProcKind::GPU) {
+    return config_.gpu_gflops * 1e9 / config_.time_scale;
+  }
+  int t = threads;
+  if (t < 1) t = 1;
+  if (t > config_.cores_per_node) t = config_.cores_per_node;
+  return config_.cpu_core_gflops * 1e9 * t / config_.time_scale;
+}
+
+double Machine::proc_mem_bw(const Proc& p, int threads) const {
+  if (p.kind == ProcKind::GPU) {
+    return config_.gpu_mem_bw_gbs * 1e9 / config_.time_scale;
+  }
+  int t = threads;
+  if (t < 1) t = 1;
+  if (t > config_.cores_per_node) t = config_.cores_per_node;
+  return config_.cpu_mem_bw_gbs * 1e9 * t /
+         (config_.cores_per_node * config_.time_scale);
+}
+
+}  // namespace spdistal::rt

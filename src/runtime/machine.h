@@ -1,0 +1,152 @@
+// Machine model: the abstract n-dimensional processor grid of the paper's
+// programming model (Figure 1 line 4) plus the concrete hardware parameters
+// used by the discrete-event simulator.
+//
+// Defaults mirror one Lassen node (paper §VI): dual-socket 40-core Power9,
+// 4× V100 GPUs, InfiniBand EDR. Memory capacities are divided by
+// `capacity_scale`, matching the ~2048× downscaling of the synthetic
+// datasets relative to the paper's 10⁸–10⁹-non-zero inputs, so that
+// capacity-driven phenomena (GPU OOM → "DNC" cells in Figure 11) reproduce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spdistal::rt {
+
+enum class ProcKind { CPU, GPU };
+enum class MemKind { SYS, FB };
+
+const char* proc_kind_name(ProcKind k);
+const char* mem_kind_name(MemKind k);
+
+// A concrete processor: `index` enumerates processors of this kind within
+// the node (GPUs 0..3; the CPU "processor" is the whole node's core set,
+// matching the paper running SpDISTAL with one rank per node).
+struct Proc {
+  int node = 0;
+  ProcKind kind = ProcKind::CPU;
+  int index = 0;
+  bool operator==(const Proc&) const = default;
+  std::string str() const;
+};
+
+// A concrete memory: system memory per node, framebuffer per GPU.
+struct Mem {
+  int node = 0;
+  MemKind kind = MemKind::SYS;
+  int index = 0;  // GPU index for FB, 0 for SYS.
+  bool operator==(const Mem&) const = default;
+  bool operator<(const Mem& o) const {
+    if (node != o.node) return node < o.node;
+    if (kind != o.kind) return kind < o.kind;
+    return index < o.index;
+  }
+  std::string str() const;
+};
+
+struct MachineConfig {
+  int nodes = 1;
+  int cores_per_node = 40;
+  int sockets_per_node = 2;
+  int gpus_per_node = 4;
+
+  // Throughput parameters (double-precision).
+  double cpu_core_gflops = 8.0;      // sustained per-core
+  double cpu_mem_bw_gbs = 135.0;     // per-node aggregate
+  // *Achieved* V100 rates on irregular sparse kernels (gather-bound access
+  // wastes most of the 7 TF / 900 GB/s peaks; one GPU lands near one CPU
+  // node, matching the paper's GPU-vs-CPU ratios in Figures 12-13).
+  double gpu_gflops = 700.0;
+  double gpu_mem_bw_gbs = 100.0;
+  double nvlink_bw_gbs = 60.0;       // CPU<->GPU per direction
+  double net_latency_s = 2.0e-6;     // EDR InfiniBand
+  double net_bw_gbs = 12.0;          // per-node NIC, per direction
+  double task_overhead_s = 8.0e-6;   // Legion task launch/analysis overhead
+
+  // Memory capacities before scaling.
+  double sysmem_bytes = 256.0 * (1ull << 30);
+  double fbmem_bytes = 16.0 * (1ull << 30);
+
+  // Dataset downscale factor; divides memory capacities (see file comment).
+  double capacity_scale = 2048.0;
+
+  // Time scale: divides every throughput (FLOP rates, memory/NVLink/network
+  // bandwidths) while latencies and task overheads stay absolute. Setting
+  // this to the dataset downscale factor makes a scaled-down tensor behave,
+  // time-wise, like its full-size original on the real machine — the
+  // compute/overhead/latency ratios that determine scaling shape are
+  // preserved. 1.0 = hardware-true rates.
+  double time_scale = 1.0;
+
+  double sysmem_capacity() const { return sysmem_bytes / capacity_scale; }
+  double fbmem_capacity() const { return fbmem_bytes / capacity_scale; }
+};
+
+// Abstract machine grid (paper: Machine M(Grid(pieces))). The grid organizes
+// *processors of one kind* into an n-dimensional arrangement that TDN and
+// the distribute scheduling command map tensor/loop dimensions onto.
+class Grid {
+ public:
+  Grid() = default;
+  explicit Grid(int x) : dims_{x} {}
+  Grid(int x, int y) : dims_{x, y} {}
+  Grid(int x, int y, int z) : dims_{x, y, z} {}
+
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  int dim(int d) const { return dims_.at(static_cast<size_t>(d)); }
+  int total() const {
+    int t = 1;
+    for (int d : dims_) t *= d;
+    return t;
+  }
+  const std::vector<int>& dims() const { return dims_; }
+
+ private:
+  std::vector<int> dims_{1};
+};
+
+// A machine: a grid of same-kind processors drawn from the physical config.
+// For ProcKind::CPU the grid ranges over nodes; for ProcKind::GPU over all
+// GPUs (node-major), matching the paper's "one rank per node" (CPU) and
+// "one rank per GPU" setups.
+class Machine {
+ public:
+  Machine() = default;
+  Machine(MachineConfig config, Grid grid, ProcKind kind = ProcKind::CPU);
+
+  const MachineConfig& config() const { return config_; }
+  const Grid& grid() const { return grid_; }
+  ProcKind kind() const { return kind_; }
+
+  int num_procs() const { return grid_.total(); }
+  // Processor owning grid point `flat` (row-major flattening of the grid).
+  Proc proc(int flat) const;
+  // Memory that processor `p` computes out of.
+  Mem proc_mem(const Proc& p) const;
+  // System memory of a node.
+  Mem sys_mem(int node) const { return Mem{node, MemKind::SYS, 0}; }
+
+  // All memories in the machine (for capacity bookkeeping).
+  std::vector<Mem> all_mems() const;
+
+  // Peak compute rate of one processor, in FLOP/s, given the number of
+  // concurrent hardware threads a leaf task exploits (`threads` <= hardware;
+  // clamped). For GPUs the thread count is ignored: a leaf either uses the
+  // GPU or it does not.
+  double proc_flops(const Proc& p, int threads) const;
+  // Memory bandwidth available to a leaf on processor `p` exploiting
+  // `threads` hardware threads (a node's ranks share its bandwidth
+  // proportionally), bytes/s. Ignored for GPUs.
+  double proc_mem_bw(const Proc& p, int threads) const;
+
+ private:
+  MachineConfig config_;
+  Grid grid_{1};
+  ProcKind kind_ = ProcKind::CPU;
+};
+
+}  // namespace spdistal::rt

@@ -1,0 +1,65 @@
+#include "runtime/memory.h"
+
+#include "common/str_util.h"
+
+namespace spdistal::rt {
+
+double MemoryPool::allocate(double bytes, const std::string& what) {
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+  if (used_ > capacity_ && !allow_oversub_) {
+    const double over = used_ - capacity_;
+    used_ -= bytes;  // roll back so the caller can retry elsewhere
+    throw OutOfMemoryError(strprintf(
+        "OOM in %s allocating %s for '%s' (used %s of %s)", mem_.str().c_str(),
+        human_bytes(bytes).c_str(), what.c_str(), human_bytes(used_).c_str(),
+        human_bytes(capacity_).c_str()) +
+                           strprintf(" (short by %s)",
+                                     human_bytes(over).c_str()));
+  }
+  return used_ > capacity_ ? used_ - capacity_ : 0.0;
+}
+
+void MemoryPool::release(double bytes) {
+  used_ -= bytes;
+  if (used_ < 0) used_ = 0;
+}
+
+MemorySystem::MemorySystem(const Machine& machine) {
+  for (const Mem& m : machine.all_mems()) {
+    const double cap = m.kind == MemKind::SYS
+                           ? machine.config().sysmem_capacity()
+                           : machine.config().fbmem_capacity();
+    pools_.emplace(m, MemoryPool(m, cap));
+  }
+}
+
+MemoryPool& MemorySystem::pool(const Mem& mem) {
+  auto it = pools_.find(mem);
+  SPD_ASSERT(it != pools_.end(), "unknown memory " << mem.str());
+  return it->second;
+}
+
+const MemoryPool& MemorySystem::pool(const Mem& mem) const {
+  auto it = pools_.find(mem);
+  SPD_ASSERT(it != pools_.end(), "unknown memory " << mem.str());
+  return it->second;
+}
+
+double MemorySystem::peak(MemKind kind) const {
+  double p = 0;
+  for (const auto& [m, pool] : pools_) {
+    if (m.kind == kind && pool.peak() > p) p = pool.peak();
+  }
+  return p;
+}
+
+void MemorySystem::release_all() {
+  for (auto& [m, pool] : pools_) pool.release_all();
+}
+
+void MemorySystem::set_allow_oversubscription(bool allow) {
+  for (auto& [m, pool] : pools_) pool.set_allow_oversubscription(allow);
+}
+
+}  // namespace spdistal::rt

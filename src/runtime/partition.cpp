@@ -1,0 +1,239 @@
+#include "runtime/partition.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace spdistal::rt {
+
+bool Partition::disjoint() const {
+  for (size_t a = 0; a < subsets_.size(); ++a) {
+    for (size_t b = a + 1; b < subsets_.size(); ++b) {
+      if (subsets_[a].overlaps(subsets_[b])) return false;
+    }
+  }
+  return true;
+}
+
+bool Partition::complete() const {
+  IndexSubset u(parent_.dim());
+  for (const auto& s : subsets_) {
+    for (const auto& r : s.rects()) u.add(r);
+  }
+  u.normalize();
+  if (parent_.dim() == 1) {
+    // After normalization a 1-D union is a disjoint sorted interval list, so
+    // volumes are exact.
+    return u.volume() == parent_.volume();
+  }
+  // N-D: all clients build N-D partitions from disjoint rectangles, so the
+  // volume sum is exact there too; verify no rect escapes the parent.
+  int64_t vol = 0;
+  for (const auto& r : u.rects()) {
+    SPD_ASSERT(parent_.bounds().contains(r), "subset escapes parent space");
+    vol += r.volume();
+  }
+  return vol >= parent_.volume();
+}
+
+std::string Partition::str() const {
+  std::vector<std::string> parts;
+  for (int c = 0; c < num_colors(); ++c) {
+    parts.push_back(strprintf("%d: %s", c, subsets_[c].str().c_str()));
+  }
+  return join(parts, "\n");
+}
+
+Partition partition_by_bounds(const IndexSpace& space,
+                              const std::vector<RectN>& bounds) {
+  std::vector<IndexSubset> subsets;
+  subsets.reserve(bounds.size());
+  for (const auto& b : bounds) {
+    SPD_ASSERT(b.dim == space.dim(), "partition_by_bounds: dim mismatch");
+    IndexSubset s(space.dim());
+    RectN clipped = b.intersect(space.bounds());
+    if (!clipped.empty()) s.add(clipped);
+    s.normalize();
+    subsets.push_back(std::move(s));
+  }
+  return Partition(space, std::move(subsets));
+}
+
+Partition partition_equal(const IndexSpace& space, int pieces, int dim) {
+  SPD_ASSERT(pieces >= 1, "partition_equal: pieces < 1");
+  SPD_ASSERT(dim >= 0 && dim < space.dim(), "partition_equal: bad dim");
+  const Rect1 d = space.bounds().dim_rect(dim);
+  const Coord n = d.size();
+  const Coord base = n / pieces;
+  const Coord rem = n % pieces;
+  std::vector<RectN> bounds;
+  bounds.reserve(static_cast<size_t>(pieces));
+  Coord at = d.lo;
+  for (int c = 0; c < pieces; ++c) {
+    // Trailing `rem` pieces take one extra coordinate.
+    const Coord len = base + (c >= pieces - rem ? 1 : 0);
+    RectN r = space.bounds();
+    r.lo[dim] = at;
+    r.hi[dim] = at + len - 1;
+    at += len;
+    bounds.push_back(r);
+  }
+  return partition_by_bounds(space, bounds);
+}
+
+Partition partition_by_value_ranges(const Region<int32_t>& crd,
+                                    const std::vector<Rect1>& ranges) {
+  return partition_by_value_ranges(crd, crd.space().as_subset(), ranges);
+}
+
+Partition partition_by_value_ranges(const Region<int32_t>& crd,
+                                    const IndexSubset& positions,
+                                    const std::vector<Rect1>& ranges) {
+  SPD_ASSERT(crd.space().dim() == 1, "crd regions are 1-D");
+  std::vector<IndexSubset> subsets(ranges.size(), IndexSubset(1));
+  // Scan positions once, extending a run per color; crd values are sorted
+  // within pos segments, so runs are long in practice.
+  std::vector<Rect1> open(ranges.size(), Rect1{0, -1});
+  auto flush = [&](size_t c) {
+    if (!open[c].empty()) {
+      subsets[c].add(RectN(open[c]));
+      open[c] = Rect1{0, -1};
+    }
+  };
+  for (const auto& rect : positions.rects()) {
+    for (Coord p = rect.lo[0]; p <= rect.hi[0]; ++p) {
+      const int32_t v = crd[p];
+      for (size_t c = 0; c < ranges.size(); ++c) {
+        if (ranges[c].contains(v)) {
+          if (!open[c].empty() && open[c].hi == p - 1) {
+            open[c].hi = p;
+          } else {
+            flush(c);
+            open[c] = Rect1{p, p};
+          }
+        }
+      }
+    }
+  }
+  for (size_t c = 0; c < ranges.size(); ++c) flush(c);
+  for (auto& s : subsets) s.normalize();
+  return Partition(crd.space(), std::move(subsets));
+}
+
+Partition image(const Region<PosRange>& pos, const Partition& pos_part,
+                const IndexSpace& crd_space) {
+  SPD_ASSERT(pos.space().dim() == 1, "pos regions are 1-D");
+  std::vector<IndexSubset> subsets;
+  subsets.reserve(static_cast<size_t>(pos_part.num_colors()));
+  for (int c = 0; c < pos_part.num_colors(); ++c) {
+    IndexSubset out(1);
+    for (const auto& rect : pos_part.subset(c).rects()) {
+      for (Coord i = rect.lo[0]; i <= rect.hi[0]; ++i) {
+        const PosRange& pr = pos[i];
+        if (!pr.empty()) out.add(RectN::make1(pr.lo, pr.hi));
+      }
+    }
+    out.normalize();
+    subsets.push_back(std::move(out));
+  }
+  return Partition(crd_space, std::move(subsets));
+}
+
+Partition preimage(const Region<PosRange>& pos, const Partition& crd_part) {
+  SPD_ASSERT(pos.space().dim() == 1, "pos regions are 1-D");
+  const Rect1 pos_dom = pos.space().bounds().dim_rect(0);
+  std::vector<IndexSubset> subsets;
+  subsets.reserve(static_cast<size_t>(crd_part.num_colors()));
+  for (int c = 0; c < crd_part.num_colors(); ++c) {
+    const IndexSubset& crd_sub = crd_part.subset(c);
+    IndexSubset out(1);
+    Rect1 run{0, -1};
+    for (Coord i = pos_dom.lo; i <= pos_dom.hi; ++i) {
+      const PosRange& pr = pos[i];
+      bool hit = false;
+      if (!pr.empty()) {
+        // Does [pr.lo, pr.hi] intersect the colored crd subset?
+        for (const auto& r : crd_sub.rects()) {
+          if (r.lo[0] <= pr.hi && pr.lo <= r.hi[0]) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        if (!run.empty() && run.hi == i - 1) {
+          run.hi = i;
+        } else {
+          if (!run.empty()) out.add(RectN(run));
+          run = Rect1{i, i};
+        }
+      }
+    }
+    if (!run.empty()) out.add(RectN(run));
+    out.normalize();
+    subsets.push_back(std::move(out));
+  }
+  return Partition(pos.space(), std::move(subsets));
+}
+
+Partition copy_partition(const Partition& part, const IndexSpace& new_parent) {
+  SPD_ASSERT(new_parent.dim() == part.parent().dim(),
+             "copy_partition: dim mismatch");
+  std::vector<IndexSubset> subsets;
+  subsets.reserve(static_cast<size_t>(part.num_colors()));
+  for (int c = 0; c < part.num_colors(); ++c) {
+    subsets.push_back(part.subset(c).intersect(new_parent.bounds()));
+  }
+  return Partition(new_parent, std::move(subsets));
+}
+
+Partition lift_to_dim(const Partition& part1d, const IndexSpace& nd_space,
+                      int dim) {
+  SPD_ASSERT(part1d.parent().dim() == 1, "lift_to_dim: source must be 1-D");
+  SPD_ASSERT(dim >= 0 && dim < nd_space.dim(), "lift_to_dim: bad dim");
+  std::vector<IndexSubset> subsets;
+  subsets.reserve(static_cast<size_t>(part1d.num_colors()));
+  for (int c = 0; c < part1d.num_colors(); ++c) {
+    IndexSubset out(nd_space.dim());
+    for (const auto& r : part1d.subset(c).rects()) {
+      RectN nd = nd_space.bounds();
+      nd.lo[dim] = std::max(nd.lo[dim], r.lo[0]);
+      nd.hi[dim] = std::min(nd.hi[dim], r.hi[0]);
+      if (!nd.empty()) out.add(nd);
+    }
+    out.normalize();
+    subsets.push_back(std::move(out));
+  }
+  return Partition(nd_space, std::move(subsets));
+}
+
+Partition partition_grid2(const IndexSpace& space, int pieces_x, int pieces_y) {
+  SPD_ASSERT(space.dim() == 2, "partition_grid2 requires a 2-D space");
+  const Partition px = partition_equal(space, pieces_x, 0);
+  std::vector<RectN> tiles;
+  tiles.reserve(static_cast<size_t>(pieces_x * pieces_y));
+  for (int x = 0; x < pieces_x; ++x) {
+    const RectN row = px.subset(x).rects().empty() ? RectN{}
+                                                   : px.subset(x).rects()[0];
+    // Split the row block along dimension 1.
+    const Rect1 cols = space.bounds().dim_rect(1);
+    const Coord n = cols.size();
+    const Coord base = n / pieces_y;
+    const Coord rem = n % pieces_y;
+    Coord at = cols.lo;
+    for (int y = 0; y < pieces_y; ++y) {
+      const Coord len = base + (y >= pieces_y - rem ? 1 : 0);
+      RectN t = row;
+      if (t.dim == 2) {
+        t.lo[1] = at;
+        t.hi[1] = at + len - 1;
+      }
+      at += len;
+      tiles.push_back(t);
+    }
+  }
+  return partition_by_bounds(space, tiles);
+}
+
+}  // namespace spdistal::rt

@@ -1,0 +1,91 @@
+// Partitions and dependent partitioning (paper §III-A, Treichler et al.).
+//
+// A partition maps colors (0..N-1) to possibly-overlapping subsets of an
+// index space. Partitions are created either directly (by bounds / equal
+// blocks / value ranges) or *dependently* from existing partitions through
+// image and preimage over index-space-valued regions — here, the PosRange
+// entries of Compressed-level pos arrays (Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/index_space.h"
+#include "runtime/region.h"
+
+namespace spdistal::rt {
+
+class Partition {
+ public:
+  Partition() = default;
+  Partition(IndexSpace parent, std::vector<IndexSubset> subsets)
+      : parent_(parent), subsets_(std::move(subsets)) {}
+
+  const IndexSpace& parent() const { return parent_; }
+  int num_colors() const { return static_cast<int>(subsets_.size()); }
+  const IndexSubset& subset(int color) const {
+    return subsets_.at(static_cast<size_t>(color));
+  }
+  const std::vector<IndexSubset>& subsets() const { return subsets_; }
+
+  // True iff no point is assigned two colors.
+  bool disjoint() const;
+  // True iff every point of the parent space has a color.
+  bool complete() const;
+
+  std::string str() const;
+
+ private:
+  IndexSpace parent_;
+  std::vector<IndexSubset> subsets_;
+};
+
+// --- Direct partitioning ---------------------------------------------------
+
+// One subset per entry of `bounds` (clipped to the parent space).
+Partition partition_by_bounds(const IndexSpace& space,
+                              const std::vector<RectN>& bounds);
+
+// Equal block partition of dimension `dim` into `pieces` colors; remainder
+// coordinates go to the trailing pieces one extra each (balanced blocking).
+Partition partition_equal(const IndexSpace& space, int pieces, int dim = 0);
+
+// Partition of the crd region's index space that colors position p with
+// color c iff crd[p] ∈ ranges[c]. This is how universe partitions of
+// Compressed levels bucket stored coordinates by value (Table I).
+Partition partition_by_value_ranges(const Region<int32_t>& crd,
+                                    const std::vector<Rect1>& ranges);
+
+// Restriction of partition_by_value_ranges to a subset of positions (used
+// when an enclosing level has already restricted the segment range).
+Partition partition_by_value_ranges(const Region<int32_t>& crd,
+                                    const IndexSubset& positions,
+                                    const std::vector<Rect1>& ranges);
+
+// --- Dependent partitioning -------------------------------------------------
+
+// image(pos, P): colors every crd position reachable through a pos entry
+// with its source's color: P'[c] = ∪ { [pos[i].lo, pos[i].hi] : i ∈ P[c] }.
+Partition image(const Region<PosRange>& pos, const Partition& pos_part,
+                const IndexSpace& crd_space);
+
+// preimage(pos, P): colors every pos entry whose range intersects a colored
+// crd subset: P'[c] = { i : [pos[i].lo, pos[i].hi] ∩ P[c] ≠ ∅ }.
+Partition preimage(const Region<PosRange>& pos, const Partition& crd_part);
+
+// Re-parents a partition onto an index space with identical structure (the
+// vals region is aligned 1:1 with the last level's crd region; Figure 9b
+// line "BValsPart = copy(B2CrdPart, B.vals)").
+Partition copy_partition(const Partition& part, const IndexSpace& new_parent);
+
+// Lifts a 1-D partition of dimension `dim` of an N-D space to an N-D rect
+// partition (all other dimensions unconstrained). Used to partition dense
+// matrices/vectors row- or column-wise.
+Partition lift_to_dim(const Partition& part1d, const IndexSpace& nd_space,
+                      int dim);
+
+// 2-D grid partition: pieces_x × pieces_y tiles (Figure 4c).
+Partition partition_grid2(const IndexSpace& space, int pieces_x, int pieces_y);
+
+}  // namespace spdistal::rt

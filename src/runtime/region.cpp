@@ -1,0 +1,12 @@
+#include "runtime/region.h"
+
+#include <atomic>
+
+namespace spdistal::rt {
+
+RegionId RegionBase::next_id() {
+  static std::atomic<RegionId> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace spdistal::rt

@@ -1,0 +1,139 @@
+// Regions: typed multi-dimensional arrays over index spaces (paper §III-A).
+//
+// A region is a function from indices of its index space to values. Values
+// may be primitives (double, int32) or index-space-valued: the pos arrays of
+// Compressed levels store PosRange values — inclusive [lo, hi] ranges naming
+// indices of the crd region — which is precisely what makes the dependent
+// partitioning operators image/preimage applicable (paper §III-B, Figure 7).
+//
+// Data lives once in the simulation's single address space; placement of
+// sub-region *instances* into simulated memories is tracked by the Runtime
+// (see memory.h / runtime.h), not here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/index_space.h"
+
+namespace spdistal::rt {
+
+using RegionId = uint32_t;
+
+// Value type of pos regions: an inclusive range of crd positions.
+// Mirrors the paper's choice (§III-B) to store {lo, hi} tuples rather than
+// TACO's offset pairs so that image/preimage apply directly.
+struct PosRange {
+  Coord lo = 0;
+  Coord hi = -1;
+  bool empty() const { return lo > hi; }
+  Coord size() const { return empty() ? 0 : hi - lo + 1; }
+  bool operator==(const PosRange&) const = default;
+};
+
+// Type-erased base so the Runtime can own heterogeneous regions.
+// Region ids are process-global so that regions created by any component
+// (tensor storage, tests, the Runtime) can participate in placement
+// tracking without coordination.
+class RegionBase {
+ public:
+  RegionBase(IndexSpace space, size_t elem_size, std::string name)
+      : id_(next_id()),
+        space_(space),
+        elem_size_(elem_size),
+        name_(std::move(name)) {}
+  virtual ~RegionBase() = default;
+
+  RegionId id() const { return id_; }
+  const IndexSpace& space() const { return space_; }
+  size_t elem_size() const { return elem_size_; }
+  const std::string& name() const { return name_; }
+  int64_t size_bytes() const {
+    return space_.volume() * static_cast<int64_t>(elem_size_);
+  }
+
+  // Version counter, bumped on every write launch; used by the Runtime to
+  // invalidate cached instances in remote memories.
+  uint64_t version() const { return version_; }
+  void bump_version() { ++version_; }
+
+ private:
+  static RegionId next_id();
+
+  RegionId id_;
+  IndexSpace space_;
+  size_t elem_size_;
+  std::string name_;
+  uint64_t version_ = 0;
+};
+
+template <typename T>
+class Region final : public RegionBase {
+ public:
+  Region(IndexSpace space, std::string name)
+      : RegionBase(space, sizeof(T), std::move(name)),
+        data_(static_cast<size_t>(space.volume())) {}
+
+  // 1-D element access.
+  T& operator[](Coord i) {
+    SPD_ASSERT(space().dim() == 1, "1-D access on " << space().dim() << "-D");
+    return data_[static_cast<size_t>(i - space().bounds().lo[0])];
+  }
+  const T& operator[](Coord i) const {
+    return const_cast<Region*>(this)->operator[](i);
+  }
+
+  // 2-D element access (row-major).
+  T& at2(Coord i, Coord j) {
+    const RectN& b = space().bounds();
+    SPD_ASSERT(b.dim == 2, "2-D access on " << b.dim << "-D region");
+    return data_[static_cast<size_t>((i - b.lo[0]) * (b.hi[1] - b.lo[1] + 1) +
+                                     (j - b.lo[1]))];
+  }
+  const T& at2(Coord i, Coord j) const {
+    return const_cast<Region*>(this)->at2(i, j);
+  }
+
+  // 3-D element access (row-major).
+  T& at3(Coord i, Coord j, Coord k) {
+    const RectN& b = space().bounds();
+    SPD_ASSERT(b.dim == 3, "3-D access on " << b.dim << "-D region");
+    const Coord nj = b.hi[1] - b.lo[1] + 1;
+    const Coord nk = b.hi[2] - b.lo[2] + 1;
+    return data_[static_cast<size_t>(((i - b.lo[0]) * nj + (j - b.lo[1])) * nk +
+                                     (k - b.lo[2]))];
+  }
+  const T& at3(Coord i, Coord j, Coord k) const {
+    return const_cast<Region*>(this)->at3(i, j, k);
+  }
+
+  // Direct row-major linearized access (any dimensionality). The row-major
+  // layout matches the coordinate-tree position numbering of dense levels,
+  // so sparse-storage walkers can address N-D dense vals by position.
+  T& at_linear(Coord idx) { return data_[static_cast<size_t>(idx)]; }
+  const T& at_linear(Coord idx) const {
+    return data_[static_cast<size_t>(idx)];
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::vector<T> data_;
+};
+
+template <typename T>
+using RegionRef = std::shared_ptr<Region<T>>;
+
+// Convenience factory.
+template <typename T>
+RegionRef<T> make_region(IndexSpace space, std::string name) {
+  return std::make_shared<Region<T>>(space, std::move(name));
+}
+
+}  // namespace spdistal::rt

@@ -1,0 +1,278 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace spdistal::rt {
+
+IndexSubset TaskContext::subset(size_t req) const {
+  SPD_ASSERT(req < launch_.reqs.size(), "req index out of range");
+  const RegionReq& r = launch_.reqs[req];
+  if (r.partition == nullptr) return r.region->space().as_subset();
+  return r.partition->subset(color_);
+}
+
+Runtime::Runtime(Machine machine)
+    : machine_(std::move(machine)),
+      sim_(machine_),
+      net_(machine_.config()),
+      mems_(machine_) {}
+
+Proc Runtime::proc_for_point(int p, int domain) const {
+  (void)domain;
+  return machine_.proc(p % machine_.num_procs());
+}
+
+void Runtime::drop_placement(RegionBase& region) {
+  PlacementInfo& pl = placement(region);
+  for (const auto& [mem, bytes] : pl.alloc_bytes) {
+    mems_.pool(mem).release(bytes);
+  }
+  pl.valid.clear();
+  pl.alloc_bytes.clear();
+  pl.ready.clear();
+}
+
+void Runtime::set_placement(RegionBase& region, const Partition& part,
+                            const std::vector<Mem>& mems) {
+  SPD_ASSERT(static_cast<int>(mems.size()) == part.num_colors(),
+             "set_placement: one memory per color required");
+  drop_placement(region);
+  PlacementInfo& pl = placement(region);
+  const Mem root = Mem{0, MemKind::SYS, 0};
+  const double elem = static_cast<double>(region.elem_size());
+  for (int c = 0; c < part.num_colors(); ++c) {
+    const IndexSubset& s = part.subset(c);
+    if (s.empty()) continue;
+    const Mem& m = mems[static_cast<size_t>(c)];
+    const double bytes = static_cast<double>(s.volume()) * elem;
+    // Newly valid bytes only (colors may overlap within one memory).
+    IndexSubset fresh = pl.valid.count(m) ? s.subtract(pl.valid[m]) : s;
+    const double fresh_bytes = static_cast<double>(fresh.volume()) * elem;
+    if (fresh_bytes > 0) {
+      mems_.pool(m).allocate(fresh_bytes, region.name());
+      pl.alloc_bytes[m] += fresh_bytes;
+    }
+    pl.valid[m] = pl.valid.count(m) ? pl.valid[m].unite(s) : s;
+    // One-time scatter from the root node where data was loaded.
+    const double done = net_.transfer(root, m, bytes, 0.0);
+    double& rdy = pl.ready[m];
+    rdy = std::max(rdy, done);
+  }
+}
+
+void Runtime::replicate_sys(RegionBase& region) {
+  drop_placement(region);
+  PlacementInfo& pl = placement(region);
+  const double bytes = static_cast<double>(region.size_bytes());
+  const Mem root = Mem{0, MemKind::SYS, 0};
+  std::vector<int> nodes;
+  for (int n = 0; n < machine_.config().nodes; ++n) nodes.push_back(n);
+  const double done = net_.broadcast(root, nodes, bytes, 0.0);
+  for (int n = 0; n < machine_.config().nodes; ++n) {
+    const Mem m = machine_.sys_mem(n);
+    mems_.pool(m).allocate(bytes, region.name());
+    pl.alloc_bytes[m] += bytes;
+    pl.valid[m] = region.space().as_subset();
+    pl.ready[m] = (n == 0) ? 0.0 : done;
+  }
+}
+
+void Runtime::place_whole(RegionBase& region, Mem mem) {
+  drop_placement(region);
+  PlacementInfo& pl = placement(region);
+  const double bytes = static_cast<double>(region.size_bytes());
+  mems_.pool(mem).allocate(bytes, region.name());
+  pl.alloc_bytes[mem] = bytes;
+  pl.valid[mem] = region.space().as_subset();
+  pl.ready[mem] = 0.0;
+}
+
+void Runtime::invalidate(RegionBase& region) { drop_placement(region); }
+
+double Runtime::fetch(RegionBase& region, const IndexSubset& subset,
+                      const Mem& mem, double ready_time) {
+  if (subset.empty()) return ready_time;
+  PlacementInfo& pl = placement(region);
+  if (pl.valid.empty()) {
+    // Virgin region: data considered loaded at the root node.
+    place_whole(region, Mem{0, MemKind::SYS, 0});
+  }
+  double arrival = ready_time;
+  IndexSubset missing = subset;
+  if (auto it = pl.valid.find(mem); it != pl.valid.end()) {
+    missing = subset.subtract(it->second);
+    arrival = std::max(arrival, pl.ready[mem]);
+    if (missing.empty()) return arrival;
+  }
+  const double elem = static_cast<double>(region.elem_size());
+  // Pull missing pieces, preferring same-node sources (NVLink) over the
+  // network.
+  for (int pass = 0; pass < 2 && !missing.empty(); ++pass) {
+    for (auto& [src, valid_src] : pl.valid) {
+      if (src == mem) continue;
+      const bool same_node = src.node == mem.node;
+      if ((pass == 0) != same_node) continue;
+      IndexSubset part = missing.intersect(valid_src);
+      if (part.empty()) continue;
+      const double bytes = static_cast<double>(part.volume()) * elem;
+      const double t =
+          net_.transfer(src, mem, bytes, std::max(ready_time, pl.ready[src]));
+      arrival = std::max(arrival, t);
+      mems_.pool(mem).allocate(bytes, region.name());
+      pl.alloc_bytes[mem] += bytes;
+      missing = missing.subtract(part);
+      if (missing.empty()) break;
+    }
+  }
+  if (!missing.empty()) {
+    // No placed instance covers this part (e.g. pos entries of empty rows
+    // after a non-zero data distribution). The root node's original
+    // instance backs such data, as Legion sources from the logical region's
+    // initial copy.
+    const Mem root{0, MemKind::SYS, 0};
+    const double bytes = static_cast<double>(missing.volume()) * elem;
+    const double t = net_.transfer(root, mem, bytes, ready_time);
+    arrival = std::max(arrival, t);
+    if (!(mem == root)) {
+      mems_.pool(mem).allocate(bytes, region.name());
+      pl.alloc_bytes[mem] += bytes;
+    }
+  }
+  pl.valid[mem] =
+      pl.valid.count(mem) ? pl.valid[mem].unite(subset) : subset;
+  double& rdy = pl.ready[mem];
+  rdy = std::max(rdy, arrival);
+  return arrival;
+}
+
+void Runtime::execute(const IndexLaunch& launch) {
+  SPD_ASSERT(launch.domain >= 1, "empty launch domain");
+  SPD_ASSERT(launch.body, "launch without body");
+  struct PointResult {
+    Proc proc;
+    double completion = 0;
+  };
+  std::vector<PointResult> points(static_cast<size_t>(launch.domain));
+
+  for (int p = 0; p < launch.domain; ++p) {
+    const Proc proc = proc_for_point(p, launch.domain);
+    const Mem target = machine_.proc_mem(proc);
+    double data_ready = 0;
+    for (size_t r = 0; r < launch.reqs.size(); ++r) {
+      const RegionReq& req = launch.reqs[r];
+      const IndexSubset s = req.partition
+                                ? req.partition->subset(p)
+                                : req.region->space().as_subset();
+      switch (req.priv) {
+        case Privilege::RO:
+        case Privilege::RW:
+          data_ready = std::max(data_ready, fetch(*req.region, s, target, 0.0));
+          break;
+        case Privilege::WO:
+        case Privilege::REDUCE: {
+          // Output instance in the target memory; no data motion inbound.
+          // Allocation deferred to the write-back pass below (which knows
+          // what is already resident).
+          break;
+        }
+      }
+    }
+    TaskContext ctx(*this, launch, p, proc);
+    const WorkEstimate work = launch.body(ctx);
+    const double done = sim_.run_task(proc, work, launch.leaf_threads,
+                                      data_ready);
+    points[static_cast<size_t>(p)] = PointResult{proc, done};
+  }
+
+  // Write-back pass: writes re-home the region to the writers' memories.
+  for (size_t r = 0; r < launch.reqs.size(); ++r) {
+    const RegionReq& req = launch.reqs[r];
+    if (req.priv == Privilege::RO) continue;
+    RegionBase& region = *req.region;
+    region.bump_version();
+    drop_placement(region);
+    PlacementInfo& pl = placement(region);
+    const double elem = static_cast<double>(region.elem_size());
+    for (int p = 0; p < launch.domain; ++p) {
+      const IndexSubset s = req.partition
+                                ? req.partition->subset(p)
+                                : region.space().as_subset();
+      if (s.empty()) continue;
+      const Mem m = machine_.proc_mem(points[static_cast<size_t>(p)].proc);
+      IndexSubset fresh = pl.valid.count(m) ? s.subtract(pl.valid[m]) : s;
+      const double fresh_bytes = static_cast<double>(fresh.volume()) * elem;
+      if (fresh_bytes > 0) {
+        mems_.pool(m).allocate(fresh_bytes, region.name());
+        pl.alloc_bytes[m] += fresh_bytes;
+      }
+      pl.valid[m] = pl.valid.count(m) ? pl.valid[m].unite(s) : s;
+      double& rdy = pl.ready[m];
+      rdy = std::max(rdy, points[static_cast<size_t>(p)].completion);
+    }
+    if (req.priv == Privilege::REDUCE && req.partition != nullptr) {
+      // Partial results on overlapping subsets are combined at the
+      // lowest-colored owner: transfer + add for each pairwise overlap.
+      for (int q = 1; q < launch.domain; ++q) {
+        for (int p = 0; p < q; ++p) {
+          const IndexSubset ov =
+              req.partition->subset(p).intersect(req.partition->subset(q));
+          if (ov.empty()) continue;
+          const Proc owner = points[static_cast<size_t>(p)].proc;
+          const Proc src = points[static_cast<size_t>(q)].proc;
+          const double bytes = static_cast<double>(ov.volume()) * elem;
+          const double t = net_.transfer(
+              machine_.proc_mem(src), machine_.proc_mem(owner), bytes,
+              points[static_cast<size_t>(q)].completion);
+          WorkEstimate combine;
+          combine.flops = static_cast<double>(ov.volume());
+          combine.bytes = 2 * bytes;
+          sim_.run_task(owner, combine, launch.leaf_threads, t);
+        }
+      }
+    }
+  }
+}
+
+void Runtime::charge_transfer(const Mem& src, const Mem& dst, double bytes) {
+  const Proc src_cpu{src.node, ProcKind::CPU, 0};
+  const Proc dst_cpu{dst.node, ProcKind::CPU, 0};
+  const double t = net_.transfer(src, dst, bytes, sim_.clock(src_cpu));
+  sim_.set_clock(dst_cpu, std::max(sim_.clock(dst_cpu), t));
+}
+
+void Runtime::charge_broadcast(const Mem& src, const std::vector<int>& dst_nodes,
+                               double bytes) {
+  const Proc src_cpu{src.node, ProcKind::CPU, 0};
+  const double t = net_.broadcast(src, dst_nodes, bytes, sim_.clock(src_cpu));
+  for (int n : dst_nodes) {
+    const Proc p{n, ProcKind::CPU, 0};
+    sim_.set_clock(p, std::max(sim_.clock(p), t));
+  }
+}
+
+void Runtime::reset_timing() {
+  sim_.reset();
+  net_.reset_stats();
+  net_.reset_clocks();
+  for (auto& [id, pl] : placements_) {
+    for (auto& [mem, rdy] : pl.ready) rdy = 0.0;
+  }
+}
+
+SimReport Runtime::report() const {
+  SimReport rep;
+  rep.sim_time = sim_.now_max();
+  rep.inter_node_bytes = net_.stats().inter_node_bytes;
+  rep.intra_node_bytes = net_.stats().intra_node_bytes;
+  rep.messages = net_.stats().messages;
+  rep.tasks = sim_.tasks_run();
+  rep.imbalance = sim_.imbalance();
+  rep.peak_sysmem = mems_.peak(MemKind::SYS);
+  rep.peak_fbmem = mems_.peak(MemKind::FB);
+  return rep;
+}
+
+}  // namespace spdistal::rt

@@ -1,0 +1,221 @@
+#include "sched/schedule.h"
+
+#include "common/str_util.h"
+
+namespace spdistal::sched {
+
+const char* parallel_unit_name(ParallelUnit u) {
+  switch (u) {
+    case ParallelUnit::CPUThread: return "CPUThread";
+    case ParallelUnit::GPUThread: return "GPUThread";
+    case ParallelUnit::GPUWarp: return "GPUWarp";
+  }
+  return "?";
+}
+
+Schedule& Schedule::divide(IndexVar i, IndexVar outer, IndexVar inner,
+                           int pieces) {
+  SPD_CHECK(pieces >= 1, ScheduleError, "divide: pieces must be >= 1");
+  commands_.push_back(Command{CommandKind::Divide, {i, outer, inner}, {},
+                              pieces, ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::split(IndexVar i, IndexVar outer, IndexVar inner,
+                          int factor) {
+  SPD_CHECK(factor >= 1, ScheduleError, "split: factor must be >= 1");
+  commands_.push_back(Command{CommandKind::Split, {i, outer, inner}, {},
+                              factor, ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::divide_pos(IndexVar i, IndexVar outer, IndexVar inner,
+                               int pieces, const std::string& tensor) {
+  SPD_CHECK(pieces >= 1, ScheduleError, "divide_pos: pieces must be >= 1");
+  commands_.push_back(Command{CommandKind::DividePos, {i, outer, inner},
+                              {tensor}, pieces, ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::fuse(IndexVar i, IndexVar j, IndexVar fused) {
+  commands_.push_back(Command{CommandKind::Fuse, {i, j, fused}, {}, 0,
+                              ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::reorder(std::vector<IndexVar> order) {
+  commands_.push_back(Command{CommandKind::Reorder, std::move(order), {}, 0,
+                              ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::distribute(IndexVar v) {
+  commands_.push_back(
+      Command{CommandKind::Distribute, {v}, {}, 0, ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::communicate(std::vector<std::string> tensors, IndexVar v) {
+  commands_.push_back(Command{CommandKind::Communicate, {v},
+                              std::move(tensors), 0,
+                              ParallelUnit::CPUThread});
+  return *this;
+}
+
+Schedule& Schedule::parallelize(IndexVar v, ParallelUnit unit) {
+  commands_.push_back(
+      Command{CommandKind::Parallelize, {v}, {}, 0, unit});
+  return *this;
+}
+
+Schedule& Schedule::precompute(IndexVar v, IndexVar workspace_var) {
+  commands_.push_back(Command{CommandKind::Precompute, {v, workspace_var}, {},
+                              0, ParallelUnit::CPUThread});
+  return *this;
+}
+
+const Command* Schedule::producer_of(const IndexVar& v) const {
+  for (const auto& c : commands_) {
+    if ((c.kind == CommandKind::Divide || c.kind == CommandKind::Split ||
+         c.kind == CommandKind::DividePos) &&
+        c.vars.size() == 3 && c.vars[1] == v) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<IndexVar> Schedule::distributed_var() const {
+  for (const auto& c : commands_) {
+    if (c.kind == CommandKind::Distribute) return c.vars[0];
+  }
+  return std::nullopt;
+}
+
+IndexVar Schedule::distributed_source() const {
+  auto dv = distributed_var();
+  SPD_CHECK(dv.has_value(), ScheduleError, "schedule has no distribute()");
+  const Command* p = producer_of(*dv);
+  SPD_CHECK(p != nullptr, ScheduleError,
+            "distributed variable " << dv->name()
+                                    << " was not produced by divide()");
+  return p->vars[0];
+}
+
+int Schedule::distributed_pieces() const {
+  auto dv = distributed_var();
+  SPD_CHECK(dv.has_value(), ScheduleError, "schedule has no distribute()");
+  const Command* p = producer_of(*dv);
+  SPD_CHECK(p != nullptr, ScheduleError,
+            "distributed variable " << dv->name()
+                                    << " was not produced by divide()");
+  return p->pieces;
+}
+
+bool Schedule::distributed_is_position_space() const {
+  auto dv = distributed_var();
+  if (!dv) return false;
+  const Command* p = producer_of(*dv);
+  return p != nullptr && p->kind == CommandKind::DividePos;
+}
+
+std::string Schedule::position_split_tensor() const {
+  auto dv = distributed_var();
+  SPD_CHECK(dv.has_value(), ScheduleError, "schedule has no distribute()");
+  const Command* p = producer_of(*dv);
+  SPD_CHECK(p != nullptr && p->kind == CommandKind::DividePos, ScheduleError,
+            "distributed variable is not position-space split");
+  return p->tensors[0];
+}
+
+std::vector<IndexVar> Schedule::fused_sources(const IndexVar& v) const {
+  for (const auto& c : commands_) {
+    if (c.kind == CommandKind::Fuse && c.vars[2] == v) {
+      std::vector<IndexVar> out;
+      for (int k = 0; k < 2; ++k) {
+        auto inner = fused_sources(c.vars[static_cast<size_t>(k)]);
+        if (inner.empty()) {
+          out.push_back(c.vars[static_cast<size_t>(k)]);
+        } else {
+          out.insert(out.end(), inner.begin(), inner.end());
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::optional<ParallelUnit> Schedule::leaf_parallel_unit() const {
+  for (const auto& c : commands_) {
+    if (c.kind == CommandKind::Parallelize) return c.unit;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Schedule::communicated_tensors() const {
+  for (const auto& c : commands_) {
+    if (c.kind == CommandKind::Communicate) return c.tensors;
+  }
+  return {};
+}
+
+std::string Schedule::str() const {
+  std::vector<std::string> lines;
+  for (const auto& c : commands_) {
+    switch (c.kind) {
+      case CommandKind::Divide:
+        lines.push_back(strprintf("divide(%s, %s, %s, %d)",
+                                  c.vars[0].name().c_str(),
+                                  c.vars[1].name().c_str(),
+                                  c.vars[2].name().c_str(), c.pieces));
+        break;
+      case CommandKind::Split:
+        lines.push_back(strprintf("split(%s, %s, %s, %d)",
+                                  c.vars[0].name().c_str(),
+                                  c.vars[1].name().c_str(),
+                                  c.vars[2].name().c_str(), c.pieces));
+        break;
+      case CommandKind::DividePos:
+        lines.push_back(strprintf("divide_pos(%s, %s, %s, %d, %s)",
+                                  c.vars[0].name().c_str(),
+                                  c.vars[1].name().c_str(),
+                                  c.vars[2].name().c_str(), c.pieces,
+                                  c.tensors[0].c_str()));
+        break;
+      case CommandKind::Fuse:
+        lines.push_back(strprintf("fuse(%s, %s, %s)",
+                                  c.vars[0].name().c_str(),
+                                  c.vars[1].name().c_str(),
+                                  c.vars[2].name().c_str()));
+        break;
+      case CommandKind::Reorder: {
+        std::vector<std::string> names;
+        for (const auto& v : c.vars) names.push_back(v.name());
+        lines.push_back("reorder(" + join(names, ", ") + ")");
+        break;
+      }
+      case CommandKind::Distribute:
+        lines.push_back(strprintf("distribute(%s)", c.vars[0].name().c_str()));
+        break;
+      case CommandKind::Communicate:
+        lines.push_back(strprintf("communicate({%s}, %s)",
+                                  join(c.tensors, ", ").c_str(),
+                                  c.vars[0].name().c_str()));
+        break;
+      case CommandKind::Parallelize:
+        lines.push_back(strprintf("parallelize(%s, %s)",
+                                  c.vars[0].name().c_str(),
+                                  parallel_unit_name(c.unit)));
+        break;
+      case CommandKind::Precompute:
+        lines.push_back(strprintf("precompute(%s, %s)",
+                                  c.vars[0].name().c_str(),
+                                  c.vars[1].name().c_str()));
+        break;
+    }
+  }
+  return join(lines, "\n  .");
+}
+
+}  // namespace spdistal::sched

@@ -1,0 +1,95 @@
+// The scheduling language (paper §II-C): loop transformations recorded as an
+// ordered command list, combining TACO's sparse iteration-space
+// transformations (split/divide/fuse + their position-space variants) with
+// DISTAL's distributed commands (distribute/communicate).
+//
+// The compiler consumes a Schedule to decide (a) which index variable is
+// distributed and over how many pieces, (b) whether the distributed loop
+// iterates coordinates (universe partitions) or non-zero positions (non-zero
+// partitions, from the pos-split variant), and (c) how leaves are
+// parallelized (the leaf cost model's thread count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tin/tin.h"
+
+namespace spdistal::sched {
+
+using tin::IndexVar;
+
+enum class ParallelUnit { CPUThread, GPUThread, GPUWarp };
+
+const char* parallel_unit_name(ParallelUnit u);
+
+enum class CommandKind {
+  Divide,       // divide(i, io, ii, pieces): i -> pieces equal coordinate blocks
+  Split,        // split(i, io, ii, factor): blocks of `factor` coordinates
+  DividePos,    // position-space divide: equal blocks of *non-zeros* of a tensor
+  Fuse,         // fuse(i, j, f): collapse two loops (coordinate fusion)
+  Reorder,      // reorder(vars): new loop order
+  Distribute,   // distribute(io): run iterations on different processors
+  Communicate,  // communicate({tensors}, io): granularity of data movement
+  Parallelize,  // parallelize(ii, unit): intra-leaf parallelism
+  Precompute,   // precompute(expr, i, iw): workspace hoisting (metadata)
+};
+
+struct Command {
+  CommandKind kind;
+  std::vector<IndexVar> vars;     // command-specific variable operands
+  std::vector<std::string> tensors;  // Communicate / DividePos target
+  int pieces = 0;                 // Divide / DividePos / Split factor
+  ParallelUnit unit = ParallelUnit::CPUThread;
+};
+
+class Schedule {
+ public:
+  Schedule& divide(IndexVar i, IndexVar outer, IndexVar inner, int pieces);
+  Schedule& split(IndexVar i, IndexVar outer, IndexVar inner, int factor);
+  // The non-zero variant of divide (Senanayake et al.): strip-mines the
+  // positions of `tensor`'s non-zeros along fused variable `i`.
+  Schedule& divide_pos(IndexVar i, IndexVar outer, IndexVar inner, int pieces,
+                       const std::string& tensor);
+  Schedule& fuse(IndexVar i, IndexVar j, IndexVar fused);
+  Schedule& reorder(std::vector<IndexVar> order);
+  Schedule& distribute(IndexVar v);
+  Schedule& communicate(std::vector<std::string> tensors, IndexVar v);
+  Schedule& parallelize(IndexVar v, ParallelUnit unit);
+  Schedule& precompute(IndexVar v, IndexVar workspace_var);
+
+  const std::vector<Command>& commands() const { return commands_; }
+
+  // --- queries used by lowering ---------------------------------------------
+
+  // The variable named by distribute(), if any.
+  std::optional<IndexVar> distributed_var() const;
+  // The original variable whose divide/divide_pos produced the distributed
+  // variable (e.g. `i` for divide(i, io, ii, p) + distribute(io)).
+  IndexVar distributed_source() const;
+  // Pieces of the divide/divide_pos that produced the distributed variable.
+  int distributed_pieces() const;
+  // True if the distributed variable came from divide_pos (position space).
+  bool distributed_is_position_space() const;
+  // Tensor targeted by the position-space divide.
+  std::string position_split_tensor() const;
+  // Variables fused into `v` (transitively flattened), empty if none.
+  std::vector<IndexVar> fused_sources(const IndexVar& v) const;
+  // Leaf parallelization unit & implied hardware thread count.
+  std::optional<ParallelUnit> leaf_parallel_unit() const;
+  // Tensors requested at the distributed loop by communicate();
+  // empty if no communicate command was given.
+  std::vector<std::string> communicated_tensors() const;
+
+  std::string str() const;
+
+ private:
+  // Finds the divide-ish command producing var `v` as its outer result.
+  const Command* producer_of(const IndexVar& v) const;
+
+  std::vector<Command> commands_;
+};
+
+}  // namespace spdistal::sched

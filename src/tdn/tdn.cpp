@@ -1,0 +1,331 @@
+#include "tdn/tdn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace spdistal::tdn {
+
+using fmt::LevelFuncs;
+using fmt::LevelPartitions;
+using fmt::ModeFormat;
+using fmt::TensorPartition;
+using fmt::TensorStorage;
+using rt::Coord;
+using rt::Mem;
+using rt::Rect1;
+
+Distribution::Distribution(std::vector<DistVar> tensor_vars,
+                           std::vector<DistVar> machine_vars)
+    : tensor_vars_(std::move(tensor_vars)),
+      machine_vars_(std::move(machine_vars)) {}
+
+Distribution& Distribution::fuse(std::vector<DistVar> from, DistVar to) {
+  SPD_CHECK(from.size() >= 2, NotationError, "fuse needs >= 2 variables");
+  fusions_.push_back(Fusion{std::move(from), std::move(to)});
+  return *this;
+}
+
+Distribution& Distribution::nonzero(const DistVar& v) {
+  nonzero_.insert(v.id());
+  return *this;
+}
+
+std::string Distribution::str(const std::string& tensor_name) const {
+  std::vector<std::string> tv;
+  for (const auto& v : tensor_vars_) tv.push_back(v.name());
+  std::string s = tensor_name + "(" + join(tv, ", ") + ")";
+  for (const auto& f : fusions_) {
+    std::vector<std::string> fv;
+    for (const auto& v : f.from) fv.push_back(v.name());
+    s += " fuse(" + join(fv, ", ") + " -> " + f.to.name() + ")";
+  }
+  std::vector<std::string> mv;
+  for (const auto& v : machine_vars_) {
+    mv.push_back((is_nonzero(v) ? "~" : "") + v.name());
+  }
+  return s + " -> M(" + join(mv, ", ") + ")";
+}
+
+Distribution parse_tdn(const std::string& stmt) {
+  // Grammar: Name '(' vars ')' [ 'fuse' '(' vars '->' var ')' ]* '->'
+  //          Name '(' ['~']var [',' ...] ')'
+  const size_t arrow = stmt.rfind("->");
+  SPD_CHECK(arrow != std::string::npos, NotationError,
+            "TDN statement needs '->': " << stmt);
+  std::string lhs = trim(stmt.substr(0, arrow));
+  std::string rhs = trim(stmt.substr(arrow + 2));
+
+  auto parse_parens = [](const std::string& s, size_t from,
+                         size_t* close) -> std::vector<std::string> {
+    const size_t open = s.find('(', from);
+    SPD_CHECK(open != std::string::npos, NotationError, "expected '(' in " << s);
+    const size_t end = s.find(')', open);
+    SPD_CHECK(end != std::string::npos, NotationError, "expected ')' in " << s);
+    *close = end;
+    return split(s.substr(open + 1, end - open - 1), ',');
+  };
+
+  // Named variables are shared by name within one statement.
+  std::map<std::string, DistVar> vars;
+  auto var_of = [&](const std::string& raw) -> DistVar {
+    std::string name = trim(raw);
+    SPD_CHECK(!name.empty(), NotationError, "empty variable in " << stmt);
+    auto it = vars.find(name);
+    if (it != vars.end()) return it->second;
+    DistVar v(name);
+    vars.emplace(name, v);
+    return v;
+  };
+
+  size_t close = 0;
+  std::vector<std::string> tvars_raw = parse_parens(lhs, 0, &close);
+  std::vector<DistVar> tvars;
+  for (const auto& r : tvars_raw) tvars.push_back(var_of(r));
+
+  // Optional fuse clauses.
+  std::vector<Distribution::Fusion> fusions;
+  size_t at = close + 1;
+  while (true) {
+    const size_t f = lhs.find("fuse", at);
+    if (f == std::string::npos) break;
+    size_t fc = 0;
+    std::vector<std::string> inner = parse_parens(lhs, f, &fc);
+    // inner looks like {"x", "y -> f"}; the arrow lives in the last piece.
+    SPD_CHECK(!inner.empty(), NotationError, "empty fuse() in " << stmt);
+    std::string last = inner.back();
+    const size_t a2 = last.find("->");
+    SPD_CHECK(a2 != std::string::npos, NotationError,
+              "fuse needs '->' in " << stmt);
+    std::string last_src = trim(last.substr(0, a2));
+    std::string target = trim(last.substr(a2 + 2));
+    std::vector<DistVar> from;
+    for (size_t i = 0; i + 1 < inner.size(); ++i) from.push_back(var_of(inner[i]));
+    from.push_back(var_of(last_src));
+    fusions.push_back(Distribution::Fusion{from, var_of(target)});
+    at = fc + 1;
+  }
+
+  size_t mclose = 0;
+  std::vector<std::string> mvars_raw = parse_parens(rhs, 0, &mclose);
+  std::vector<DistVar> mvars;
+  std::vector<DistVar> nz;
+  for (auto r : mvars_raw) {
+    r = trim(r);
+    bool tilde = !r.empty() && r[0] == '~';
+    if (tilde) r = trim(r.substr(1));
+    DistVar v = var_of(r);
+    if (tilde) nz.push_back(v);
+    mvars.push_back(v);
+  }
+
+  Distribution d(tvars, mvars);
+  for (auto& f : fusions) d.fuse(f.from, f.to);
+  for (auto& v : nz) d.nonzero(v);
+  return d;
+}
+
+std::vector<Rect1> equal_bounds(Coord n, int pieces) {
+  std::vector<Rect1> out;
+  out.reserve(static_cast<size_t>(pieces));
+  const Coord base = n / pieces;
+  const Coord rem = n % pieces;
+  Coord at = 0;
+  for (int c = 0; c < pieces; ++c) {
+    const Coord len = base + (c >= pieces - rem ? 1 : 0);
+    out.push_back(Rect1{at, at + len - 1});
+    at += len;
+  }
+  return out;
+}
+
+namespace {
+
+// Mapping color -> the memory of the machine's processor with that flat id.
+std::vector<Mem> color_mems(const rt::Machine& machine, int colors) {
+  std::vector<Mem> mems;
+  mems.reserve(static_cast<size_t>(colors));
+  for (int c = 0; c < colors; ++c) {
+    mems.push_back(machine.proc_mem(machine.proc(c % machine.num_procs())));
+  }
+  return mems;
+}
+
+// All-dense tensors partition directly through rectangles of the N-D vals
+// space rather than through the level-function machinery.
+Materialized materialize_dense(const TensorStorage& storage, int dim,
+                               bool replicated, const rt::Machine& machine) {
+  Materialized m;
+  if (replicated) {
+    m.replicated = true;
+    return m;
+  }
+  const int pieces = machine.num_procs();
+  const int level = storage.format().level_of_dim(dim);
+  rt::Partition oned = rt::partition_equal(
+      rt::IndexSpace(storage.dims()[static_cast<size_t>(dim)]), pieces);
+  m.partition.vals_part =
+      rt::lift_to_dim(oned, storage.vals()->space(), level);
+  m.mems = color_mems(machine, pieces);
+  return m;
+}
+
+}  // namespace
+
+Materialized materialize(comp::PlanTrace& trace, const TensorStorage& storage,
+                         const Distribution& dist,
+                         const rt::Machine& machine) {
+  SPD_CHECK(static_cast<int>(dist.tensor_vars().size()) == storage.order(),
+            NotationError,
+            "TDN statement names " << dist.tensor_vars().size()
+                                   << " dims but tensor " << storage.name()
+                                   << " has " << storage.order());
+  SPD_CHECK(machine.grid().ndims() == 1 ||
+                static_cast<int>(dist.machine_vars().size()) ==
+                    machine.grid().ndims(),
+            NotationError, "machine vars must match grid rank");
+
+  // Effective tensor variables after fusion.
+  struct Slot {
+    DistVar var;
+    std::vector<int> dims;  // logical dims covered (1 normally, >1 if fused)
+  };
+  std::vector<Slot> slots;
+  for (int d = 0; d < storage.order(); ++d) {
+    slots.push_back(
+        Slot{dist.tensor_vars()[static_cast<size_t>(d)], {d}});
+  }
+  for (const auto& f : dist.fusions()) {
+    // Replace the run of slots matching f.from with one fused slot.
+    size_t start = 0;
+    bool found = false;
+    for (size_t s = 0; s + f.from.size() <= slots.size() && !found; ++s) {
+      bool match = true;
+      for (size_t k = 0; k < f.from.size(); ++k) {
+        if (!(slots[s + k].var == f.from[k])) match = false;
+      }
+      if (match) {
+        start = s;
+        found = true;
+      }
+    }
+    SPD_CHECK(found, NotationError,
+              "fused variables are not consecutive tensor dimensions in "
+                  << dist.str(storage.name()));
+    Slot fused{f.to, {}};
+    for (size_t k = 0; k < f.from.size(); ++k) {
+      for (int d : slots[start + k].dims) fused.dims.push_back(d);
+    }
+    slots.erase(slots.begin() + static_cast<long>(start),
+                slots.begin() + static_cast<long>(start + f.from.size()));
+    slots.insert(slots.begin() + static_cast<long>(start), fused);
+  }
+
+  // Find the (at most one, for sparse tensors) shared machine variable.
+  int match_machine_dim = -1;
+  const Slot* match_slot = nullptr;
+  for (size_t k = 0; k < dist.machine_vars().size(); ++k) {
+    for (const auto& s : slots) {
+      if (s.var == dist.machine_vars()[k]) {
+        SPD_CHECK(match_slot == nullptr, NotationError,
+                  "multi-dimensional sparse distributions are not supported: "
+                      << dist.str(storage.name()));
+        match_machine_dim = static_cast<int>(k);
+        match_slot = &s;
+      }
+    }
+  }
+  (void)match_machine_dim;
+
+  if (storage.format().all_dense()) {
+    if (match_slot == nullptr) {
+      return materialize_dense(storage, 0, /*replicated=*/true, machine);
+    }
+    SPD_CHECK(match_slot->dims.size() == 1, NotationError,
+              "fused distributions of dense tensors are not supported");
+    SPD_CHECK(!dist.is_nonzero(match_slot->var), NotationError,
+              "non-zero partitions of dense tensors are meaningless: "
+                  << dist.str(storage.name()));
+    return materialize_dense(storage, match_slot->dims[0], false, machine);
+  }
+
+  Materialized m;
+  if (match_slot == nullptr) {
+    m.replicated = true;
+    return m;
+  }
+
+  const int pieces = machine.num_procs();
+  const bool nz = dist.is_nonzero(match_slot->var);
+  int level;
+  if (match_slot->dims.size() > 1) {
+    // Fused: the fused dims must occupy the leading storage levels in order;
+    // the initial partition is a non-zero partition of the last fused level.
+    SPD_CHECK(nz, NotationError,
+              "fused distribution variables must be non-zero (~) partitioned: "
+                  << dist.str(storage.name()));
+    for (size_t k = 0; k < match_slot->dims.size(); ++k) {
+      SPD_CHECK(storage.format().dim_of_level(static_cast<int>(k)) ==
+                    match_slot->dims[k],
+                NotationError,
+                "fused dimensions must be the leading storage dimensions of "
+                    << storage.name());
+    }
+    level = static_cast<int>(match_slot->dims.size()) - 1;
+  } else {
+    level = storage.format().level_of_dim(match_slot->dims[0]);
+  }
+
+  const fmt::LevelStorage& ls = storage.level(level);
+  const LevelFuncs& funcs = LevelFuncs::get(ls.kind);
+  LevelPartitions init;
+  if (nz) {
+    init = funcs.nonzero_partition(trace, storage.name(), level, ls,
+                                   equal_bounds(ls.positions, pieces));
+  } else {
+    init = funcs.universe_partition(trace, storage.name(), level, ls,
+                                    equal_bounds(ls.extent, pieces));
+  }
+  m.partition = fmt::partition_coordinate_tree(trace, storage, level, init);
+  m.mems = color_mems(machine, pieces);
+  return m;
+}
+
+void distribute_tensor(comp::PlanTrace& trace, rt::Runtime& runtime,
+                       const TensorStorage& storage, const Distribution& dist,
+                       const rt::Machine& machine) {
+  Materialized m = materialize(trace, storage, dist, machine);
+  trace.append(comp::PlanOpKind::SetPlacement,
+               strprintf("placement: %s", dist.str(storage.name()).c_str()));
+  if (m.replicated) {
+    runtime.replicate_sys(*storage.vals());
+    for (int l = 0; l < storage.num_levels(); ++l) {
+      const auto& level = storage.level(l);
+      if (level.kind == ModeFormat::Compressed) {
+        runtime.replicate_sys(*level.pos);
+        runtime.replicate_sys(*level.crd);
+      }
+    }
+    return;
+  }
+  runtime.set_placement(*storage.vals(), m.partition.vals_part, m.mems);
+  for (int l = 0; l < storage.num_levels(); ++l) {
+    const auto& level = storage.level(l);
+    if (level.kind != ModeFormat::Compressed) continue;
+    runtime.set_placement(*level.crd,
+                          m.partition.level_parts[static_cast<size_t>(l)],
+                          m.mems);
+    if (l == 0) {
+      // pos of the top level is indexed by the single root position.
+      runtime.replicate_sys(*level.pos);
+    } else {
+      rt::Partition pos_part = rt::copy_partition(
+          m.partition.level_parts[static_cast<size_t>(l - 1)],
+          level.pos->space());
+      runtime.set_placement(*level.pos, pos_part, m.mems);
+    }
+  }
+}
+
+}  // namespace spdistal::tdn

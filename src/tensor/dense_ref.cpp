@@ -1,0 +1,128 @@
+#include "tensor/dense_ref.h"
+
+#include <cmath>
+
+namespace spdistal::ref {
+
+double& DenseTensor::at(const std::array<Coord, rt::kMaxDim>& c) {
+  int64_t idx = 0;
+  for (size_t d = 0; d < dims.size(); ++d) {
+    idx = idx * dims[d] + c[d];
+  }
+  return vals[static_cast<size_t>(idx)];
+}
+
+double DenseTensor::at(const std::array<Coord, rt::kMaxDim>& c) const {
+  return const_cast<DenseTensor*>(this)->at(c);
+}
+
+DenseTensor densify(const fmt::TensorStorage& st) {
+  DenseTensor out;
+  out.dims = st.dims();
+  int64_t total = 1;
+  for (Coord d : out.dims) total *= d;
+  out.vals.assign(static_cast<size_t>(total), 0.0);
+  st.for_each([&](const std::array<Coord, rt::kMaxDim>& c, double v) {
+    out.at(c) += v;
+  });
+  return out;
+}
+
+namespace {
+
+// Evaluates the expression at a full variable assignment.
+double eval_expr(const tin::Expr& e,
+                 const std::map<uint32_t, Coord>& env,
+                 const std::map<std::string, DenseTensor>& tensors) {
+  switch (e->kind) {
+    case tin::ExprKind::Literal:
+      return e->value;
+    case tin::ExprKind::Access: {
+      const DenseTensor& t = tensors.at(e->tensor);
+      std::array<Coord, rt::kMaxDim> c{};
+      for (size_t d = 0; d < e->vars.size(); ++d) {
+        c[d] = env.at(e->vars[d].id());
+      }
+      return t.at(c);
+    }
+    case tin::ExprKind::Mul: {
+      double v = 1;
+      for (const auto& op : e->operands) v *= eval_expr(op, env, tensors);
+      return v;
+    }
+    case tin::ExprKind::Add: {
+      double v = 0;
+      for (const auto& op : e->operands) v += eval_expr(op, env, tensors);
+      return v;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+DenseTensor eval(const Statement& stmt) {
+  // Densify inputs; infer variable domains.
+  std::map<std::string, DenseTensor> tensors;
+  std::map<uint32_t, Coord> domain;
+  auto note_access = [&](const tin::Access& a) {
+    const Tensor& t = stmt.tensor(a.tensor);
+    for (size_t d = 0; d < a.vars.size(); ++d) {
+      const Coord n = t.dims()[d];
+      auto [it, inserted] = domain.emplace(a.vars[d].id(), n);
+      SPD_CHECK(inserted || it->second == n, NotationError,
+                "index variable " << a.vars[d].name()
+                                  << " used with conflicting extents");
+    }
+  };
+  note_access(stmt.assignment.lhs);
+  for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+    note_access(a);
+    if (!tensors.count(a.tensor)) {
+      tensors.emplace(a.tensor, densify(stmt.tensor(a.tensor).storage()));
+    }
+  }
+
+  const Tensor& out_tensor = stmt.tensor(stmt.assignment.lhs.tensor);
+  DenseTensor out;
+  out.dims = out_tensor.dims();
+  int64_t total = 1;
+  for (Coord d : out.dims) total *= d;
+  out.vals.assign(static_cast<size_t>(total), 0.0);
+
+  // Iterate the full cartesian space of all variables.
+  const std::vector<tin::IndexVar> vars = tin::statement_vars(stmt.assignment);
+  std::map<uint32_t, Coord> env;
+  std::function<void(size_t)> rec = [&](size_t k) {
+    if (k == vars.size()) {
+      std::array<Coord, rt::kMaxDim> c{};
+      for (size_t d = 0; d < stmt.assignment.lhs.vars.size(); ++d) {
+        c[d] = env.at(stmt.assignment.lhs.vars[d].id());
+      }
+      out.at(c) += eval_expr(stmt.assignment.rhs, env, tensors);
+      return;
+    }
+    const Coord n = domain.at(vars[k].id());
+    for (Coord v = 0; v < n; ++v) {
+      env[vars[k].id()] = v;
+      rec(k + 1);
+    }
+  };
+  rec(0);
+  return out;
+}
+
+double max_abs_diff(const DenseTensor& a, const DenseTensor& b) {
+  SPD_ASSERT(a.dims == b.dims, "max_abs_diff: dim mismatch");
+  double m = 0;
+  for (size_t i = 0; i < a.vals.size(); ++i) {
+    m = std::max(m, std::abs(a.vals[i] - b.vals[i]));
+  }
+  return m;
+}
+
+double max_abs_diff(const Tensor& out, const DenseTensor& ref) {
+  return max_abs_diff(densify(out.storage()), ref);
+}
+
+}  // namespace spdistal::ref

@@ -1,0 +1,36 @@
+// Dense reference evaluation of tensor index notation: the oracle that every
+// kernel, schedule, and distribution is tested against. Evaluates a
+// statement by brute force over the full coordinate space — exponentially
+// slow, intentionally simple.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace spdistal::ref {
+
+// Dense row-major array with logical dims.
+struct DenseTensor {
+  std::vector<Coord> dims;
+  std::vector<double> vals;
+
+  double& at(const std::array<Coord, rt::kMaxDim>& c);
+  double at(const std::array<Coord, rt::kMaxDim>& c) const;
+};
+
+// Densifies packed storage.
+DenseTensor densify(const fmt::TensorStorage& st);
+
+// Evaluates `stmt` by iterating all points of every index variable's domain.
+// Variable domains are inferred from the dims of the tensors they index.
+DenseTensor eval(const Statement& stmt);
+
+// Max |a-b| over all coordinates; dims must match.
+double max_abs_diff(const DenseTensor& a, const DenseTensor& b);
+
+// Compares a computed output tensor with the reference result.
+double max_abs_diff(const Tensor& out, const DenseTensor& ref);
+
+}  // namespace spdistal::ref

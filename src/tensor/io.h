@@ -1,0 +1,22 @@
+// Tensor I/O: MatrixMarket (.mtx) for matrices (the SuiteSparse interchange
+// format) and FROSTT (.tns) for higher-order tensors.
+#pragma once
+
+#include <string>
+
+#include "format/storage.h"
+
+namespace spdistal::io {
+
+// Reads a MatrixMarket coordinate file (general/symmetric, real/pattern/
+// integer). Pattern entries get value 1.0; symmetric entries are mirrored.
+fmt::Coo read_matrix_market(const std::string& path);
+void write_matrix_market(const std::string& path, const fmt::Coo& coo);
+
+// FROSTT .tns: one line per non-zero, 1-based coordinates then the value.
+// The first non-comment line may declare dimensions; otherwise they are
+// inferred from the data.
+fmt::Coo read_tns(const std::string& path);
+void write_tns(const std::string& path, const fmt::Coo& coo);
+
+}  // namespace spdistal::io

@@ -1,0 +1,98 @@
+// Tensor index notation (paper §II-A).
+//
+// Statements are assignments into a left-hand-side access from an expression
+// built of accesses, multiplication, and addition. Index variables appearing
+// only on the right-hand side are sum-reductions. The AST is
+// tensor-name-based; the compiler resolves names to concrete tensors through
+// a bindings map supplied with each statement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spdistal::tin {
+
+// A named index variable. Identity is by id; the name is for printing.
+class IndexVar {
+ public:
+  IndexVar();  // fresh variable with a generated name
+  explicit IndexVar(std::string name);
+
+  const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
+  bool operator==(const IndexVar& o) const { return id_ == o.id_; }
+  bool operator!=(const IndexVar& o) const { return id_ != o.id_; }
+  bool operator<(const IndexVar& o) const { return id_ < o.id_; }
+
+ private:
+  std::string name_;
+  uint32_t id_;
+};
+
+enum class ExprKind { Access, Mul, Add, Literal };
+
+struct ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  ExprKind kind;
+  // Access:
+  std::string tensor;
+  std::vector<IndexVar> vars;
+  // Mul / Add:
+  std::vector<Expr> operands;
+  // Literal:
+  double value = 0;
+};
+
+Expr make_access(std::string tensor, std::vector<IndexVar> vars);
+Expr make_literal(double v);
+Expr make_mul(std::vector<Expr> operands);
+Expr make_add(std::vector<Expr> operands);
+
+// Convenience operators (flatten nested Mul/Add).
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator+(const Expr& a, const Expr& b);
+
+struct Access {
+  std::string tensor;
+  std::vector<IndexVar> vars;
+};
+
+// lhs(vars...) = rhs   (or += when accumulate).
+struct Assignment {
+  Access lhs;
+  Expr rhs;
+  bool accumulate = false;
+};
+
+// --- Analysis ----------------------------------------------------------------
+
+// All accesses in the expression, left to right.
+std::vector<Access> expr_accesses(const Expr& e);
+
+// Index variables in first-appearance order (lhs first, then rhs).
+std::vector<IndexVar> statement_vars(const Assignment& s);
+
+// Variables appearing only on the rhs (sum reductions).
+std::vector<IndexVar> reduction_vars(const Assignment& s);
+
+// True if the rhs is a product of accesses/literals (no Add anywhere).
+bool is_pure_product(const Expr& e);
+
+// Rewrites the rhs into a sum of product terms (distributes nothing — it
+// only flattens an outer Add; inner Adds under Mul are rejected).
+// A pure product yields one term.
+std::vector<Expr> sum_of_products(const Expr& e);
+
+// True if `v` occurs in the expression.
+bool expr_uses_var(const Expr& e, const IndexVar& v);
+
+std::string expr_str(const Expr& e);
+std::string assignment_str(const Assignment& s);
+
+}  // namespace spdistal::tin

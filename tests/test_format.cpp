@@ -1,0 +1,188 @@
+// Tests for the format language, COO handling, and packing (Figure 3 / §III-B).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "format/storage.h"
+
+namespace spdistal::fmt {
+namespace {
+
+using rt::Coord;
+using rt::PosRange;
+
+// The paper's 4x4 example matrix (Figure 3 / Figure 7).
+Coo paper_coo() {
+  Coo coo;
+  coo.dims = {4, 4};
+  coo.push({0, 0}, 1.0);  // a
+  coo.push({0, 1}, 2.0);  // b
+  coo.push({0, 3}, 3.0);  // c
+  coo.push({1, 1}, 4.0);  // d
+  coo.push({1, 3}, 5.0);  // e
+  coo.push({2, 0}, 6.0);  // f
+  coo.push({3, 0}, 7.0);  // g
+  coo.push({3, 3}, 8.0);  // h
+  return coo;
+}
+
+TEST(Format, CommonFormats) {
+  EXPECT_EQ(csr().str(), "{Dense(d1), Compressed(d2)}");
+  EXPECT_EQ(csc().str(), "{Dense(d2), Compressed(d1)}");
+  EXPECT_EQ(csr().level_of_dim(1), 1);
+  EXPECT_EQ(csc().level_of_dim(1), 0);
+  EXPECT_TRUE(dense_matrix().all_dense());
+  EXPECT_FALSE(csr().all_dense());
+}
+
+TEST(Format, RejectsBadOrdering) {
+  EXPECT_THROW(Format({ModeFormat::Dense, ModeFormat::Dense}, {0, 0}),
+               NotationError);
+  EXPECT_THROW(Format({ModeFormat::Dense}, {0, 1}), NotationError);
+}
+
+TEST(Coo, SortAndCombineSumsDuplicates) {
+  Coo coo;
+  coo.dims = {3, 3};
+  coo.push({2, 2}, 1.0);
+  coo.push({0, 0}, 2.0);
+  coo.push({2, 2}, 3.0);
+  coo.sort_and_combine({0, 1});
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.vals[0], 2.0);
+  EXPECT_EQ(coo.vals[1], 4.0);
+}
+
+// Figure 3 center: CSR encoding of the paper matrix.
+TEST(Pack, CsrMatchesFigure3) {
+  TensorStorage st = pack("B", csr(), {4, 4}, paper_coo());
+  EXPECT_EQ(st.nnz(), 8);
+  const LevelStorage& l2 = st.level(1);
+  ASSERT_EQ(l2.kind, ModeFormat::Compressed);
+  ASSERT_EQ(l2.parent_positions, 4);
+  // pos = {0,2},{3,4},{5,5},{6,7} (inclusive PosRange encoding).
+  EXPECT_EQ((*l2.pos)[0], (PosRange{0, 2}));
+  EXPECT_EQ((*l2.pos)[1], (PosRange{3, 4}));
+  EXPECT_EQ((*l2.pos)[2], (PosRange{5, 5}));
+  EXPECT_EQ((*l2.pos)[3], (PosRange{6, 7}));
+  // crd = 0 1 3 1 3 0 0 3.
+  const int32_t expect_crd[8] = {0, 1, 3, 1, 3, 0, 0, 3};
+  for (Coord i = 0; i < 8; ++i) EXPECT_EQ((*l2.crd)[i], expect_crd[i]);
+  // vals = a b c d e f g h.
+  for (Coord i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ((*st.vals())[i], static_cast<double>(i + 1));
+  }
+}
+
+// Figure 3 right: CSC stores columns-then-rows: vals = a f g b d c e h.
+TEST(Pack, CscMatchesFigure3) {
+  TensorStorage st = pack("B", csc(), {4, 4}, paper_coo());
+  const LevelStorage& l = st.level(1);
+  // Column segments: col0 has rows {0,2,3}, col1 {0,1}, col2 {}, col3 {0,1,3}.
+  EXPECT_EQ((*l.pos)[0], (PosRange{0, 2}));
+  EXPECT_EQ((*l.pos)[1], (PosRange{3, 4}));
+  EXPECT_TRUE((*l.pos)[2].empty());
+  EXPECT_EQ((*l.pos)[3], (PosRange{5, 7}));
+  const double expect_vals[8] = {1, 6, 7, 2, 4, 3, 5, 8};  // a f g b d c e h
+  for (Coord i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ((*st.vals())[i], expect_vals[i]);
+  }
+}
+
+TEST(Pack, DenseMatrixStoresZeros) {
+  TensorStorage st = pack("D", dense_matrix(), {4, 4}, paper_coo());
+  EXPECT_EQ(st.vals()->space().volume(), 16);
+  EXPECT_EQ(st.vals()->space().dim(), 2);  // all-dense tensors get N-D vals
+  EXPECT_DOUBLE_EQ(st.vals()->at2(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(st.vals()->at2(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(st.vals()->at2(3, 3), 8.0);
+}
+
+TEST(Pack, Dcsr) {
+  Coo coo;
+  coo.dims = {100, 100};
+  coo.push({5, 7}, 1.0);
+  coo.push({5, 9}, 2.0);
+  coo.push({90, 0}, 3.0);
+  TensorStorage st = pack("S", dcsr(), {100, 100}, std::move(coo));
+  // Level 1 stores only the two non-empty rows.
+  EXPECT_EQ(st.level(0).positions, 2);
+  EXPECT_EQ((*st.level(0).crd)[0], 5);
+  EXPECT_EQ((*st.level(0).crd)[1], 90);
+  EXPECT_EQ(st.level(1).positions, 3);
+}
+
+TEST(Pack, Csf3AndDdc3) {
+  Coo coo;
+  coo.dims = {3, 4, 5};
+  coo.push({0, 1, 2}, 1.0);
+  coo.push({0, 1, 4}, 2.0);
+  coo.push({2, 3, 0}, 3.0);
+  TensorStorage a = pack("A", csf3(), {3, 4, 5}, coo);
+  EXPECT_EQ(a.level(1).positions, 2);  // (0,1), (2,3)
+  EXPECT_EQ(a.level(2).positions, 3);
+  TensorStorage b = pack("B", ddc3(), {3, 4, 5}, coo);
+  EXPECT_EQ(b.level(1).positions, 12);  // 3*4 dense positions
+  EXPECT_EQ(b.level(2).positions, 3);
+  EXPECT_TRUE(storage_equals(a, b));
+}
+
+TEST(Pack, RejectsOutOfBounds) {
+  Coo coo;
+  coo.dims = {2, 2};
+  coo.push({2, 0}, 1.0);
+  EXPECT_THROW(pack("X", csr(), {2, 2}, std::move(coo)), NotationError);
+}
+
+TEST(Storage, ForEachVisitsAllNonZeros) {
+  TensorStorage st = pack("B", csr(), {4, 4}, paper_coo());
+  int count = 0;
+  double sum = 0;
+  st.for_each([&](const std::array<Coord, rt::kMaxDim>&, double v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 8);
+  EXPECT_DOUBLE_EQ(sum, 36.0);
+}
+
+TEST(Storage, RoundTripToCoo) {
+  TensorStorage st = pack("B", csr(), {4, 4}, paper_coo());
+  Coo coo = st.to_coo();
+  EXPECT_EQ(coo.nnz(), 8);
+  TensorStorage st2 = pack("B2", csr(), {4, 4}, std::move(coo));
+  EXPECT_TRUE(storage_equals(st, st2));
+}
+
+// Property: packing the same random tensor into different formats preserves
+// exactly the set of non-zeros.
+class FormatRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatRoundTripProperty, AllFormatsAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9973 + 3);
+  const Coord n = 1 + static_cast<Coord>(rng.next_below(40));
+  const Coord m = 1 + static_cast<Coord>(rng.next_below(40));
+  Coo coo;
+  coo.dims = {n, m};
+  const int k = static_cast<int>(rng.next_below(80));
+  for (int i = 0; i < k; ++i) {
+    coo.push({rng.next_range(0, n - 1), rng.next_range(0, m - 1)},
+             rng.next_double(-1, 1));
+  }
+  TensorStorage a = pack("A", csr(), {n, m}, coo);
+  TensorStorage b = pack("B", csc(), {n, m}, coo);
+  TensorStorage c = pack("C", dcsr(), {n, m}, coo);
+  TensorStorage d = pack("D", dense_matrix(), {n, m}, coo);
+  EXPECT_TRUE(storage_equals(a, b, 1e-15));
+  EXPECT_TRUE(storage_equals(a, c, 1e-15));
+  EXPECT_TRUE(storage_equals(a, d, 1e-15));
+  // nnz accounting matches the combined COO.
+  Coo combined = coo;
+  combined.sort_and_combine({0, 1});
+  EXPECT_EQ(a.nnz(), combined.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTensors, FormatRoundTripProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace spdistal::fmt

@@ -1,0 +1,207 @@
+// Unit tests for index spaces, rectangles, and subset algebra.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/index_space.h"
+
+namespace spdistal::rt {
+namespace {
+
+TEST(Rect1, Basics) {
+  Rect1 r{2, 5};
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_TRUE(r.contains(2));
+  EXPECT_TRUE(r.contains(5));
+  EXPECT_FALSE(r.contains(6));
+  Rect1 e{3, 1};
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+}
+
+TEST(Rect1, IntersectAndOverlap) {
+  Rect1 a{0, 10};
+  Rect1 b{5, 15};
+  EXPECT_TRUE(a.overlaps(b));
+  Rect1 i = a.intersect(b);
+  EXPECT_EQ(i.lo, 5);
+  EXPECT_EQ(i.hi, 10);
+  Rect1 c{11, 20};
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.intersect(c).empty());
+}
+
+TEST(RectN, VolumeAndContains) {
+  RectN r = RectN::make2(0, 3, 0, 4);
+  EXPECT_EQ(r.volume(), 20);
+  EXPECT_TRUE(r.contains(RectN::make2(1, 2, 1, 2)));
+  EXPECT_FALSE(r.contains(RectN::make2(1, 4, 0, 0)));
+  EXPECT_TRUE(r.contains_point({3, 4}));
+  EXPECT_FALSE(r.contains_point({4, 0}));
+}
+
+TEST(RectN, EmptyVolume) {
+  RectN r = RectN::make2(0, 3, 5, 4);  // second dim empty
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.volume(), 0);
+}
+
+TEST(RectN, Intersect3D) {
+  RectN a = RectN::make3(0, 9, 0, 9, 0, 9);
+  RectN b = RectN::make3(5, 14, 3, 7, 9, 20);
+  RectN i = a.intersect(b);
+  EXPECT_EQ(i, RectN::make3(5, 9, 3, 7, 9, 9));
+  EXPECT_EQ(i.volume(), 5 * 5 * 1);
+}
+
+TEST(IndexSubset, NormalizeCoalesces1D) {
+  IndexSubset s(1);
+  s.add(RectN::make1(5, 9));
+  s.add(RectN::make1(0, 4));
+  s.add(RectN::make1(12, 15));
+  s.normalize();
+  ASSERT_EQ(s.rects().size(), 2u);
+  EXPECT_EQ(s.rects()[0], RectN::make1(0, 9));
+  EXPECT_EQ(s.rects()[1], RectN::make1(12, 15));
+  EXPECT_EQ(s.volume(), 14);
+}
+
+TEST(IndexSubset, NormalizeMergesOverlapping) {
+  IndexSubset s(1);
+  s.add(RectN::make1(0, 10));
+  s.add(RectN::make1(5, 20));
+  s.normalize();
+  ASSERT_EQ(s.rects().size(), 1u);
+  EXPECT_EQ(s.volume(), 21);
+}
+
+TEST(IndexSubset, IntersectSubsets) {
+  IndexSubset a(1);
+  a.add(RectN::make1(0, 9));
+  a.add(RectN::make1(20, 29));
+  a.normalize();
+  IndexSubset b(1);
+  b.add(RectN::make1(5, 24));
+  b.normalize();
+  IndexSubset i = a.intersect(b);
+  EXPECT_EQ(i.volume(), 5 + 5);
+  EXPECT_TRUE(i.contains_point1(5));
+  EXPECT_TRUE(i.contains_point1(24));
+  EXPECT_FALSE(i.contains_point1(10));
+}
+
+TEST(IndexSubset, Subtract1D) {
+  IndexSubset a(1);
+  a.add(RectN::make1(0, 99));
+  a.normalize();
+  IndexSubset b(1);
+  b.add(RectN::make1(10, 19));
+  b.add(RectN::make1(50, 59));
+  b.normalize();
+  IndexSubset d = a.subtract(b);
+  EXPECT_EQ(d.volume(), 80);
+  EXPECT_TRUE(d.contains_point1(0));
+  EXPECT_FALSE(d.contains_point1(15));
+  EXPECT_FALSE(d.contains_point1(55));
+  EXPECT_TRUE(d.contains_point1(99));
+}
+
+TEST(IndexSubset, Subtract2D) {
+  IndexSubset a(2);
+  a.add(RectN::make2(0, 9, 0, 9));
+  IndexSubset b(2);
+  b.add(RectN::make2(3, 5, 3, 5));
+  IndexSubset d = a.subtract(b);
+  EXPECT_EQ(d.volume(), 100 - 9);
+  EXPECT_FALSE(d.contains_point({4, 4}));
+  EXPECT_TRUE(d.contains_point({0, 0}));
+  EXPECT_TRUE(d.contains_point({4, 6}));
+}
+
+TEST(IndexSubset, SubtractSelfIsEmpty) {
+  IndexSubset a(1);
+  a.add(RectN::make1(3, 17));
+  a.normalize();
+  EXPECT_TRUE(a.subtract(a).empty());
+}
+
+TEST(IndexSubset, UniteDisjointAndOverlap) {
+  IndexSubset a(1);
+  a.add(RectN::make1(0, 4));
+  a.normalize();
+  IndexSubset b(1);
+  b.add(RectN::make1(3, 9));
+  b.normalize();
+  EXPECT_EQ(a.unite(b).volume(), 10);
+  EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(IndexSubset, Bounds) {
+  IndexSubset a(1);
+  a.add(RectN::make1(5, 9));
+  a.add(RectN::make1(20, 22));
+  a.normalize();
+  EXPECT_EQ(a.bounds(), RectN::make1(5, 22));
+}
+
+TEST(IndexSpace, Basics) {
+  IndexSpace s(100);
+  EXPECT_EQ(s.dim(), 1);
+  EXPECT_EQ(s.volume(), 100);
+  IndexSpace m(RectN::make2(0, 9, 0, 19));
+  EXPECT_EQ(m.volume(), 200);
+}
+
+TEST(Linearize, RowMajor2D) {
+  RectN b = RectN::make2(0, 3, 0, 4);
+  EXPECT_EQ(linearize(b, {0, 0}), 0);
+  EXPECT_EQ(linearize(b, {1, 0}), 5);
+  EXPECT_EQ(linearize(b, {3, 4}), 19);
+}
+
+// Property: subtract/unite/intersect satisfy set identities on random
+// interval soups.
+class SubsetAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetAlgebraProperty, Identities) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  auto random_subset = [&](int universe) {
+    IndexSubset s(1);
+    const int n = static_cast<int>(rng.next_below(6)) + 1;
+    for (int i = 0; i < n; ++i) {
+      const Coord lo = rng.next_range(0, universe - 1);
+      const Coord hi = std::min<Coord>(universe - 1,
+                                       lo + rng.next_range(0, universe / 4));
+      s.add(RectN::make1(lo, hi));
+    }
+    s.normalize();
+    return s;
+  };
+  const int universe = 200;
+  IndexSubset a = random_subset(universe);
+  IndexSubset b = random_subset(universe);
+
+  // |A| = |A∩B| + |A\B|
+  EXPECT_EQ(a.volume(), a.intersect(b).volume() + a.subtract(b).volume());
+  // |A∪B| = |A| + |B| - |A∩B|
+  EXPECT_EQ(a.unite(b).volume(),
+            a.volume() + b.volume() - a.intersect(b).volume());
+  // (A\B) ∩ B = ∅
+  EXPECT_TRUE(a.subtract(b).intersect(b).empty());
+  // A\B ∪ (A∩B) = A
+  EXPECT_EQ(a.subtract(b).unite(a.intersect(b)).volume(), a.volume());
+  // Point-level agreement on a sample of coordinates.
+  for (Coord p = 0; p < universe; p += 7) {
+    const bool in_a = a.contains_point1(p);
+    const bool in_b = b.contains_point1(p);
+    EXPECT_EQ(a.intersect(b).contains_point1(p), in_a && in_b);
+    EXPECT_EQ(a.unite(b).contains_point1(p), in_a || in_b);
+    EXPECT_EQ(a.subtract(b).contains_point1(p), in_a && !in_b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSoups, SubsetAlgebraProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace spdistal::rt

@@ -1,0 +1,242 @@
+// Tests for the Table I level functions and full coordinate-tree
+// partitioning (paper §IV-B, Figures 8 & 9c/d).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "format/level_format.h"
+
+namespace spdistal::fmt {
+namespace {
+
+using comp::PlanOpKind;
+using comp::PlanTrace;
+using rt::Coord;
+using rt::Rect1;
+
+Coo paper_coo() {
+  Coo coo;
+  coo.dims = {4, 4};
+  coo.push({0, 0}, 1.0);
+  coo.push({0, 1}, 2.0);
+  coo.push({0, 3}, 3.0);
+  coo.push({1, 1}, 4.0);
+  coo.push({1, 3}, 5.0);
+  coo.push({2, 0}, 6.0);
+  coo.push({3, 0}, 7.0);
+  coo.push({3, 3}, 8.0);
+  return coo;
+}
+
+// Figure 9c: row-based SpMV partition. Initial universe partition of the
+// Dense row level; derived partitions: pos copied from parent, crd = image,
+// vals copied from crd.
+TEST(CoordinateTree, RowBasedUniverseMatchesFigure9c) {
+  TensorStorage B = pack("B", csr(), {4, 4}, paper_coo());
+  PlanTrace trace;
+  const LevelStorage& l1 = B.level(0);
+  LevelPartitions init = LevelFuncs::get(l1.kind).universe_partition(
+      trace, "B", 0, l1, {Rect1{0, 1}, Rect1{2, 3}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 0, init);
+
+  // Level 1 (rows): {0,1} and {2,3}.
+  EXPECT_EQ(tp.level_parts[0].subset(0).volume(), 2);
+  EXPECT_EQ(tp.level_parts[0].subset(1).volume(), 2);
+  // Level 2 (crd positions): {0..4} and {5..7}.
+  EXPECT_EQ(tp.level_parts[1].subset(0).bounds(), rt::RectN::make1(0, 4));
+  EXPECT_EQ(tp.level_parts[1].subset(1).bounds(), rt::RectN::make1(5, 7));
+  // vals mirror crd.
+  EXPECT_EQ(tp.vals_part.subset(0).volume(), 5);
+  EXPECT_EQ(tp.vals_part.subset(1).volume(), 3);
+
+  // Generated "code" has the Figure 9b shape: a universe coloring, a
+  // partitionByBounds, a pos copy + crd image, and a vals copy.
+  EXPECT_EQ(trace.count(PlanOpKind::MakeUniverseColoring), 1);
+  EXPECT_EQ(trace.count(PlanOpKind::PartitionByBounds), 1);
+  EXPECT_EQ(trace.count(PlanOpKind::Image), 1);
+  EXPECT_EQ(trace.count(PlanOpKind::CopyPartition), 2);  // pos + vals
+  EXPECT_EQ(trace.count(PlanOpKind::Preimage), 0);
+}
+
+// Figure 9d: non-zero SpMV partition. Initial non-zero partition of the
+// Compressed level; pos derived via preimage (overlapping), vals copied.
+TEST(CoordinateTree, NonZeroMatchesFigure9d) {
+  TensorStorage B = pack("B", csr(), {4, 4}, paper_coo());
+  PlanTrace trace;
+  const LevelStorage& l2 = B.level(1);
+  LevelPartitions init = LevelFuncs::get(l2.kind).nonzero_partition(
+      trace, "B", 1, l2, {Rect1{0, 3}, Rect1{4, 7}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 1, init);
+
+  // crd partition: {0..3}, {4..7} (perfect non-zero balance).
+  EXPECT_EQ(tp.level_parts[1].subset(0).volume(), 4);
+  EXPECT_EQ(tp.level_parts[1].subset(1).volume(), 4);
+  // Row partition via preimage: row 1's segment {3,4} spans the cut, so it
+  // is colored twice (Figure 8b).
+  EXPECT_TRUE(tp.level_parts[0].subset(0).contains_point1(1));
+  EXPECT_TRUE(tp.level_parts[0].subset(1).contains_point1(1));
+  EXPECT_FALSE(tp.level_parts[0].disjoint());
+
+  EXPECT_EQ(trace.count(PlanOpKind::MakeNonZeroColoring), 1);
+  EXPECT_EQ(trace.count(PlanOpKind::Preimage), 1);
+  EXPECT_EQ(trace.count(PlanOpKind::Image), 0);
+}
+
+// Universe partition of the Compressed level itself (column-space split):
+// buckets crd entries by coordinate value, then preimages pos.
+TEST(CoordinateTree, CompressedUniversePartition) {
+  TensorStorage B = pack("B", csr(), {4, 4}, paper_coo());
+  PlanTrace trace;
+  const LevelStorage& l2 = B.level(1);
+  LevelPartitions init = LevelFuncs::get(l2.kind).universe_partition(
+      trace, "B", 1, l2, {Rect1{0, 1}, Rect1{2, 3}});
+  // crd = 0 1 3 1 3 0 0 3 -> color 0 gets 5 positions, color 1 gets 3.
+  EXPECT_EQ(init.child_facing.subset(0).volume(), 5);
+  EXPECT_EQ(init.child_facing.subset(1).volume(), 3);
+  EXPECT_EQ(trace.count(PlanOpKind::PartitionByValueRanges), 1);
+  // Rows 0 and 3 touch both column halves: pos partition overlaps.
+  EXPECT_FALSE(init.parent_facing.disjoint());
+}
+
+// CSF 3-tensor: partitioning the top level must propagate down two
+// Compressed levels to vals.
+TEST(CoordinateTree, Csf3TopDown) {
+  Coo coo;
+  coo.dims = {4, 5, 6};
+  coo.push({0, 1, 2}, 1.0);
+  coo.push({0, 1, 3}, 2.0);
+  coo.push({1, 0, 0}, 3.0);
+  coo.push({3, 4, 5}, 4.0);
+  TensorStorage B = pack("B", csf3(), {4, 5, 6}, std::move(coo));
+  PlanTrace trace;
+  const LevelStorage& l1 = B.level(0);
+  LevelPartitions init = LevelFuncs::get(l1.kind).universe_partition(
+      trace, "B", 0, l1, {Rect1{0, 1}, Rect1{2, 3}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 0, init);
+  // Slices 0-1 hold 3 values; slices 2-3 hold 1.
+  EXPECT_EQ(tp.vals_part.subset(0).volume(), 3);
+  EXPECT_EQ(tp.vals_part.subset(1).volume(), 1);
+  EXPECT_EQ(trace.count(PlanOpKind::Image), 2);  // two Compressed levels
+}
+
+// Fused non-zero partition of a 3-tensor's last level must propagate *up*
+// through preimages to the top.
+TEST(CoordinateTree, Csf3BottomUp) {
+  Coo coo;
+  coo.dims = {4, 5, 6};
+  coo.push({0, 1, 2}, 1.0);
+  coo.push({0, 1, 3}, 2.0);
+  coo.push({1, 0, 0}, 3.0);
+  coo.push({3, 4, 5}, 4.0);
+  TensorStorage B = pack("B", csf3(), {4, 5, 6}, std::move(coo));
+  PlanTrace trace;
+  const LevelStorage& l3 = B.level(2);
+  LevelPartitions init = LevelFuncs::get(l3.kind).nonzero_partition(
+      trace, "B", 2, l3, {Rect1{0, 1}, Rect1{2, 3}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 2, init);
+  // Both colors hold 2 values.
+  EXPECT_EQ(tp.vals_part.subset(0).volume(), 2);
+  EXPECT_EQ(tp.vals_part.subset(1).volume(), 2);
+  // The top level's partition covers every non-empty slice.
+  EXPECT_TRUE(tp.level_parts[0].subset(0).contains_point1(0));
+  EXPECT_TRUE(tp.level_parts[0].subset(1).contains_point1(3));
+  // Upward propagation through a Compressed level uses preimage twice
+  // (initial pos + one partitionFromChild).
+  EXPECT_GE(trace.count(PlanOpKind::Preimage), 2);
+}
+
+// Patents-style {Dense, Dense, Compressed}: the middle Dense level expands /
+// collapses partitions through linearized positions.
+TEST(CoordinateTree, Ddc3DenseExpansion) {
+  Coo coo;
+  coo.dims = {4, 3, 6};
+  coo.push({0, 0, 2}, 1.0);
+  coo.push({0, 2, 3}, 2.0);
+  coo.push({2, 1, 0}, 3.0);
+  coo.push({3, 2, 5}, 4.0);
+  TensorStorage B = pack("B", ddc3(), {4, 3, 6}, std::move(coo));
+  PlanTrace trace;
+  const LevelStorage& l1 = B.level(0);
+  LevelPartitions init = LevelFuncs::get(l1.kind).universe_partition(
+      trace, "B", 0, l1, {Rect1{0, 1}, Rect1{2, 3}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 0, init);
+  // Dense level 2 expands rows {0,1} to positions {0..5}, rows {2,3} to
+  // positions {6..11}.
+  EXPECT_EQ(tp.level_parts[1].subset(0).bounds(), rt::RectN::make1(0, 5));
+  EXPECT_EQ(tp.level_parts[1].subset(1).bounds(), rt::RectN::make1(6, 11));
+  EXPECT_EQ(tp.vals_part.subset(0).volume(), 2);
+  EXPECT_EQ(tp.vals_part.subset(1).volume(), 2);
+  EXPECT_EQ(trace.count(PlanOpKind::ExpandDense), 1);
+}
+
+TEST(CoordinateTree, DenseDeepUniverseRejected) {
+  Coo coo;
+  coo.dims = {4, 3};
+  coo.push({0, 0}, 1.0);
+  TensorStorage B =
+      pack("B", Format({ModeFormat::Dense, ModeFormat::Dense}), {4, 3},
+           std::move(coo));
+  PlanTrace trace;
+  const LevelStorage& l2 = B.level(1);
+  EXPECT_THROW(LevelFuncs::get(l2.kind).universe_partition(
+                   trace, "B", 1, l2, {Rect1{0, 1}, Rect1{2, 2}}),
+               ScheduleError);
+}
+
+// Property: on random CSR tensors, every coordinate-tree partition (row and
+// non-zero based) keeps all values reachable: the union of vals subsets is
+// complete, and each color's rows/crds cover exactly its vals.
+class CoordinateTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordinateTreeProperty, ValsCoverage) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 19);
+  const Coord n = 2 + static_cast<Coord>(rng.next_below(50));
+  const Coord m = 2 + static_cast<Coord>(rng.next_below(50));
+  Coo coo;
+  coo.dims = {n, m};
+  const int k = 1 + static_cast<int>(rng.next_below(150));
+  for (int i = 0; i < k; ++i) {
+    coo.push({rng.next_range(0, n - 1), rng.next_range(0, m - 1)}, 1.0);
+  }
+  TensorStorage B = pack("B", csr(), {n, m}, std::move(coo));
+  const int pieces = 1 + static_cast<int>(rng.next_below(5));
+
+  {
+    PlanTrace trace;
+    rt::Partition rows = rt::partition_equal(rt::IndexSpace(n), pieces);
+    std::vector<Rect1> bounds;
+    for (int c = 0; c < pieces; ++c) {
+      const auto& rects = rows.subset(c).rects();
+      bounds.push_back(rects.empty() ? Rect1{0, -1}
+                                     : Rect1{rects[0].lo[0], rects[0].hi[0]});
+    }
+    LevelPartitions init = LevelFuncs::get(ModeFormat::Dense)
+                               .universe_partition(trace, "B", 0, B.level(0),
+                                                   bounds);
+    TensorPartition tp = partition_coordinate_tree(trace, B, 0, init);
+    EXPECT_TRUE(tp.vals_part.complete());
+    EXPECT_TRUE(tp.vals_part.disjoint());
+  }
+  {
+    PlanTrace trace;
+    rt::Partition nz =
+        rt::partition_equal(rt::IndexSpace(B.level(1).positions), pieces);
+    std::vector<Rect1> bounds;
+    for (int c = 0; c < pieces; ++c) {
+      const auto& rects = nz.subset(c).rects();
+      bounds.push_back(rects.empty() ? Rect1{0, -1}
+                                     : Rect1{rects[0].lo[0], rects[0].hi[0]});
+    }
+    LevelPartitions init = LevelFuncs::get(ModeFormat::Compressed)
+                               .nonzero_partition(trace, "B", 1, B.level(1),
+                                                  bounds);
+    TensorPartition tp = partition_coordinate_tree(trace, B, 1, init);
+    EXPECT_TRUE(tp.vals_part.complete());
+    EXPECT_TRUE(tp.vals_part.disjoint());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCsr, CoordinateTreeProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace spdistal::fmt

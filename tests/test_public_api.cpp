@@ -1,0 +1,49 @@
+// Verifies the umbrella header exposes the complete public API and that a
+// full program can be written against it alone.
+#include <gtest/gtest.h>
+
+#include "spdistal/spdistal.h"
+
+namespace {
+
+using namespace spdistal;
+
+TEST(PublicApi, EndToEndThroughUmbrellaHeader) {
+  rt::MachineConfig cfg = data::paper_machine_config(2);
+  rt::Machine M(cfg, rt::Grid(2), rt::ProcKind::CPU);
+
+  IndexVar i("i"), j("j"), io("io"), ii("ii");
+  Tensor a("a", {50}, fmt::dense_vector(), tdn::parse_tdn("a(x) -> M(x)"));
+  Tensor B("B", {50, 50}, fmt::csr(), tdn::parse_tdn("B(x, y) -> M(x)"));
+  Tensor c("c", {50}, fmt::dense_vector(), tdn::parse_tdn("c(x) -> M(q)"));
+  B.from_coo(data::uniform_matrix(50, 50, 300, 1));
+  c.init_dense([](const auto&) { return 1.0; });
+
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  a.schedule().divide(i, io, ii, 2).distribute(io).parallelize(
+      ii, sched::ParallelUnit::CPUThread);
+
+  rt::Runtime runtime(M);
+  auto inst = comp::CompiledKernel::compile(stmt, M).instantiate(runtime);
+  inst->run(1);
+  EXPECT_LE(ref::max_abs_diff(a, ref::eval(stmt)), 1e-12);
+  EXPECT_GT(inst->report().sim_time, 0);
+}
+
+TEST(PublicApi, DatasetRegistryReachable) {
+  EXPECT_EQ(data::matrix_datasets().size(), 10u);
+  EXPECT_EQ(data::tensor_datasets().size(), 4u);
+  EXPECT_EQ(data::dataset("patents").domain, "Data Mining");
+  EXPECT_EQ(data::dataset("twitter7").domain, "Social Network");
+}
+
+TEST(PublicApi, BaselinesReachable) {
+  rt::MachineConfig cfg = data::paper_machine_config(2);
+  rt::Machine M(cfg, rt::Grid(2), rt::ProcKind::CPU);
+  base::LibrarySystem petsc = base::make_petsc_like(M);
+  EXPECT_EQ(petsc.name(), "PETSc");
+  base::LibrarySystem trilinos = base::make_trilinos_like(M);
+  EXPECT_EQ(trilinos.name(), "Trilinos");
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Tests for the machine model, memory accounting, network model, simulator,
+// and the Runtime facade (placement + inferred communication).
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.h"
+
+namespace spdistal::rt {
+namespace {
+
+MachineConfig small_config(int nodes) {
+  MachineConfig cfg;
+  cfg.nodes = nodes;
+  return cfg;
+}
+
+TEST(Machine, ProcEnumerationCpu) {
+  Machine m(small_config(4), Grid(4), ProcKind::CPU);
+  EXPECT_EQ(m.num_procs(), 4);
+  EXPECT_EQ(m.proc(2).node, 2);
+  EXPECT_EQ(m.proc(2).kind, ProcKind::CPU);
+}
+
+TEST(Machine, ProcEnumerationGpu) {
+  Machine m(small_config(2), Grid(8), ProcKind::GPU);
+  EXPECT_EQ(m.num_procs(), 8);
+  EXPECT_EQ(m.proc(5).node, 1);
+  EXPECT_EQ(m.proc(5).index, 1);
+  EXPECT_EQ(m.proc_mem(m.proc(5)).kind, MemKind::FB);
+}
+
+TEST(Machine, FlopsScaleWithThreads) {
+  Machine m(small_config(1), Grid(1), ProcKind::CPU);
+  const Proc p = m.proc(0);
+  EXPECT_DOUBLE_EQ(m.proc_flops(p, 2), 2 * m.proc_flops(p, 1));
+  // Clamped at the core count.
+  EXPECT_DOUBLE_EQ(m.proc_flops(p, 1000),
+                   m.proc_flops(p, m.config().cores_per_node));
+}
+
+TEST(MemoryPool, AllocateReleaseAndOom) {
+  MemoryPool pool(Mem{0, MemKind::FB, 0}, 1000.0);
+  pool.allocate(600, "x");
+  EXPECT_DOUBLE_EQ(pool.used(), 600);
+  pool.release(100);
+  EXPECT_DOUBLE_EQ(pool.used(), 500);
+  EXPECT_THROW(pool.allocate(600, "y"), OutOfMemoryError);
+  // Failed allocation rolled back.
+  EXPECT_DOUBLE_EQ(pool.used(), 500);
+  EXPECT_DOUBLE_EQ(pool.peak(), 1100);  // peak includes the attempted alloc
+}
+
+TEST(MemoryPool, OversubscriptionAllowsAndReportsOverflow) {
+  MemoryPool pool(Mem{0, MemKind::FB, 0}, 1000.0);
+  pool.set_allow_oversubscription(true);
+  const double over = pool.allocate(1500, "uvm");
+  EXPECT_DOUBLE_EQ(over, 500);
+}
+
+TEST(Network, TransferCostAndSerialization) {
+  MachineConfig cfg = small_config(2);
+  Network net(cfg);
+  const Mem a{0, MemKind::SYS, 0};
+  const Mem b{1, MemKind::SYS, 0};
+  const double bytes = 1.2e9;  // 0.1 s at 12 GB/s
+  const double t1 = net.transfer(a, b, bytes, 0.0);
+  EXPECT_NEAR(t1, cfg.net_latency_s + 0.1, 1e-9);
+  // Second transfer serializes behind the first on the NICs.
+  const double t2 = net.transfer(a, b, bytes, 0.0);
+  EXPECT_NEAR(t2, 2 * (cfg.net_latency_s + 0.1), 1e-9);
+  EXPECT_DOUBLE_EQ(net.stats().inter_node_bytes, 2 * bytes);
+}
+
+TEST(Network, IntraNodeUsesNvlink) {
+  MachineConfig cfg = small_config(1);
+  Network net(cfg);
+  const Mem sys{0, MemKind::SYS, 0};
+  const Mem fb{0, MemKind::FB, 0};
+  const double t = net.transfer(sys, fb, 60e9, 0.0);
+  EXPECT_NEAR(t, 1.0, 1e-9);  // 60 GB at 60 GB/s
+  EXPECT_DOUBLE_EQ(net.stats().inter_node_bytes, 0);
+  EXPECT_DOUBLE_EQ(net.stats().intra_node_bytes, 60e9);
+}
+
+TEST(Network, BroadcastScalesLogarithmically) {
+  MachineConfig cfg = small_config(16);
+  Network net(cfg);
+  const Mem src{0, MemKind::SYS, 0};
+  std::vector<int> two{1, 2};
+  std::vector<int> fifteen;
+  for (int n = 1; n < 16; ++n) fifteen.push_back(n);
+  const double t2 = net.broadcast(src, two, 1.2e9, 0.0);
+  net.reset_clocks();
+  const double t15 = net.broadcast(src, fifteen, 1.2e9, 0.0);
+  EXPECT_GT(t15, t2);
+  EXPECT_LT(t15, 7.5 * t2);  // log tree, not linear fan-out
+}
+
+TEST(Simulator, TaskCostRooflineModel) {
+  Machine m(small_config(1), Grid(1), ProcKind::CPU);
+  Simulator sim(m);
+  const Proc p = m.proc(0);
+  // Compute-bound: 8 GFLOP at 8 GFLOP/s (1 thread) = 1 s.
+  WorkEstimate w1{8e9, 0};
+  EXPECT_NEAR(sim.task_duration(p, w1, 1), 1.0, 1e-12);
+  // Memory-bound: 135 GB at 135 GB/s = 1 s even with many threads.
+  WorkEstimate w2{1, 135e9};
+  EXPECT_NEAR(sim.task_duration(p, w2, 40), 1.0, 1e-12);
+}
+
+TEST(Simulator, ClocksAdvanceIndependently) {
+  Machine m(small_config(2), Grid(2), ProcKind::CPU);
+  Simulator sim(m);
+  sim.run_task(m.proc(0), WorkEstimate{8e9, 0}, 1, 0.0);
+  sim.run_task(m.proc(1), WorkEstimate{16e9, 0}, 1, 0.0);
+  EXPECT_LT(sim.clock(m.proc(0)), sim.clock(m.proc(1)));
+  EXPECT_NEAR(sim.now_max(), 2.0, 1e-3);
+  EXPECT_GT(sim.imbalance(), 1.2);
+  sim.barrier();
+  EXPECT_DOUBLE_EQ(sim.clock(m.proc(0)), sim.clock(m.proc(1)));
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now_max(), 0.0);
+}
+
+TEST(Runtime, FetchMovesOnlyMissingBytes) {
+  Machine m(small_config(2), Grid(2), ProcKind::CPU);
+  Runtime rt(m);
+  auto r = rt.create_region<double>(IndexSpace(1000), "x");
+  rt.place_whole(*r, rt.machine().sys_mem(0));
+
+  // A launch on 2 nodes each reading half the region: node 0 reads locally,
+  // node 1 pulls its half over the network.
+  Partition p = partition_equal(r->space(), 2);
+  IndexLaunch launch;
+  launch.name = "read_halves";
+  launch.domain = 2;
+  launch.reqs = {RegionReq{r, &p, Privilege::RO}};
+  launch.body = [](const TaskContext&) { return WorkEstimate{1, 1}; };
+  rt.execute(launch);
+  const SimReport rep = rt.report();
+  EXPECT_DOUBLE_EQ(rep.inter_node_bytes, 500 * sizeof(double));
+
+  // Steady state: a second identical launch moves nothing.
+  rt.execute(launch);
+  const SimReport rep2 = rt.report();
+  EXPECT_DOUBLE_EQ(rep2.inter_node_bytes, 500 * sizeof(double));
+}
+
+TEST(Runtime, ReplicationPlacesEverywhere) {
+  Machine m(small_config(4), Grid(4), ProcKind::CPU);
+  Runtime rt(m);
+  auto r = rt.create_region<double>(IndexSpace(100), "c");
+  rt.replicate_sys(*r);
+  IndexLaunch launch;
+  launch.name = "read_all";
+  launch.domain = 4;
+  launch.reqs = {RegionReq{r, nullptr, Privilege::RO}};
+  launch.body = [](const TaskContext&) { return WorkEstimate{1, 1}; };
+  const double before = rt.report().inter_node_bytes;
+  rt.execute(launch);
+  // No additional traffic: every node already holds the whole region.
+  EXPECT_DOUBLE_EQ(rt.report().inter_node_bytes, before);
+}
+
+TEST(Runtime, WriteRehomesRegion) {
+  Machine m(small_config(2), Grid(2), ProcKind::CPU);
+  Runtime rt(m);
+  auto r = rt.create_region<double>(IndexSpace(1000), "a");
+  Partition p = partition_equal(r->space(), 2);
+  IndexLaunch wr;
+  wr.name = "write";
+  wr.domain = 2;
+  wr.reqs = {RegionReq{r, &p, Privilege::WO}};
+  wr.body = [&](const TaskContext& ctx) {
+    // Each point fills its half with its color.
+    const IndexSubset s = ctx.subset(0);
+    for (const auto& rect : s.rects()) {
+      for (Coord i = rect.lo[0]; i <= rect.hi[0]; ++i) {
+        (*r)[i] = ctx.color();
+      }
+    }
+    return WorkEstimate{500, 500 * 8};
+  };
+  rt.execute(wr);
+  EXPECT_DOUBLE_EQ((*r)[0], 0);
+  EXPECT_DOUBLE_EQ((*r)[999], 1);
+
+  // Reading everything from node 0 now pulls node 1's half.
+  const double before = rt.report().inter_node_bytes;
+  IndexLaunch rd;
+  rd.name = "read_all_at_0";
+  rd.domain = 1;
+  rd.reqs = {RegionReq{r, nullptr, Privilege::RO}};
+  rd.body = [](const TaskContext&) { return WorkEstimate{1, 1}; };
+  rt.execute(rd);
+  EXPECT_DOUBLE_EQ(rt.report().inter_node_bytes - before,
+                   500 * sizeof(double));
+}
+
+TEST(Runtime, ReduceChargesOverlapCombine) {
+  Machine m(small_config(2), Grid(2), ProcKind::CPU);
+  Runtime rt(m);
+  auto r = rt.create_region<double>(IndexSpace(100), "acc");
+  r->fill(0.0);
+  // Overlapping output partition: both pieces cover element 50.
+  Partition p = partition_by_bounds(
+      r->space(), {RectN::make1(0, 50), RectN::make1(50, 99)});
+  EXPECT_FALSE(p.disjoint());
+  IndexLaunch red;
+  red.name = "reduce";
+  red.domain = 2;
+  red.reqs = {RegionReq{r, &p, Privilege::REDUCE}};
+  red.body = [&](const TaskContext& ctx) {
+    const IndexSubset s = ctx.subset(0);
+    for (const auto& rect : s.rects()) {
+      for (Coord i = rect.lo[0]; i <= rect.hi[0]; ++i) (*r)[i] += 1.0;
+    }
+    return WorkEstimate{51, 51 * 8};
+  };
+  rt.execute(red);
+  EXPECT_DOUBLE_EQ((*r)[50], 2.0);  // both contributions applied
+  // The overlap element crossed the network once for the combine.
+  EXPECT_DOUBLE_EQ(rt.report().inter_node_bytes, sizeof(double));
+}
+
+TEST(Runtime, GpuOomSurfacesAsException) {
+  MachineConfig cfg = small_config(1);
+  cfg.fbmem_bytes = 1024 * cfg.capacity_scale;  // 1 KB framebuffer
+  Machine m(cfg, Grid(1), ProcKind::GPU);
+  Runtime rt(m);
+  auto r = rt.create_region<double>(IndexSpace(1000), "big");
+  rt.place_whole(*r, rt.machine().sys_mem(0));
+  IndexLaunch launch;
+  launch.name = "gpu_read";
+  launch.domain = 1;
+  launch.reqs = {RegionReq{r, nullptr, Privilege::RO}};
+  launch.body = [](const TaskContext&) { return WorkEstimate{1, 1}; };
+  EXPECT_THROW(rt.execute(launch), OutOfMemoryError);
+}
+
+TEST(Runtime, ResetTimingPreservesPlacement) {
+  Machine m(small_config(2), Grid(2), ProcKind::CPU);
+  Runtime rt(m);
+  auto r = rt.create_region<double>(IndexSpace(1000), "x");
+  Partition p = partition_equal(r->space(), 2);
+  IndexLaunch launch;
+  launch.name = "read";
+  launch.domain = 2;
+  launch.reqs = {RegionReq{r, &p, Privilege::RO}};
+  launch.body = [](const TaskContext&) { return WorkEstimate{1e6, 1e6}; };
+  rt.execute(launch);  // warm-up: pays distribution traffic
+  rt.reset_timing();
+  EXPECT_DOUBLE_EQ(rt.report().inter_node_bytes, 0);
+  rt.execute(launch);  // steady state: no traffic, only compute
+  EXPECT_DOUBLE_EQ(rt.report().inter_node_bytes, 0);
+  EXPECT_GT(rt.report().sim_time, 0);
+}
+
+}  // namespace
+}  // namespace spdistal::rt

@@ -1,0 +1,202 @@
+// Tests for tensor distribution notation: parsing, materialization of
+// universe / non-zero / fused partitions (Figure 5), and placement
+// installation.
+#include <gtest/gtest.h>
+
+#include "tdn/tdn.h"
+
+namespace spdistal::tdn {
+namespace {
+
+using fmt::Coo;
+using rt::Coord;
+
+rt::Machine cpu_machine(int nodes) {
+  rt::MachineConfig cfg;
+  cfg.nodes = nodes;
+  return rt::Machine(cfg, rt::Grid(nodes), rt::ProcKind::CPU);
+}
+
+fmt::TensorStorage skewed_csr(Coord n) {
+  // Row 0 holds half of all non-zeros; remaining rows one each.
+  Coo coo;
+  coo.dims = {n, n};
+  for (Coord j = 0; j < n; ++j) coo.push({0, j}, 1.0);
+  for (Coord i = 1; i < n; ++i) coo.push({i, 0}, 2.0);
+  return fmt::pack("B", fmt::csr(), {n, n}, std::move(coo));
+}
+
+TEST(TdnParse, RowWise) {
+  Distribution d = parse_tdn("B(x, y) -> M(x)");
+  EXPECT_EQ(d.tensor_vars().size(), 2u);
+  EXPECT_EQ(d.machine_vars().size(), 1u);
+  EXPECT_TRUE(d.tensor_vars()[0] == d.machine_vars()[0]);
+  EXPECT_FALSE(d.is_nonzero(d.machine_vars()[0]));
+  EXPECT_EQ(d.str("B"), "B(x, y) -> M(x)");
+}
+
+TEST(TdnParse, Replicated) {
+  Distribution d = parse_tdn("c(x) -> M(y)");
+  EXPECT_FALSE(d.tensor_vars()[0] == d.machine_vars()[0]);
+}
+
+TEST(TdnParse, NonZero) {
+  Distribution d = parse_tdn("v(x) -> M(~x)");
+  EXPECT_TRUE(d.is_nonzero(d.machine_vars()[0]));
+  EXPECT_EQ(d.str("v"), "v(x) -> M(~x)");
+}
+
+TEST(TdnParse, FusedNonZero) {
+  Distribution d = parse_tdn("B(x, y) fuse(x, y -> f) -> M(~f)");
+  ASSERT_EQ(d.fusions().size(), 1u);
+  EXPECT_EQ(d.fusions()[0].from.size(), 2u);
+  EXPECT_TRUE(d.fusions()[0].to == d.machine_vars()[0]);
+  EXPECT_TRUE(d.is_nonzero(d.machine_vars()[0]));
+  EXPECT_EQ(d.str("B"), "B(x, y) fuse(x, y -> f) -> M(~f)");
+}
+
+TEST(TdnParse, RejectsGarbage) {
+  EXPECT_THROW(parse_tdn("B(x, y) M(x)"), NotationError);
+  EXPECT_THROW(parse_tdn("nonsense"), NotationError);
+}
+
+// Figure 5a analogue: universe partition of a skewed matrix's rows gives
+// unbalanced non-zeros.
+TEST(TdnMaterialize, UniverseRowPartitionIsImbalanced) {
+  auto st = skewed_csr(16);
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("B(x, y) -> M(x)"),
+                               cpu_machine(4));
+  ASSERT_FALSE(m.replicated);
+  ASSERT_EQ(m.partition.vals_part.num_colors(), 4);
+  // Color 0 holds rows 0..3: 16 + 3 = 19 of the 31 values.
+  EXPECT_EQ(m.partition.vals_part.subset(0).volume(), 19);
+  EXPECT_EQ(m.partition.vals_part.subset(3).volume(), 4);
+}
+
+// Figure 5c analogue: the fused non-zero partition balances values evenly.
+TEST(TdnMaterialize, FusedNonZeroBalances) {
+  auto st = skewed_csr(16);
+  comp::PlanTrace trace;
+  Materialized m = materialize(
+      trace, st, parse_tdn("B(x, y) fuse(x, y -> f) -> M(~f)"),
+      cpu_machine(4));
+  ASSERT_FALSE(m.replicated);
+  // 31 non-zeros over 4 pieces: 7/8/8/8.
+  int64_t mx = 0, mn = 1 << 30;
+  for (int c = 0; c < 4; ++c) {
+    mx = std::max(mx, m.partition.vals_part.subset(c).volume());
+    mn = std::min(mn, m.partition.vals_part.subset(c).volume());
+  }
+  EXPECT_LE(mx - mn, 1);
+  EXPECT_TRUE(m.partition.vals_part.complete());
+  EXPECT_TRUE(m.partition.vals_part.disjoint());
+}
+
+// Non-zero partition of the first dimension (~x): splits *stored rows*
+// equally, not coordinates.
+TEST(TdnMaterialize, NonZeroDim0OnDcsr) {
+  Coo coo;
+  coo.dims = {100, 4};
+  // Only rows 90..97 are non-empty.
+  for (Coord i = 90; i < 98; ++i) coo.push({i, 0}, 1.0);
+  auto st = fmt::pack("B", fmt::dcsr(), {100, 4}, std::move(coo));
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("B(x, y) -> M(~x)"),
+                               cpu_machine(4));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.partition.vals_part.subset(c).volume(), 2);
+  }
+}
+
+TEST(TdnMaterialize, ReplicatedSparse) {
+  auto st = skewed_csr(8);
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("B(x, y) -> M(z)"),
+                               cpu_machine(2));
+  EXPECT_TRUE(m.replicated);
+}
+
+TEST(TdnMaterialize, DenseMatrixColumnPartition) {
+  Coo coo;
+  coo.dims = {6, 8};
+  auto st = fmt::pack("C", fmt::dense_matrix(), {6, 8}, std::move(coo));
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("C(x, y) -> M(y)"),
+                               cpu_machine(4));
+  ASSERT_FALSE(m.replicated);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.partition.vals_part.subset(c).volume(), 6 * 2);
+  }
+  EXPECT_TRUE(m.partition.vals_part.disjoint());
+  EXPECT_TRUE(m.partition.vals_part.complete());
+}
+
+TEST(TdnMaterialize, RejectsNonZeroOnDense) {
+  Coo coo;
+  coo.dims = {6, 8};
+  auto st = fmt::pack("C", fmt::dense_matrix(), {6, 8}, std::move(coo));
+  comp::PlanTrace trace;
+  EXPECT_THROW(
+      materialize(trace, st, parse_tdn("C(x, y) -> M(~x)"), cpu_machine(2)),
+      NotationError);
+}
+
+TEST(TdnMaterialize, RejectsWrongArity) {
+  auto st = skewed_csr(8);
+  comp::PlanTrace trace;
+  EXPECT_THROW(
+      materialize(trace, st, parse_tdn("B(x) -> M(x)"), cpu_machine(2)),
+      NotationError);
+}
+
+// distribute_tensor installs placements such that reading each color's vals
+// subset on its assigned node costs no communication.
+TEST(TdnDistribute, PlacementMatchesPartition) {
+  auto machine = cpu_machine(4);
+  rt::Runtime runtime(machine);
+  auto st = skewed_csr(16);
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("B(x, y) -> M(x)"),
+                               machine);
+  distribute_tensor(trace, runtime, st, parse_tdn("B(x, y) -> M(x)"),
+                    machine);
+  runtime.reset_timing();
+  // A launch that reads each color's vals on its own node moves nothing.
+  rt::IndexLaunch launch;
+  launch.name = "read_local";
+  launch.domain = 4;
+  launch.reqs = {
+      rt::RegionReq{st.vals(), &m.partition.vals_part, rt::Privilege::RO}};
+  launch.body = [](const rt::TaskContext&) { return rt::WorkEstimate{1, 1}; };
+  runtime.execute(launch);
+  EXPECT_DOUBLE_EQ(runtime.report().inter_node_bytes, 0.0);
+}
+
+TEST(TdnDistribute, ReplicationPlacesEverywhere) {
+  auto machine = cpu_machine(3);
+  rt::Runtime runtime(machine);
+  auto st = skewed_csr(9);
+  comp::PlanTrace trace;
+  distribute_tensor(trace, runtime, st, parse_tdn("B(x, y) -> M(q)"),
+                    machine);
+  runtime.reset_timing();
+  rt::IndexLaunch launch;
+  launch.name = "read_all";
+  launch.domain = 3;
+  launch.reqs = {rt::RegionReq{st.vals(), nullptr, rt::Privilege::RO}};
+  launch.body = [](const rt::TaskContext&) { return rt::WorkEstimate{1, 1}; };
+  runtime.execute(launch);
+  EXPECT_DOUBLE_EQ(runtime.report().inter_node_bytes, 0.0);
+}
+
+TEST(EqualBounds, SplitsLikePartitionEqual) {
+  auto b = equal_bounds(10, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0].size() + b[1].size() + b[2].size(), 10);
+  EXPECT_EQ(b[0].lo, 0);
+  EXPECT_EQ(b[2].hi, 9);
+}
+
+}  // namespace
+}  // namespace spdistal::tdn
