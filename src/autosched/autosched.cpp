@@ -1,0 +1,109 @@
+#include "autosched/autosched.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "autosched/cost.h"
+#include "common/str_util.h"
+
+namespace spdistal::autosched {
+
+std::string Result::summary() const {
+  if (from_cache) {
+    return strprintf("plan cache hit: %s (cost %.3g s/iter)",
+                     recipe.str().c_str(), best_cost);
+  }
+  return strprintf("searched %d candidates (%d simulated): %s (cost %.3g "
+                   "s/iter)",
+                   enumerated, simulated, recipe.str().c_str(), best_cost);
+}
+
+Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
+                           const Options& options) {
+  Result result;
+
+  const std::string key = plan_key(stmt, machine);
+  if (options.use_cache) {
+    if (auto cached = PlanCache::global().lookup(key)) {
+      result.recipe = cached->recipe;
+      result.schedule = materialize(cached->recipe, stmt);
+      result.from_cache = true;
+      result.best_cost = cached->cost;
+      return result;
+    }
+  }
+
+  std::vector<Candidate> candidates =
+      enumerate_candidates(stmt, machine, options);
+  SPD_CHECK(!candidates.empty(), ScheduleError,
+            "auto-scheduler found no legal schedule for " << stmt.str());
+  result.enumerated = static_cast<int>(candidates.size());
+
+  // Rank by the analytic fast path; simulate the most promising prefix.
+  AnalyticModel model(stmt, machine);
+  for (auto& c : candidates) {
+    c.est_time = model.estimate(c.recipe);
+  }
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a].est_time < candidates[b].est_time;
+  });
+  const size_t top_k = options.sim_top_k <= 0
+                           ? candidates.size()
+                           : std::min<size_t>(
+                                 static_cast<size_t>(options.sim_top_k),
+                                 candidates.size());
+
+  Statement proxy = make_proxy(stmt, options);
+  for (size_t k = 0; k < top_k; ++k) {
+    Candidate& c = candidates[order[k]];
+    try {
+      c.sim_time = simulate_candidate(proxy, c.schedule, machine, options);
+      c.simulated = true;
+      ++result.simulated;
+    } catch (const SpdError&) {
+      // Cannot be instantiated on this machine (e.g. simulated OOM):
+      // infinite cost.
+      c.sim_time = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  // Winner: lowest simulated makespan; analytic estimate and enumeration
+  // order break ties deterministically. Candidates that survived legality
+  // but failed every simulation fall back to the analytic ranking.
+  const Candidate* best = nullptr;
+  for (size_t idx : order) {
+    const Candidate& c = candidates[idx];
+    if (!c.simulated) continue;
+    if (best == nullptr || c.sim_time < best->sim_time) best = &c;
+  }
+  if (best == nullptr) best = &candidates[order[0]];
+
+  result.recipe = best->recipe;
+  result.schedule = best->schedule;
+  result.best_cost = best->simulated ? best->sim_time : best->est_time;
+  if (options.use_cache) {
+    PlanCache::global().insert(key, result.recipe, result.best_cost);
+  }
+  return result;
+}
+
+sched::Schedule autoschedule(const Statement& stmt, const rt::Machine& machine,
+                             const Options& options) {
+  return autoschedule_search(stmt, machine, options).schedule;
+}
+
+}  // namespace spdistal::autosched
+
+namespace spdistal {
+
+// Defined here rather than in tensor.cpp so the tensor module does not
+// depend on the search machinery above it.
+sched::Schedule& Tensor::autoschedule(const rt::Machine& machine) {
+  schedule() = autosched::autoschedule(definition(), machine);
+  return schedule();
+}
+
+}  // namespace spdistal

@@ -1,0 +1,170 @@
+#include "autosched/cache.h"
+
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace spdistal::autosched {
+
+using rt::Coord;
+using tin::IndexVar;
+
+namespace {
+
+// Prints an expression with index variables renamed v0, v1, ... by
+// first-appearance order in the statement, so the key is independent of the
+// concrete IndexVar objects (and their user-chosen names).
+void canonical_expr(const tin::Expr& e,
+                    const std::map<uint32_t, std::string>& names,
+                    std::ostringstream& os) {
+  switch (e->kind) {
+    case tin::ExprKind::Access: {
+      os << e->tensor << "(";
+      for (size_t k = 0; k < e->vars.size(); ++k) {
+        if (k > 0) os << ",";
+        os << names.at(e->vars[k].id());
+      }
+      os << ")";
+      return;
+    }
+    case tin::ExprKind::Literal:
+      os << e->value;
+      return;
+    case tin::ExprKind::Mul:
+    case tin::ExprKind::Add: {
+      const char* op = e->kind == tin::ExprKind::Mul ? "*" : "+";
+      os << "(";
+      for (size_t k = 0; k < e->operands.size(); ++k) {
+        if (k > 0) os << op;
+        canonical_expr(e->operands[k], names, os);
+      }
+      os << ")";
+      return;
+    }
+  }
+}
+
+// Sparsity fingerprint of a packed sparse tensor: non-zero count plus a
+// 16-bucket histogram over the top storage dimension — cheap, O(nnz), and
+// separates the structural classes that change the best plan. Memoized by
+// the vals region id: packing always allocates fresh regions, so a region
+// id names one immutable non-zero pattern (value writes don't change it),
+// and repeated plan_key calls in a serving loop skip the coordinate scan.
+std::string sparsity_fingerprint(const Tensor& t) {
+  static std::mutex mu;
+  static std::map<rt::RegionId, std::string> memo;
+  const rt::RegionId id = t.storage().vals()->id();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+  }
+  const fmt::TensorStorage& st = t.storage();
+  const int top_dim = t.format().dim_of_level(0);
+  const Coord extent =
+      std::max<Coord>(t.dims()[static_cast<size_t>(top_dim)], 1);
+  std::array<int64_t, 16> hist{};
+  st.for_each([&](const std::array<Coord, rt::kMaxDim>& c, double) {
+    const size_t b =
+        static_cast<size_t>(c[static_cast<size_t>(top_dim)] * 16 / extent);
+    hist[std::min<size_t>(b, 15)]++;
+  });
+  std::ostringstream os;
+  os << ":nnz=" << st.nnz() << ":hist[" << join(hist, ",") << "]";
+  std::lock_guard<std::mutex> lock(mu);
+  return memo.emplace(id, os.str()).first->second;
+}
+
+}  // namespace
+
+std::string plan_key(const Statement& stmt, const rt::Machine& machine) {
+  std::ostringstream os;
+
+  // --- expression, variables canonicalized ------------------------------------
+  std::map<uint32_t, std::string> names;
+  for (const auto& v : tin::statement_vars(stmt.assignment)) {
+    names.emplace(v.id(), strprintf("v%zu", names.size()));
+  }
+  os << stmt.assignment.lhs.tensor << "(";
+  for (size_t k = 0; k < stmt.assignment.lhs.vars.size(); ++k) {
+    if (k > 0) os << ",";
+    os << names.at(stmt.assignment.lhs.vars[k].id());
+  }
+  os << (stmt.assignment.accumulate ? ")+=" : ")=");
+  canonical_expr(stmt.assignment.rhs, names, os);
+
+  // --- format signature + sparsity fingerprint per tensor ---------------------
+  // The output is fingerprinted by format/dims only: its non-zero pattern is
+  // derived from the inputs (assembly may materialize it between compiles of
+  // the same computation, and that must not turn cache hits into misses).
+  for (const auto& [name, t] : stmt.bindings) {
+    os << ";" << name << ":" << t.format().str() << ":ord["
+       << join(t.format().ordering(), ",") << "]:dims["
+       << join(t.dims(), ",") << "]";
+    if (name != stmt.assignment.lhs.tensor && !t.format().all_dense() &&
+        t.has_storage()) {
+      os << sparsity_fingerprint(t);
+    }
+  }
+
+  // --- machine signature -------------------------------------------------------
+  const rt::MachineConfig& c = machine.config();
+  os << ";M:" << rt::proc_kind_name(machine.kind()) << ":grid["
+     << join(machine.grid().dims(), ",") << "]"
+     << strprintf(":n%d:c%d:s%d:g%d", c.nodes, c.cores_per_node,
+                  c.sockets_per_node, c.gpus_per_node)
+     << strprintf(":%g:%g:%g:%g:%g:%g:%g:%g", c.cpu_core_gflops,
+                  c.cpu_mem_bw_gbs, c.gpu_gflops, c.gpu_mem_bw_gbs,
+                  c.nvlink_bw_gbs, c.net_bw_gbs, c.task_overhead_s,
+                  c.net_latency_s)
+     << strprintf(":cap%g:t%g", c.capacity_scale, c.time_scale);
+  return os.str();
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::optional<CachedPlan> PlanCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanCache::insert(const std::string& key, const Recipe& recipe,
+                       double cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = CachedPlan{recipe, cost};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace spdistal::autosched

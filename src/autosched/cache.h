@@ -1,0 +1,53 @@
+// The plan cache: schedules found by search, keyed so that repeated
+// compiles of the same logical computation in a serving loop hit in O(1).
+//
+// A key captures everything the search outcome depends on: the expression
+// (with index variables canonicalized by first-appearance order, so two
+// structurally identical statements built from distinct IndexVar objects
+// collide), each tensor's format signature and dimensions, the machine
+// signature (processor kind, grid, hardware rates), and a sparsity
+// fingerprint of every packed sparse operand (non-zero count plus a coarse
+// histogram over the top storage dimension — enough to distinguish a banded
+// matrix from a power-law one without hashing every coordinate).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "autosched/recipe.h"
+#include "runtime/machine.h"
+
+namespace spdistal::autosched {
+
+// Canonical cache key for (statement, machine).
+std::string plan_key(const Statement& stmt, const rt::Machine& machine);
+
+struct CachedPlan {
+  Recipe recipe;
+  double cost = 0;  // proxy-simulated seconds/iteration of the winner
+};
+
+class PlanCache {
+ public:
+  // Process-wide cache consulted by autoschedule(); thread-safe.
+  static PlanCache& global();
+
+  // Counts a hit or miss; returns the cached plan if present.
+  std::optional<CachedPlan> lookup(const std::string& key);
+  void insert(const std::string& key, const Recipe& recipe, double cost);
+  void clear();
+
+  size_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, CachedPlan> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace spdistal::autosched

@@ -1,0 +1,160 @@
+#include "autosched/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "compiler/lower.h"
+#include "data/generators.h"
+
+namespace spdistal::autosched {
+
+using rt::Coord;
+
+AnalyticModel::AnalyticModel(const Statement& stmt,
+                             const rt::Machine& machine)
+    : stmt_(stmt), machine_(machine) {
+  // Per-stored-nonzero work profile of the statement's kernel class.
+  const base::Operands ops = base::classify(stmt);
+  fpn_ = base::flops_per_nnz(ops);
+  bpn_ = base::bytes_per_nnz(ops);
+}
+
+const std::vector<int64_t>& AnalyticModel::histogram(
+    const std::string& tensor, int dim) {
+  const std::string key = tensor + ":" + std::to_string(dim);
+  auto it = hists_.find(key);
+  if (it != hists_.end()) return it->second;
+  const Tensor& t = stmt_.tensor(tensor);
+  std::vector<int64_t> hist(
+      static_cast<size_t>(t.dims()[static_cast<size_t>(dim)]), 0);
+  t.storage().for_each([&](const std::array<Coord, rt::kMaxDim>& c, double) {
+    hist[static_cast<size_t>(c[static_cast<size_t>(dim)])]++;
+  });
+  return hists_.emplace(key, std::move(hist)).first->second;
+}
+
+double AnalyticModel::estimate(const Recipe& recipe) {
+  const rt::MachineConfig& cfg = machine_.config();
+  const int procs = std::max(1, machine_.num_procs());
+  const int P = std::max(1, recipe.pieces);
+  const int threads = (recipe.unit.has_value() &&
+                       *recipe.unit == sched::ParallelUnit::CPUThread)
+                          ? cfg.cores_per_node
+                          : 1;
+  const rt::Proc p0 = machine_.proc(0);
+
+  double piece_max_nnz = 1;
+  double comm_bytes = 0;  // per-iteration inter-memory traffic
+
+  if (recipe.position_space) {
+    // Equal non-zero blocks: perfectly balanced work by construction.
+    const Tensor& T = stmt_.tensor(recipe.split_tensor);
+    const double total =
+        T.has_storage() ? static_cast<double>(T.storage().nnz()) : 1.0;
+    piece_max_nnz = std::ceil(std::max(total, 1.0) / P);
+    // Piece boundaries overlap coordinate rows, so outputs merge under
+    // reduction privileges every iteration: charge one pass over the
+    // output's values (an upper bound; aligned-pattern outputs pay none).
+    const Tensor& out = stmt_.tensor(stmt_.assignment.lhs.tensor);
+    if (out.has_storage()) {
+      comm_bytes = static_cast<double>(out.storage().vals()->size_bytes());
+    } else {
+      double vol = 1;
+      for (Coord d : out.dims()) vol *= static_cast<double>(d);
+      comm_bytes = 8.0 * vol;
+    }
+  } else {
+    // Universe split of the outermost variable: bucket each sparse operand's
+    // non-zeros over that variable's coordinate blocks; the slowest piece is
+    // the maximum bucket (the load-imbalance term that separates universe
+    // from non-zero splits on skewed data).
+    const auto vars = tin::statement_vars(stmt_.assignment);
+    const tin::IndexVar v = vars.front();
+    std::vector<int64_t> piece(static_cast<size_t>(P), 0);
+    double total = 0;
+    bool bucketed = false;
+    for (const auto& a : tin::expr_accesses(stmt_.assignment.rhs)) {
+      const Tensor& t = stmt_.tensor(a.tensor);
+      if (t.format().all_dense() || !t.has_storage()) continue;
+      total += static_cast<double>(t.storage().nnz());
+      int d = -1;
+      for (size_t k = 0; k < a.vars.size(); ++k) {
+        if (a.vars[k] == v) d = static_cast<int>(k);
+      }
+      if (d < 0) continue;
+      bucketed = true;
+      const auto blocks = base::block_sums(histogram(a.tensor, d), P);
+      for (int c = 0; c < P; ++c) {
+        piece[static_cast<size_t>(c)] += blocks[static_cast<size_t>(c)];
+      }
+    }
+    if (bucketed) {
+      piece_max_nnz = static_cast<double>(
+          *std::max_element(piece.begin(), piece.end()));
+    } else {
+      piece_max_nnz = std::ceil(std::max(total, 1.0) / P);
+    }
+    // Matched placements move nothing in steady state (instances persist).
+  }
+
+  // Pieces beyond the processor count serialize on their processors.
+  const int rounds = (P + procs - 1) / procs;
+  const double t_comp = rounds *
+      std::max(piece_max_nnz * fpn_ / machine_.proc_flops(p0, threads),
+               piece_max_nnz * bpn_ / machine_.proc_mem_bw(p0, threads));
+  const double overhead = rounds * cfg.task_overhead_s;
+  const double net_bw = cfg.net_bw_gbs * 1e9 / cfg.time_scale;
+  const double t_comm =
+      procs > 1 ? comm_bytes / (net_bw * procs) + cfg.net_latency_s : 0.0;
+  return overhead + t_comp + t_comm;
+}
+
+double analytic_estimate(const Statement& stmt, const Recipe& recipe,
+                         const rt::Machine& machine) {
+  return AnalyticModel(stmt, machine).estimate(recipe);
+}
+
+Statement make_proxy(const Statement& stmt, const Options& options) {
+  Statement proxy;
+  proxy.assignment = stmt.assignment;
+  for (const auto& [name, t] : stmt.bindings) {
+    Tensor clone(name, t.dims(), t.format(), t.distribution());
+    if (t.format().all_dense()) {
+      if (t.has_storage()) {
+        clone.storage().vals()->data() = t.storage().vals()->data();
+      }
+    } else if (t.has_storage()) {
+      fmt::Coo coo = t.storage().to_coo();
+      if (coo.nnz() > options.max_sim_nnz) {
+        coo = data::sample_coo(coo, options.max_sim_nnz, options.proxy_seed);
+      }
+      clone.from_coo(std::move(coo));
+    }
+    // Sparse tensors without storage (unassembled outputs) stay empty: the
+    // compiler's assembly phase builds them during instantiation.
+    proxy.bindings.emplace(name, std::move(clone));
+  }
+  return proxy;
+}
+
+double simulate_candidate(Statement& proxy, const sched::Schedule& schedule,
+                          const rt::Machine& machine,
+                          const Options& options) {
+  // Dense outputs accumulate across candidate runs; zero between candidates
+  // so every simulation sees the same starting state.
+  Tensor out = proxy.tensor(proxy.assignment.lhs.tensor);
+  if (out.format().all_dense() && out.has_storage()) out.zero();
+
+  rt::Runtime scratch(machine);
+  comp::CompiledKernel ck =
+      comp::CompiledKernel::compile(proxy, schedule, machine);
+  auto inst = ck.instantiate(scratch);
+  inst->run(1);  // warm-up: placement + first-touch communication
+  scratch.reset_timing();
+  const int iters = std::max(1, options.sim_iters);
+  inst->run(iters);
+  return inst->report().sim_time / iters;
+}
+
+}  // namespace spdistal::autosched

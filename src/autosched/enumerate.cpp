@@ -1,0 +1,98 @@
+#include "autosched/enumerate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "compiler/lower.h"
+
+namespace spdistal::autosched {
+
+using rt::Coord;
+using sched::ParallelUnit;
+using tin::IndexVar;
+
+std::vector<Candidate> enumerate_candidates(const Statement& stmt,
+                                            const rt::Machine& machine,
+                                            const Options& options) {
+  const int procs = std::max(1, machine.num_procs());
+  std::vector<int> piece_counts{procs};
+  if (options.allow_overdecomposition && procs > 1) {
+    piece_counts.push_back(2 * procs);
+  }
+  std::vector<std::optional<ParallelUnit>> units;
+  if (machine.kind() == rt::ProcKind::CPU) {
+    units = {ParallelUnit::CPUThread, std::nullopt};
+  } else {
+    units = {ParallelUnit::GPUThread};
+  }
+
+  std::vector<Recipe> recipes;
+  auto add = [&](const Recipe& r) {
+    if (std::find(recipes.begin(), recipes.end(), r) == recipes.end()) {
+      recipes.push_back(r);
+    }
+  };
+
+  // --- Universe distribution of the outermost variable -----------------------
+  const auto vars = tin::statement_vars(stmt.assignment);
+  if (!vars.empty()) {
+    const Coord extent = var_extent(stmt, vars[0]);
+    for (bool comm : {true, false}) {
+      for (const auto& unit : units) {
+        for (int p : piece_counts) {
+          Recipe r;
+          r.pieces = static_cast<int>(
+              std::clamp<Coord>(p, 1, std::max<Coord>(extent, 1)));
+          r.communicate_all = comm;
+          r.unit = unit;
+          add(r);
+        }
+      }
+    }
+  }
+
+  // --- Non-zero distribution of each sparse operand ---------------------------
+  if (tin::is_pure_product(stmt.assignment.rhs)) {
+    std::set<std::string> seen;
+    for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+      if (!seen.insert(a.tensor).second) continue;
+      const Tensor& T = stmt.tensor(a.tensor);
+      const fmt::Format& f = T.format();
+      if (f.all_dense()) continue;
+      // Position-space lowering drives a Dense top level and divides the
+      // positions of a Compressed split level.
+      if (f.mode(0) != fmt::ModeFormat::Dense) continue;
+      const int64_t nnz = T.has_storage() ? T.storage().nnz() : 0;
+      for (int depth = 2; depth <= f.order(); ++depth) {
+        if (f.mode(depth - 1) != fmt::ModeFormat::Compressed) continue;
+        for (const auto& unit : units) {
+          for (int p : piece_counts) {
+            Recipe r;
+            r.position_space = true;
+            r.split_tensor = a.tensor;
+            r.fuse_depth = depth;
+            r.pieces = static_cast<int>(std::clamp<int64_t>(
+                p, 1, std::max<int64_t>(nnz > 0 ? nnz : p, 1)));
+            r.unit = unit;
+            add(r);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Legality: only candidates the compiler accepts survive ----------------
+  std::vector<Candidate> candidates;
+  for (const auto& r : recipes) {
+    try {
+      sched::Schedule s = materialize(r, stmt);
+      comp::CompiledKernel::compile(stmt, s, machine);
+      candidates.push_back(Candidate{r, std::move(s), 0, -1, false});
+    } catch (const SpdError&) {
+      // Illegal for this statement/machine; drop silently.
+    }
+  }
+  return candidates;
+}
+
+}  // namespace spdistal::autosched

@@ -1,0 +1,68 @@
+#include "autosched/recipe.h"
+
+#include "common/str_util.h"
+
+namespace spdistal::autosched {
+
+using tin::IndexVar;
+
+std::string Recipe::str() const {
+  std::string s;
+  if (position_space) {
+    s = strprintf("divide_pos(%s, fuse_depth=%d, pieces=%d)",
+                  split_tensor.c_str(), fuse_depth, pieces);
+  } else {
+    s = strprintf("divide(outermost, pieces=%d)%s", pieces,
+                  communicate_all ? " + communicate(all)" : "");
+  }
+  if (unit.has_value()) {
+    s += strprintf(" + parallelize(%s)", sched::parallel_unit_name(*unit));
+  }
+  return s;
+}
+
+sched::Schedule materialize(const Recipe& recipe, const Statement& stmt) {
+  sched::Schedule s;
+  if (!recipe.position_space) {
+    const auto vars = tin::statement_vars(stmt.assignment);
+    SPD_CHECK(!vars.empty(), ScheduleError,
+              "cannot schedule a statement with no index variables: "
+                  << stmt.str());
+    const IndexVar v = vars[0];
+    IndexVar io(v.name() + "o"), ii(v.name() + "i");
+    s.divide(v, io, ii, recipe.pieces).distribute(io);
+    if (recipe.communicate_all) {
+      std::vector<std::string> names;
+      for (const auto& [name, t] : stmt.bindings) names.push_back(name);
+      s.communicate(std::move(names), io);
+    }
+    if (recipe.unit.has_value()) s.parallelize(ii, *recipe.unit);
+    return s;
+  }
+
+  // Fuse the variables of the split tensor's leading storage levels, in
+  // storage order (the legality requirement of position-space lowering).
+  const std::vector<IndexVar> leading =
+      fused_level_vars(stmt, recipe.split_tensor, recipe.fuse_depth);
+  SPD_CHECK(!leading.empty(), ScheduleError,
+            "recipe splits " << recipe.split_tensor
+                             << " which is not read by " << stmt.str());
+  SPD_CHECK(recipe.fuse_depth >= 2 &&
+                static_cast<int>(leading.size()) == recipe.fuse_depth,
+            ScheduleError, "recipe fuse_depth " << recipe.fuse_depth
+                                                << " out of range for "
+                                                << recipe.split_tensor);
+  IndexVar fused = leading[0];
+  for (int l = 1; l < recipe.fuse_depth; ++l) {
+    IndexVar f(strprintf("f%d", l));
+    s.fuse(fused, leading[static_cast<size_t>(l)], f);
+    fused = f;
+  }
+  IndexVar fo(fused.name() + "o"), fi(fused.name() + "i");
+  s.divide_pos(fused, fo, fi, recipe.pieces, recipe.split_tensor)
+      .distribute(fo);
+  if (recipe.unit.has_value()) s.parallelize(fi, *recipe.unit);
+  return s;
+}
+
+}  // namespace spdistal::autosched

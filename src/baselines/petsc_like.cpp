@@ -207,12 +207,10 @@ void LibrarySystem::iteration(
   if (ops.kind == KernelKind::SpAdd3) {
     // Two pairwise additions, each streaming both operands and assembling an
     // intermediate pattern (allocation + union + copy = extra passes).
-    std::vector<int64_t> op1(rank_nnz[0].size());
-    std::vector<int64_t> op2(rank_nnz[0].size());
-    for (size_t r = 0; r < op1.size(); ++r) {
-      op1[r] = rank_nnz[0][r] + rank_nnz[1][r];
-      op2[r] = op1[r] + rank_nnz[2][r];  // intermediate is ~the union
-    }
+    const std::vector<int64_t> op1 =
+        pairwise_add_profile(rank_nnz[0], rank_nnz[1]);
+    const std::vector<int64_t> op2 =
+        pairwise_add_profile(op1, rank_nnz[2]);  // intermediate is ~the union
     compute_op(op1, 1.0 + params_.add_assembly_passes);
     compute_op(op2, 1.0 + params_.add_assembly_passes);
   } else {
@@ -230,22 +228,6 @@ LibrarySystem make_petsc_like(const rt::Machine& machine) {
   p.add_assembly_passes = 3.0;
   p.gpu_spmm_host_staging = true;
   p.supports_gpu_spadd = false;
-  return LibrarySystem(p, machine);
-}
-
-LibrarySystem make_trilinos_like(const rt::Machine& machine) {
-  LibraryParams p;
-  p.name = "Trilinos";
-  p.ranks_per_node = machine.config().sockets_per_node;
-  p.threads_per_rank =
-      machine.config().cores_per_node / machine.config().sockets_per_node;
-  p.spmv_leaf_factor = 1.1;
-  p.spmm_leaf_factor = 1.6;
-  // Tpetra's CrsMatrix::add rebuilds column maps and import/export data
-  // per call — far heavier than PETSc's MatAXPY (38.5x vs 11.8x, §VI-A1).
-  p.add_assembly_passes = 40.0;
-  p.gpu_uvm = true;
-  p.supports_gpu_spadd = true;
   return LibrarySystem(p, machine);
 }
 

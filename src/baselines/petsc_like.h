@@ -62,4 +62,23 @@ class LibrarySystem {
 LibrarySystem make_petsc_like(const rt::Machine& machine);
 LibrarySystem make_trilinos_like(const rt::Machine& machine);
 
+// --- Trilinos-only helpers (trilinos_like.cpp) --------------------------------
+
+// Tpetra's CPU rank layout: one MPI rank per socket, OpenMP threads across
+// that socket's cores (vs PETSc's flat one-rank-per-core, paper §VI-A1).
+struct SocketGeometry {
+  int ranks_per_node = 1;
+  int threads_per_rank = 1;
+};
+SocketGeometry trilinos_socket_geometry(const rt::MachineConfig& config);
+
+// Extra streaming passes charged per pairwise CrsMatrix::add call.
+double trilinos_add_assembly_passes();
+
+// Per-rank non-zero profile of the intermediate a pairwise add assembles:
+// for the shifted-pattern SpAdd inputs the union is ~the sum of the operand
+// profiles (each rank allocates, unions, and copies that many entries).
+std::vector<int64_t> pairwise_add_profile(const std::vector<int64_t>& a,
+                                          const std::vector<int64_t>& b);
+
 }  // namespace spdistal::base

@@ -1,8 +1,50 @@
-// Trilinos (Tpetra) specifics live in make_trilinos_like (petsc_like.cpp):
-// socket-level ranks with OpenMP threading, heavier pairwise-add assembly,
-// single-gather communication, and CUDA-UVM oversubscription on GPUs. This
-// TU anchors the baseline in the build and hosts Trilinos-only helpers if
-// the model grows further.
+// Trilinos (Tpetra) specifics: socket-level ranks with OpenMP threading,
+// heavier pairwise-add assembly, and CUDA-UVM oversubscription on GPUs. The
+// shared LibrarySystem execution model lives in petsc_like.cpp; this TU
+// holds the Trilinos-only helpers and the make_trilinos_like parameter set
+// built from them.
+#include <algorithm>
+
 #include "baselines/petsc_like.h"
 
-namespace spdistal::base {}  // namespace spdistal::base
+namespace spdistal::base {
+
+SocketGeometry trilinos_socket_geometry(const rt::MachineConfig& config) {
+  SocketGeometry g;
+  g.ranks_per_node = std::max(1, config.sockets_per_node);
+  g.threads_per_rank = std::max(1, config.cores_per_node / g.ranks_per_node);
+  return g;
+}
+
+double trilinos_add_assembly_passes() {
+  // Tpetra's CrsMatrix::add rebuilds column maps and import/export data per
+  // call — far heavier than PETSc's MatAXPY (38.5x vs 11.8x over SpDISTAL
+  // on SpAdd3, paper §VI-A1).
+  return 40.0;
+}
+
+std::vector<int64_t> pairwise_add_profile(const std::vector<int64_t>& a,
+                                          const std::vector<int64_t>& b) {
+  SPD_ASSERT(a.size() == b.size(),
+             "pairwise_add_profile: mismatched rank counts "
+                 << a.size() << " vs " << b.size());
+  std::vector<int64_t> out(a.size());
+  for (size_t r = 0; r < a.size(); ++r) out[r] = a[r] + b[r];
+  return out;
+}
+
+LibrarySystem make_trilinos_like(const rt::Machine& machine) {
+  const SocketGeometry geom = trilinos_socket_geometry(machine.config());
+  LibraryParams p;
+  p.name = "Trilinos";
+  p.ranks_per_node = geom.ranks_per_node;
+  p.threads_per_rank = geom.threads_per_rank;
+  p.spmv_leaf_factor = 1.1;
+  p.spmm_leaf_factor = 1.6;
+  p.add_assembly_passes = trilinos_add_assembly_passes();
+  p.gpu_uvm = true;
+  p.supports_gpu_spadd = true;
+  return LibrarySystem(p, machine);
+}
+
+}  // namespace spdistal::base

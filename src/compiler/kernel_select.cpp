@@ -1,5 +1,7 @@
 #include "compiler/kernel_select.h"
 
+#include <algorithm>
+
 #include "kernels/leaf_kernels.h"
 
 namespace spdistal::comp {
@@ -45,13 +47,32 @@ const Access* find_access(const std::vector<Access>& accs, size_t arity,
 
 }  // namespace
 
-SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
+SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
+                         const std::string& split_tensor, int split_level) {
   const tin::Assignment& asg = stmt.assignment;
   auto coiter_fallback = [&]() {
-    auto engine = std::make_shared<kern::CoiterEngine>(stmt);
+    // Position-space iteration requires the split tensor's fused level
+    // variables outermost; reorder the loop nest accordingly.
+    std::vector<IndexVar> order;
+    if (position_space && !split_tensor.empty() && split_level >= 0) {
+      order = fused_level_vars(stmt, split_tensor, split_level + 1);
+      for (const auto& v : tin::statement_vars(asg)) {
+        if (std::find(order.begin(), order.end(), v) == order.end()) {
+          order.push_back(v);
+        }
+      }
+    }
+    auto engine = std::make_shared<kern::CoiterEngine>(stmt, std::move(order));
     return SelectedLeaf{
         [engine](const kern::PieceBounds& piece) { return engine->run(piece); },
         "coiter"};
+  };
+  // The specialized _nz leaves interpret the piece's position range as
+  // positions of the split tensor's last level; a mid-tree split must use
+  // the general engine (which honors pos_level).
+  auto nz_split_is_last = [&](const Access* B) {
+    return split_level < 0 ||
+           split_level == stmt.tensor(B->tensor).format().order() - 1;
   };
 
   std::vector<tin::Expr> terms;
@@ -100,6 +121,7 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
       });
       if (c != nullptr) {
         if (position_space) {
+          if (!nz_split_is_last(B)) return coiter_fallback();
           return SelectedLeaf{kern::make_spmv_nz(out, stmt.tensor(B->tensor),
                                            stmt.tensor(c->tensor)),
                               "spmv_nz"};
@@ -127,6 +149,7 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
       });
       if (C != nullptr) {
         if (position_space) {
+          if (!nz_split_is_last(B)) return coiter_fallback();
           return SelectedLeaf{kern::make_spmm_nz(out, stmt.tensor(B->tensor),
                                                  stmt.tensor(C->tensor)),
                               "spmm_nz"};
@@ -158,6 +181,7 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
       });
       if (D != nullptr) {
         if (position_space) {
+          if (!nz_split_is_last(B)) return coiter_fallback();
           return SelectedLeaf{
               kern::make_sddmm_nz(out, stmt.tensor(B->tensor),
                                   stmt.tensor(C->tensor),
@@ -186,6 +210,7 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
       });
       if (c != nullptr) {
         if (position_space) {
+          if (!nz_split_is_last(B)) return coiter_fallback();
           return SelectedLeaf{kern::make_spttv_nz(out, stmt.tensor(B->tensor),
                                                   stmt.tensor(c->tensor)),
                               "spttv_nz"};
@@ -217,6 +242,7 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space) {
       });
       if (C != nullptr && D != nullptr) {
         if (position_space) {
+          if (!nz_split_is_last(B)) return coiter_fallback();
           return SelectedLeaf{
               kern::make_spmttkrp_nz(out, stmt.tensor(B->tensor),
                                      stmt.tensor(C->tensor),

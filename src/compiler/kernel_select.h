@@ -19,6 +19,14 @@ struct SelectedLeaf {
 };
 
 // `position_space` selects the non-zero-iteration variant where one exists.
-SelectedLeaf select_leaf(const Statement& stmt, bool position_space);
+// For position-space selection, `split_tensor`/`split_level` name the tensor
+// and storage level whose positions the distributed loop iterates. The
+// specialized _nz kernels assume the split sits at the tensor's *last*
+// level; mid-tree splits (e.g. fusing only the first two modes of a CSF
+// 3-tensor) select the general co-iteration engine instead, with a loop
+// order that puts the split tensor's fused variables outermost.
+SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
+                         const std::string& split_tensor = "",
+                         int split_level = -1);
 
 }  // namespace spdistal::comp

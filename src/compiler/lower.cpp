@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autosched/autosched.h"
 #include "common/str_util.h"
 #include "compiler/kernel_select.h"
 #include "kernels/assembly.h"
@@ -20,8 +21,18 @@ using tin::IndexVar;
 
 CompiledKernel CompiledKernel::compile(const Statement& stmt,
                                        const rt::Machine& machine) {
-  return compile(stmt, stmt.tensor(stmt.assignment.lhs.tensor).schedule(),
-                 machine);
+  const Tensor& out = stmt.tensor(stmt.assignment.lhs.tensor);
+  if (out.schedule().commands().empty()) {
+    // No schedule was recorded: compile with a searched one. The plan is
+    // deliberately not written back to the tensor — a recorded schedule is
+    // machine-specific, and silently replaying it on a different machine
+    // would bypass the search (recompiles are cached per machine anyway).
+    // Tensor::autoschedule() records explicitly. A *partial* schedule
+    // (commands but no distribute()) is a user mistake, not a request for
+    // search — it falls through to the clear ScheduleError below.
+    return compile(stmt, autosched::autoschedule(stmt, machine), machine);
+  }
+  return compile(stmt, out.schedule(), machine);
 }
 
 CompiledKernel CompiledKernel::compile(const Statement& stmt,
@@ -53,24 +64,16 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
     if (ck.fused_sources_.empty()) {
       ck.fused_sources_ = {ck.dist_source_var_};
     }
-    // Locate the split tensor's access and check the fused variables match
-    // its leading storage levels.
-    const Tensor& T = stmt.tensor(ck.split_tensor_);
-    const tin::Access* taccess = nullptr;
-    for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
-      if (a.tensor == ck.split_tensor_) taccess = &a;
-    }
-    SPD_CHECK(taccess != nullptr, ScheduleError,
+    // The fused variables must name the split tensor's leading storage
+    // levels, in storage order.
+    const std::vector<IndexVar> leading = fused_level_vars(
+        stmt, ck.split_tensor_, static_cast<int>(ck.fused_sources_.size()));
+    SPD_CHECK(!leading.empty(), ScheduleError,
               "position-split tensor " << ck.split_tensor_
                                        << " is not read by " << stmt.str());
-    for (size_t l = 0; l < ck.fused_sources_.size(); ++l) {
-      const int dim = T.format().dim_of_level(static_cast<int>(l));
-      SPD_CHECK(taccess->vars[static_cast<size_t>(dim)] ==
-                    ck.fused_sources_[l],
-                ScheduleError,
-                "fused variables must name the leading storage dimensions of "
-                    << ck.split_tensor_);
-    }
+    SPD_CHECK(leading == ck.fused_sources_, ScheduleError,
+              "fused variables must name the leading storage dimensions of "
+                  << ck.split_tensor_);
     ck.split_level_ = static_cast<int>(ck.fused_sources_.size()) - 1;
   } else {
     // The distributed variable must be iterated outermost; our leaves assume
@@ -89,32 +92,14 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
     ck.leaf_threads_ = 1;
   }
 
-  SelectedLeaf leaf = select_leaf(stmt, ck.position_space_);
+  SelectedLeaf leaf = select_leaf(stmt, ck.position_space_, ck.split_tensor_,
+                                  ck.position_space_ ? ck.split_level_ : -1);
   ck.leaf_ = leaf.fn;
   ck.leaf_name_ = leaf.name;
   return ck;
 }
 
 namespace {
-
-// Variable extent from the statement's tensor dims.
-Coord var_extent(const Statement& stmt, const IndexVar& v) {
-  auto check = [&](const tin::Access& a) -> Coord {
-    const Tensor& t = stmt.tensor(a.tensor);
-    for (size_t d = 0; d < a.vars.size(); ++d) {
-      if (a.vars[d] == v) return t.dims()[d];
-    }
-    return -1;
-  };
-  Coord n = check(stmt.assignment.lhs);
-  if (n >= 0) return n;
-  for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
-    n = check(a);
-    if (n >= 0) return n;
-  }
-  SPD_ASSERT(false, "variable " << v.name() << " not used in statement");
-  return -1;
-}
 
 // The logical dimension at which tensor `name` uses `v`, or -1.
 int dim_of_var(const Statement& stmt, const std::string& name,
@@ -259,6 +244,8 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
     // === Coordinate-value iteration: universe partitions =====================
     const IndexVar v = dist_source_var_;
     const Coord extent = var_extent(stmt, v);
+    SPD_ASSERT(extent >= 0,
+               "variable " << v.name() << " not used in statement");
     const std::vector<rt::Rect1> bounds = tdn::equal_bounds(extent, pieces_);
     for (int c = 0; c < pieces_; ++c) {
       inst->piece_bounds_[static_cast<size_t>(c)].dist_coords =

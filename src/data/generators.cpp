@@ -146,4 +146,25 @@ fmt::Coo shift_last_dim(const fmt::Coo& coo, Coord shift) {
   return out;
 }
 
+fmt::Coo sample_coo(const fmt::Coo& coo, int64_t target_nnz, uint64_t seed) {
+  const int64_t n = coo.nnz();
+  if (target_nnz <= 0 || n <= target_nnz) return coo;
+  fmt::Coo out;
+  out.dims = coo.dims;
+  // Evenly strided picks keep row-degree proportions and band structure; the
+  // seed only rotates the phase so distinct proxies of one tensor differ.
+  const int64_t phase = static_cast<int64_t>(seed % static_cast<uint64_t>(n));
+  for (int64_t k = 0; k < target_nnz; ++k) {
+    const int64_t idx = (k * n / target_nnz + phase) % n;
+    out.push(coo.coords[static_cast<size_t>(idx)],
+             coo.vals[static_cast<size_t>(idx)]);
+  }
+  out.sort_and_combine([&] {
+    std::vector<int> order(coo.dims.size());
+    for (size_t d = 0; d < order.size(); ++d) order[d] = static_cast<int>(d);
+    return order;
+  }());
+  return out;
+}
+
 }  // namespace spdistal::data

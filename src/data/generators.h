@@ -53,4 +53,10 @@ fmt::Coo patents_like_3tensor(Coord d0, Coord d1, Coord d2, double fill,
 // sparse inputs for multi-sparse-operand expressions (SpAdd3).
 fmt::Coo shift_last_dim(const fmt::Coo& coo, Coord shift);
 
+// Deterministic downsample to ~target_nnz non-zeros by evenly strided picks
+// (phase rotated by `seed`), preserving the structural class — the proxy
+// tensors the auto-scheduler prices candidate schedules on. Returns the
+// input unchanged when it is already small enough.
+fmt::Coo sample_coo(const fmt::Coo& coo, int64_t target_nnz, uint64_t seed);
+
 }  // namespace spdistal::data

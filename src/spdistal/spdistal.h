@@ -8,6 +8,7 @@
 // I/O. Sub-headers remain individually includable for finer-grained builds.
 #pragma once
 
+#include "autosched/autosched.h"   // cost-model-guided schedule search
 #include "baselines/common.h"      // baseline classification helpers
 #include "baselines/ctf_like.h"    // interpretation baseline
 #include "baselines/petsc_like.h"  // library baselines (PETSc/Trilinos)

@@ -37,6 +37,40 @@ const Tensor& Statement::tensor(const std::string& name) const {
   return it->second;
 }
 
+Coord var_extent(const Statement& stmt, const IndexVar& v) {
+  auto scan = [&](const tin::Access& a) -> Coord {
+    const Tensor& t = stmt.tensor(a.tensor);
+    for (size_t d = 0; d < a.vars.size(); ++d) {
+      if (a.vars[d] == v) return t.dims()[d];
+    }
+    return -1;
+  };
+  Coord n = scan(stmt.assignment.lhs);
+  if (n >= 0) return n;
+  for (const auto& a : tin::expr_accesses(stmt.assignment.rhs)) {
+    n = scan(a);
+    if (n >= 0) return n;
+  }
+  return -1;
+}
+
+std::vector<IndexVar> fused_level_vars(const Statement& stmt,
+                                       const std::string& tensor, int depth) {
+  const Tensor& t = stmt.tensor(tensor);
+  const auto accesses = tin::expr_accesses(stmt.assignment.rhs);
+  const tin::Access* access = nullptr;
+  for (const auto& a : accesses) {
+    if (a.tensor == tensor) access = &a;
+  }
+  if (access == nullptr) return {};
+  std::vector<IndexVar> out;
+  for (int l = 0; l < depth && l < t.format().order(); ++l) {
+    out.push_back(
+        access->vars[static_cast<size_t>(t.format().dim_of_level(l))]);
+  }
+  return out;
+}
+
 TensorAccess::TensorAccess(Tensor tensor, std::vector<IndexVar> vars)
     : tensor_(std::make_shared<Tensor>(std::move(tensor))),
       vars_(std::move(vars)) {
@@ -191,5 +225,8 @@ const Statement& Tensor::definition() const {
 
 sched::Schedule& Tensor::schedule() { return data_->schedule; }
 const sched::Schedule& Tensor::schedule() const { return data_->schedule; }
+
+// Tensor::autoschedule is defined in autosched/autosched.cpp so the tensor
+// module stays at the bottom of the layering (no dependency on the search).
 
 }  // namespace spdistal

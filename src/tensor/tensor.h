@@ -28,6 +28,10 @@
 
 namespace spdistal {
 
+namespace rt {
+class Machine;
+}
+
 using rt::Coord;
 using tin::IndexVar;
 
@@ -51,6 +55,17 @@ struct Statement {
   const Tensor& tensor(const std::string& name) const;
   std::string str() const { return tin::assignment_str(assignment); }
 };
+
+// Extent of `v` in `stmt`, from the dims of any access that uses it; -1 if
+// the variable appears nowhere in the statement.
+Coord var_extent(const Statement& stmt, const IndexVar& v);
+
+// The variables of `tensor`'s leading `depth` storage levels, as accessed on
+// the statement's rhs — the fuse chain of a position-space split. Empty if
+// the rhs does not read `tensor`; shorter than `depth` if `depth` exceeds
+// the tensor's order.
+std::vector<IndexVar> fused_level_vars(const Statement& stmt,
+                                       const std::string& tensor, int depth);
 
 // Result of Tensor::operator(): convertible to an expression operand, and
 // assignable to define the tensor's computation.
@@ -118,6 +133,12 @@ class Tensor {
   // Scheduling builder for the defining statement.
   sched::Schedule& schedule();
   const sched::Schedule& schedule() const;
+
+  // Replaces this tensor's schedule with one found by the auto-scheduler
+  // (autosched::autoschedule) for its defining statement on `machine`, and
+  // returns it. Compiling an unscheduled statement also searches, but uses
+  // the plan without recording it (a recorded schedule is machine-specific).
+  sched::Schedule& autoschedule(const rt::Machine& machine);
 
   // Identity: Tensors are shared handles.
   bool same_as(const Tensor& o) const { return data_ == o.data_; }

@@ -128,6 +128,41 @@ TEST(PetscLike, RejectsGpuSpAdd3) {
   EXPECT_GT(petsc_cpu.run(stmt, 1, 2), 0);
 }
 
+TEST(TrilinosLike, SocketGeometryAndHelpers) {
+  rt::MachineConfig cfg;  // Lassen-like defaults: 40 cores, 2 sockets
+  const SocketGeometry g = trilinos_socket_geometry(cfg);
+  EXPECT_EQ(g.ranks_per_node, 2);
+  EXPECT_EQ(g.threads_per_rank, 20);
+  EXPECT_GT(trilinos_add_assembly_passes(), 1.0);
+  EXPECT_EQ(pairwise_add_profile({1, 2, 3}, {10, 20, 30}),
+            (std::vector<int64_t>{11, 22, 33}));
+}
+
+TEST(TrilinosLike, MakeTrilinosLikeValuesAndSupport) {
+  // make_trilinos_like: correct values on SpMV, and — unlike PETSc — GPU
+  // sparse add with unknown output pattern is supported.
+  SpmvSetup s(data::powerlaw_matrix(200, 200, 3000, 1.2, 21));
+  LibrarySystem trilinos = make_trilinos_like(scaled_machine(4));
+  EXPECT_EQ(trilinos.name(), "Trilinos");
+  const double t = trilinos.run(*s.stmt, 1, 5);
+  EXPECT_GT(t, 0);
+  EXPECT_LE(ref::max_abs_diff(s.a, ref::eval(*s.stmt)), 1e-10);
+
+  IndexVar i("i"), j("j");
+  fmt::Coo coo = data::uniform_matrix(64, 64, 600, 22);
+  Tensor A("A", {64, 64}, fmt::csr());
+  Tensor B("B", {64, 64}, fmt::csr());
+  Tensor C("C", {64, 64}, fmt::csr());
+  Tensor D("D", {64, 64}, fmt::csr());
+  B.from_coo(coo);
+  C.from_coo(data::shift_last_dim(coo, 1));
+  D.from_coo(data::shift_last_dim(coo, 2));
+  Statement& stmt = (A(i, j) = B(i, j) + C(i, j) + D(i, j));
+  LibrarySystem trilinos_gpu =
+      make_trilinos_like(scaled_machine(1, rt::ProcKind::GPU, 4));
+  EXPECT_GT(trilinos_gpu.run(stmt, 1, 2), 0);
+}
+
 TEST(TrilinosLike, SpAdd3SlowerThanPetsc) {
   // Paper §VI-A1: SpDISTAL beats PETSc 11.8x and Trilinos 38.5x on SpAdd3,
   // i.e. Trilinos pays more for pairwise assembly than PETSc.
