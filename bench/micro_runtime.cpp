@@ -82,6 +82,41 @@ void BM_PartitionByValueRanges(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionByValueRanges)->Arg(10000)->Arg(100000);
 
+// Guard for the O(nnz log pieces) binary-search path: many sorted-disjoint
+// ranges must not reintroduce the O(nnz x pieces) per-color probe (items/s
+// should be flat in the piece count, not inversely proportional).
+void BM_PartitionByValueRangesManyPieces(benchmark::State& state) {
+  fmt::TensorStorage st = make_csr(100000);
+  const auto& level = st.level(1);
+  const int pieces = static_cast<int>(state.range(0));
+  std::vector<rt::Rect1> ranges;
+  const Coord m = st.dims()[1];
+  for (int c = 0; c < pieces; ++c) {
+    ranges.push_back(rt::Rect1{c * m / pieces, (c + 1) * m / pieces - 1});
+  }
+  for (auto _ : state) {
+    auto p = rt::partition_by_value_ranges(*level.crd, ranges);
+    benchmark::DoNotOptimize(p.num_colors());
+  }
+  state.SetItemsProcessed(state.iterations() * st.nnz());
+}
+BENCHMARK(BM_PartitionByValueRangesManyPieces)->Arg(16)->Arg(256)->Arg(1024);
+
+// Same guard for preimage's per-entry rect probe (binary search over the
+// sorted-disjoint rects of each colored crd subset).
+void BM_PreimageManyColors(benchmark::State& state) {
+  fmt::TensorStorage st = make_csr(100000);
+  const auto& level = st.level(1);
+  rt::Partition nz = rt::partition_equal(rt::IndexSpace(level.positions),
+                                         static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto p = rt::preimage(*level.pos, nz);
+    benchmark::DoNotOptimize(p.num_colors());
+  }
+  state.SetItemsProcessed(state.iterations() * st.dims()[0]);
+}
+BENCHMARK(BM_PreimageManyColors)->Arg(16)->Arg(256);
+
 void BM_SubsetSubtract(benchmark::State& state) {
   rt::IndexSubset a(1), b(1);
   for (Coord k = 0; k < state.range(0); ++k) {

@@ -37,7 +37,9 @@ const std::vector<int64_t>& AnalyticModel::histogram(
 double AnalyticModel::estimate(const Recipe& recipe) {
   const rt::MachineConfig& cfg = machine_.config();
   const int procs = std::max(1, machine_.num_procs());
-  const int P = std::max(1, recipe.pieces);
+  const int PX = std::max(1, recipe.pieces);
+  const int PY = std::max(1, recipe.pieces_y);
+  const int P = PX * PY;
   const int threads = (recipe.unit.has_value() &&
                        *recipe.unit == sched::ParallelUnit::CPUThread)
                           ? cfg.cores_per_node
@@ -46,6 +48,16 @@ double AnalyticModel::estimate(const Recipe& recipe) {
 
   double piece_max_nnz = 1;
   double comm_bytes = 0;  // per-iteration inter-memory traffic
+
+  auto output_bytes = [&]() {
+    const Tensor& out = stmt_.tensor(stmt_.assignment.lhs.tensor);
+    if (out.has_storage()) {
+      return static_cast<double>(out.storage().vals()->size_bytes());
+    }
+    double vol = 1;
+    for (Coord d : out.dims()) vol *= static_cast<double>(d);
+    return 8.0 * vol;
+  };
 
   if (recipe.position_space) {
     // Equal non-zero blocks: perfectly balanced work by construction.
@@ -56,46 +68,113 @@ double AnalyticModel::estimate(const Recipe& recipe) {
     // Piece boundaries overlap coordinate rows, so outputs merge under
     // reduction privileges every iteration: charge one pass over the
     // output's values (an upper bound; aligned-pattern outputs pay none).
-    const Tensor& out = stmt_.tensor(stmt_.assignment.lhs.tensor);
-    if (out.has_storage()) {
-      comm_bytes = static_cast<double>(out.storage().vals()->size_bytes());
-    } else {
-      double vol = 1;
-      for (Coord d : out.dims()) vol *= static_cast<double>(d);
-      comm_bytes = 8.0 * vol;
-    }
+    comm_bytes = output_bytes();
   } else {
-    // Universe split of the outermost variable: bucket each sparse operand's
-    // non-zeros over that variable's coordinate blocks; the slowest piece is
-    // the maximum bucket (the load-imbalance term that separates universe
-    // from non-zero splits on skewed data).
+    // Universe split: bucket each sparse operand's non-zeros over the
+    // distributed variables' coordinate blocks; the slowest piece is the
+    // maximum bucket (the load-imbalance term that separates universe from
+    // non-zero splits on skewed data).
     const auto vars = tin::statement_vars(stmt_.assignment);
     const tin::IndexVar v = vars.front();
-    std::vector<int64_t> piece(static_cast<size_t>(P), 0);
-    double total = 0;
-    bool bucketed = false;
-    for (const auto& a : tin::expr_accesses(stmt_.assignment.rhs)) {
-      const Tensor& t = stmt_.tensor(a.tensor);
-      if (t.format().all_dense() || !t.has_storage()) continue;
-      total += static_cast<double>(t.storage().nnz());
+    const bool grid = PY > 1 && vars.size() >= 2;
+    auto dim_of = [](const tin::Access& a, const tin::IndexVar& u) {
       int d = -1;
       for (size_t k = 0; k < a.vars.size(); ++k) {
-        if (a.vars[k] == v) d = static_cast<int>(k);
+        if (a.vars[k] == u) d = static_cast<int>(k);
       }
-      if (d < 0) continue;
-      bucketed = true;
-      const auto blocks = base::block_sums(histogram(a.tensor, d), P);
-      for (int c = 0; c < P; ++c) {
-        piece[static_cast<size_t>(c)] += blocks[static_cast<size_t>(c)];
+      return d;
+    };
+    if (grid) {
+      // (px, py) grid over (vars[0], vars[1]). Per-axis fractions: an axis
+      // variable indexing the operand keeps its worst coordinate block; one
+      // that only splits a surrounding dense loop scales the per-non-zero
+      // work by 1/pieces. The per-operand products sum over co-iterated
+      // operands (independence approximation between the two axes).
+      const tin::IndexVar w = vars[1];
+      double total_piece = 0;
+      double total = 0;
+      bool bucketed = false;
+      for (const auto& a : tin::expr_accesses(stmt_.assignment.rhs)) {
+        const Tensor& t = stmt_.tensor(a.tensor);
+        if (t.format().all_dense() || !t.has_storage()) continue;
+        const double nnz =
+            std::max(1.0, static_cast<double>(t.storage().nnz()));
+        total += nnz;
+        auto axis_frac = [&](const tin::IndexVar& u, int pieces_a) {
+          const int d = dim_of(a, u);
+          if (d < 0) return 1.0 / pieces_a;
+          const auto blocks = base::block_sums(histogram(a.tensor, d),
+                                               pieces_a);
+          return static_cast<double>(
+                     *std::max_element(blocks.begin(), blocks.end())) /
+                 nnz;
+        };
+        bucketed = true;
+        total_piece += nnz * axis_frac(v, PX) * axis_frac(w, PY);
       }
-    }
-    if (bucketed) {
-      piece_max_nnz = static_cast<double>(
-          *std::max_element(piece.begin(), piece.end()));
+      piece_max_nnz = bucketed ? std::max(total_piece, 1.0)
+                               : std::ceil(std::max(total, 1.0) / P);
+      // An axis whose variable does not index the output merges partial
+      // results by reduction every iteration: one pass over the output.
+      const auto& lhs = stmt_.assignment.lhs.vars;
+      for (const auto& [u, pa] :
+           {std::pair<tin::IndexVar, int>{v, PX}, {w, PY}}) {
+        if (pa > 1 &&
+            std::find(lhs.begin(), lhs.end(), u) == lhs.end()) {
+          comm_bytes += output_bytes();
+        }
+      }
     } else {
-      piece_max_nnz = std::ceil(std::max(total, 1.0) / P);
+      std::vector<int64_t> piece(static_cast<size_t>(P), 0);
+      double total = 0;
+      bool bucketed = false;
+      for (const auto& a : tin::expr_accesses(stmt_.assignment.rhs)) {
+        const Tensor& t = stmt_.tensor(a.tensor);
+        if (t.format().all_dense() || !t.has_storage()) continue;
+        total += static_cast<double>(t.storage().nnz());
+        const int d = dim_of(a, v);
+        if (d < 0) continue;
+        bucketed = true;
+        const auto blocks = base::block_sums(histogram(a.tensor, d), P);
+        for (int c = 0; c < P; ++c) {
+          piece[static_cast<size_t>(c)] += blocks[static_cast<size_t>(c)];
+        }
+      }
+      if (bucketed) {
+        piece_max_nnz = static_cast<double>(
+            *std::max_element(piece.begin(), piece.end()));
+      } else {
+        piece_max_nnz = std::ceil(std::max(total, 1.0) / P);
+      }
     }
-    // Matched placements move nothing in steady state (instances persist).
+    // Per-axis replication pricing: a dense input operand not indexed by a
+    // distribution axis is replicated across that axis's pieces (1-D row
+    // SpMM copies all of C everywhere; a (px, py) grid copies column blocks
+    // px ways — the communication win of 2-D grids). Instances persist in
+    // steady state, so charge one replica-set refill amortized over a
+    // nominal serving window.
+    constexpr double kReplAmortIters = 16.0;
+    double repl_bytes = 0;
+    for (const auto& a : tin::expr_accesses(stmt_.assignment.rhs)) {
+      const Tensor& t = stmt_.tensor(a.tensor);
+      if (!t.format().all_dense()) continue;
+      double bytes = 8.0;
+      for (Coord d : t.dims()) bytes *= static_cast<double>(d);
+      double split = 1;
+      int copies = 1;
+      for (const auto& [u, pa] :
+           {std::pair<tin::IndexVar, int>{vars.front(), PX},
+            {vars.size() >= 2 ? vars[1] : vars.front(),
+             vars.size() >= 2 ? PY : 1}}) {
+        if (dim_of(a, u) >= 0) {
+          split *= pa;
+        } else {
+          copies *= pa;
+        }
+      }
+      repl_bytes += bytes / split * (copies - 1);
+    }
+    comm_bytes += repl_bytes / kReplAmortIters;
   }
 
   // Pieces beyond the processor count serialize on their processors.

@@ -51,6 +51,29 @@ std::vector<Candidate> enumerate_candidates(const Statement& stmt,
     }
   }
 
+  // --- Multi-axis universe grids (px, py) -------------------------------------
+  // Every proper factorization of the processor count becomes a 2-D grid
+  // mapping the two outermost variables onto Machine(Grid(px, py)) — the
+  // paper's 2-D SpMM/SDDMM schedules that trade replication for balance.
+  if (vars.size() >= 2 && procs > 1) {
+    const Coord e0 = var_extent(stmt, vars[0]);
+    const Coord e1 = var_extent(stmt, vars[1]);
+    for (int px = 2; px * 2 <= procs; ++px) {
+      if (procs % px != 0) continue;
+      const int py = procs / px;
+      for (const auto& unit : units) {
+        Recipe r;
+        r.pieces = static_cast<int>(
+            std::clamp<Coord>(px, 1, std::max<Coord>(e0, 1)));
+        r.pieces_y = static_cast<int>(
+            std::clamp<Coord>(py, 1, std::max<Coord>(e1, 1)));
+        if (r.pieces_y <= 1) continue;  // degenerated to 1-D
+        r.unit = unit;
+        add(r);
+      }
+    }
+  }
+
   // --- Non-zero distribution of each sparse operand ---------------------------
   if (tin::is_pure_product(stmt.assignment.rhs)) {
     std::set<std::string> seen;
@@ -73,6 +96,20 @@ std::vector<Candidate> enumerate_candidates(const Statement& stmt,
             r.fuse_depth = depth;
             r.pieces = static_cast<int>(std::clamp<int64_t>(
                 p, 1, std::max<int64_t>(nnz > 0 ? nnz : p, 1)));
+            r.unit = unit;
+            add(r);
+          }
+          // Non-zero x universe grids: factor the processor count between
+          // equal non-zero blocks and an inner universe axis.
+          for (int px = 2; px * 2 <= procs; ++px) {
+            if (procs % px != 0) continue;
+            Recipe r;
+            r.position_space = true;
+            r.split_tensor = a.tensor;
+            r.fuse_depth = depth;
+            r.pieces = static_cast<int>(std::clamp<int64_t>(
+                px, 1, std::max<int64_t>(nnz > 0 ? nnz : px, 1)));
+            r.pieces_y = procs / px;
             r.unit = unit;
             add(r);
           }

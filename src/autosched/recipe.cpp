@@ -1,5 +1,7 @@
 #include "autosched/recipe.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace spdistal::autosched {
@@ -11,6 +13,10 @@ std::string Recipe::str() const {
   if (position_space) {
     s = strprintf("divide_pos(%s, fuse_depth=%d, pieces=%d)",
                   split_tensor.c_str(), fuse_depth, pieces);
+    if (pieces_y > 1) s += strprintf(" x divide(%d)", pieces_y);
+  } else if (pieces_y > 1) {
+    s = strprintf("divide(grid %dx%d)%s", pieces, pieces_y,
+                  communicate_all ? " + communicate(all)" : "");
   } else {
     s = strprintf("divide(outermost, pieces=%d)%s", pieces,
                   communicate_all ? " + communicate(all)" : "");
@@ -30,7 +36,17 @@ sched::Schedule materialize(const Recipe& recipe, const Statement& stmt) {
                   << stmt.str());
     const IndexVar v = vars[0];
     IndexVar io(v.name() + "o"), ii(v.name() + "i");
-    s.divide(v, io, ii, recipe.pieces).distribute(io);
+    s.divide(v, io, ii, recipe.pieces);
+    if (recipe.pieces_y > 1) {
+      // Second grid axis over the next index variable.
+      SPD_CHECK(vars.size() >= 2, ScheduleError,
+                "grid recipe needs two index variables: " << stmt.str());
+      const IndexVar w = vars[1];
+      IndexVar jo(w.name() + "o"), ji(w.name() + "i");
+      s.divide(w, jo, ji, recipe.pieces_y).distribute(io).distribute(jo);
+    } else {
+      s.distribute(io);
+    }
     if (recipe.communicate_all) {
       std::vector<std::string> names;
       for (const auto& [name, t] : stmt.bindings) names.push_back(name);
@@ -61,6 +77,23 @@ sched::Schedule materialize(const Recipe& recipe, const Statement& stmt) {
   IndexVar fo(fused.name() + "o"), fi(fused.name() + "i");
   s.divide_pos(fused, fo, fi, recipe.pieces, recipe.split_tensor)
       .distribute(fo);
+  if (recipe.pieces_y > 1) {
+    // Non-zero x universe grid: the inner axis divides the first statement
+    // variable not consumed by the position split.
+    const auto vars = tin::statement_vars(stmt.assignment);
+    const IndexVar* w = nullptr;
+    for (const auto& u : vars) {
+      if (std::find(leading.begin(), leading.end(), u) == leading.end()) {
+        w = &u;
+        break;
+      }
+    }
+    SPD_CHECK(w != nullptr, ScheduleError,
+              "grid recipe needs a variable outside the position split: "
+                  << stmt.str());
+    IndexVar jo(w->name() + "o"), ji(w->name() + "i");
+    s.divide(*w, jo, ji, recipe.pieces_y).distribute(jo);
+  }
   if (recipe.unit.has_value()) s.parallelize(fi, *recipe.unit);
   return s;
 }

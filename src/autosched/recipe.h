@@ -22,8 +22,13 @@ struct Recipe {
   // Non-zero (position-space) distribution of `split_tensor`, vs a universe
   // (coordinate-block) distribution of the statement's outermost variable.
   bool position_space = false;
-  // Pieces of the divide / divide_pos producing the distributed variable.
+  // Pieces of the divide / divide_pos producing the distributed variable
+  // (axis 0 of the piece grid).
   int pieces = 1;
+  // Universe only: pieces of a second distributed axis over the statement's
+  // second index variable (> 1 maps the loop nest onto a Machine(Grid(x, y))
+  // as divide(i) + divide(j) + distribute(io) + distribute(jo); 1 = 1-D).
+  int pieces_y = 1;
   // Position space only: tensor whose stored non-zeros are divided, and how
   // many of its leading storage levels are fused before the divide (>= 2).
   std::string split_tensor;

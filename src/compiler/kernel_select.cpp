@@ -48,8 +48,21 @@ const Access* find_access(const std::vector<Access>& accs, size_t arity,
 }  // namespace
 
 SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
-                         const std::string& split_tensor, int split_level) {
+                         const std::string& split_tensor, int split_level,
+                         const std::vector<IndexVar>& dist_vars) {
   const tin::Assignment& asg = stmt.assignment;
+  const bool multi_axis = dist_vars.size() >= 2;
+  // With a 2-axis grid, a specialized kernel is usable only when axis 1 is
+  // the variable the kernel can clamp (checked per kernel below). For
+  // position-space grids only the inner axis matters (axis 0 names the
+  // fused variable, validated by the compiler).
+  auto inner_axes_ok = [&](const IndexVar& inner) {
+    return !multi_axis ||
+           (dist_vars.size() == 2 && dist_vars[1] == inner);
+  };
+  auto grid_matches = [&](const IndexVar& outer, const IndexVar& inner) {
+    return !multi_axis || (dist_vars[0] == outer && inner_axes_ok(inner));
+  };
   auto coiter_fallback = [&]() {
     // Position-space iteration requires the split tensor's fused level
     // variables outermost; reorder the loop nest accordingly.
@@ -99,7 +112,7 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       }
       ins.push_back(in);
     }
-    if (ok && !position_space) {
+    if (ok && !position_space && !multi_axis) {
       return SelectedLeaf{kern::make_spadd3_row(out, ins[0], ins[1], ins[2]),
                           "spadd3_row"};
     }
@@ -121,11 +134,14 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       });
       if (c != nullptr) {
         if (position_space) {
-          if (!nz_split_is_last(B)) return coiter_fallback();
+          if (!nz_split_is_last(B) || multi_axis) return coiter_fallback();
           return SelectedLeaf{kern::make_spmv_nz(out, stmt.tensor(B->tensor),
                                            stmt.tensor(c->tensor)),
                               "spmv_nz"};
         }
+        // spmv_row cannot clamp the reduction variable j; a grid
+        // distribution over (i, j) uses the general engine.
+        if (multi_axis) return coiter_fallback();
         return SelectedLeaf{kern::make_spmv_row(out, stmt.tensor(B->tensor),
                                           stmt.tensor(c->tensor)),
                             "spmv_row"};
@@ -149,14 +165,27 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       });
       if (C != nullptr) {
         if (position_space) {
-          if (!nz_split_is_last(B)) return coiter_fallback();
-          return SelectedLeaf{kern::make_spmm_nz(out, stmt.tensor(B->tensor),
-                                                 stmt.tensor(C->tensor)),
-                              "spmm_nz"};
+          if (!nz_split_is_last(B) || !inner_axes_ok(j)) {
+            return coiter_fallback();
+          }
+          // Non-zero x universe grid: spmm_nz clamps its dense j loop to
+          // the piece's inner-axis block.
+          return SelectedLeaf{
+              kern::make_spmm_nz(out, stmt.tensor(B->tensor),
+                                 stmt.tensor(C->tensor),
+                                 multi_axis ? std::optional<uint32_t>(j.id())
+                                            : std::nullopt),
+              "spmm_nz"};
         }
-        return SelectedLeaf{kern::make_spmm_row(out, stmt.tensor(B->tensor),
-                                          stmt.tensor(C->tensor)),
-                            "spmm_row"};
+        // A 2-D grid over (i, j) tiles rows x output columns: spmm_row
+        // clamps its dense j loop to the piece's axis-1 block.
+        if (!grid_matches(i, j)) return coiter_fallback();
+        return SelectedLeaf{
+            kern::make_spmm_row(out, stmt.tensor(B->tensor),
+                                stmt.tensor(C->tensor),
+                                multi_axis ? std::optional<uint32_t>(j.id())
+                                           : std::nullopt),
+            "spmm_row"};
       }
     }
   }
@@ -181,17 +210,26 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       });
       if (D != nullptr) {
         if (position_space) {
-          if (!nz_split_is_last(B)) return coiter_fallback();
+          if (!nz_split_is_last(B) || !inner_axes_ok(j)) {
+            return coiter_fallback();
+          }
           return SelectedLeaf{
               kern::make_sddmm_nz(out, stmt.tensor(B->tensor),
                                   stmt.tensor(C->tensor),
-                                  stmt.tensor(D->tensor)),
+                                  stmt.tensor(D->tensor),
+                                  multi_axis ? std::optional<uint32_t>(j.id())
+                                             : std::nullopt),
               "sddmm_nz"};
         }
+        // A 2-D grid over (i, j) tiles rows x sparse columns: sddmm_row
+        // filters B's stored columns to the piece's axis-1 block.
+        if (!grid_matches(i, j)) return coiter_fallback();
         return SelectedLeaf{
             kern::make_sddmm_row(out, stmt.tensor(B->tensor),
                                  stmt.tensor(C->tensor),
-                                 stmt.tensor(D->tensor)),
+                                 stmt.tensor(D->tensor),
+                                 multi_axis ? std::optional<uint32_t>(j.id())
+                                            : std::nullopt),
             "sddmm_row"};
       }
     }
@@ -210,11 +248,12 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       });
       if (c != nullptr) {
         if (position_space) {
-          if (!nz_split_is_last(B)) return coiter_fallback();
+          if (!nz_split_is_last(B) || multi_axis) return coiter_fallback();
           return SelectedLeaf{kern::make_spttv_nz(out, stmt.tensor(B->tensor),
                                                   stmt.tensor(c->tensor)),
                               "spttv_nz"};
         }
+        if (multi_axis) return coiter_fallback();
         return SelectedLeaf{kern::make_spttv_row(out, stmt.tensor(B->tensor),
                                                  stmt.tensor(c->tensor)),
                             "spttv_row"};
@@ -242,13 +281,14 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       });
       if (C != nullptr && D != nullptr) {
         if (position_space) {
-          if (!nz_split_is_last(B)) return coiter_fallback();
+          if (!nz_split_is_last(B) || multi_axis) return coiter_fallback();
           return SelectedLeaf{
               kern::make_spmttkrp_nz(out, stmt.tensor(B->tensor),
                                      stmt.tensor(C->tensor),
                                      stmt.tensor(D->tensor)),
               "spmttkrp_nz"};
         }
+        if (multi_axis) return coiter_fallback();
         return SelectedLeaf{
             kern::make_spmttkrp_row(out, stmt.tensor(B->tensor),
                                     stmt.tensor(C->tensor),

@@ -25,8 +25,15 @@ struct SelectedLeaf {
 // level; mid-tree splits (e.g. fusing only the first two modes of a CSF
 // 3-tensor) select the general co-iteration engine instead, with a loop
 // order that puts the split tensor's fused variables outermost.
+//
+// `dist_vars` names the distributed source variable per grid axis (empty or
+// size 1 for a 1-D distribution). With a multi-axis grid, only kernels that
+// can honor the inner axis's coordinate block are selected (SpMM / SDDMM
+// with the output column variable on axis 1); everything else falls back to
+// the co-iteration engine, which clamps every variable to its piece bound.
 SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
                          const std::string& split_tensor = "",
-                         int split_level = -1);
+                         int split_level = -1,
+                         const std::vector<tin::IndexVar>& dist_vars = {});
 
 }  // namespace spdistal::comp

@@ -43,13 +43,27 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
   ck.schedule_ = schedule;
   ck.machine_ = machine;
 
-  SPD_CHECK(schedule.distributed_var().has_value(), ScheduleError,
+  const std::vector<IndexVar> dvs = schedule.distributed_vars();
+  SPD_CHECK(!dvs.empty(), ScheduleError,
             "schedule must distribute() an index variable: "
                 << stmt.str());
-  ck.pieces_ = schedule.distributed_pieces();
-  SPD_CHECK(ck.pieces_ >= 1, ScheduleError, "non-positive piece count");
   ck.position_space_ = schedule.distributed_is_position_space();
-  ck.dist_source_var_ = schedule.distributed_source();
+  ck.pieces_ = 1;
+  ck.grid_pieces_.clear();
+  for (size_t a = 0; a < dvs.size(); ++a) {
+    // Non-zero blocks can only drive the outermost loop: inner grid axes
+    // must be universe (coordinate-block) divides.
+    SPD_CHECK(a == 0 || !schedule.distributed_is_position_space(dvs[a]),
+              ScheduleError,
+              "only the first distributed axis may be position-space: "
+                  << stmt.str());
+    const int p = schedule.distributed_pieces(dvs[a]);
+    SPD_CHECK(p >= 1, ScheduleError, "non-positive piece count");
+    ck.grid_pieces_.push_back(p);
+    ck.dist_source_vars_.push_back(schedule.distributed_source(dvs[a]));
+    ck.pieces_ *= p;
+  }
+  ck.dist_source_var_ = ck.dist_source_vars_[0];
 
   if (ck.position_space_) {
     // Position-space distribution cannot express union co-iteration (the
@@ -75,14 +89,46 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
               "fused variables must name the leading storage dimensions of "
                   << ck.split_tensor_);
     ck.split_level_ = static_cast<int>(ck.fused_sources_.size()) - 1;
+    // Inner universe axes of a non-zero x universe grid: any statement
+    // variable not consumed by the position split.
+    const auto vars = tin::statement_vars(stmt.assignment);
+    for (size_t a = 1; a < ck.dist_source_vars_.size(); ++a) {
+      const IndexVar& u = ck.dist_source_vars_[a];
+      SPD_CHECK(std::find(vars.begin(), vars.end(), u) != vars.end(),
+                ScheduleError, "distributed variable " << u.name()
+                                                       << " is not used in "
+                                                       << stmt.str());
+      SPD_CHECK(std::find(ck.fused_sources_.begin(), ck.fused_sources_.end(),
+                          u) == ck.fused_sources_.end(),
+                ScheduleError,
+                "variable " << u.name()
+                            << " is fused into the position split and cannot "
+                               "be distributed on another axis");
+      for (size_t b = 1; b < a; ++b) {
+        SPD_CHECK(!(ck.dist_source_vars_[b] == u), ScheduleError,
+                  "variable " << u.name() << " is distributed on two axes");
+      }
+    }
   } else {
-    // The distributed variable must be iterated outermost; our leaves assume
-    // so (as do the paper's schedules).
+    // The axis-0 distributed variable must be iterated outermost; our leaves
+    // assume so (as do the paper's schedules). Inner axes may name any other
+    // statement variable — their blocks restrict iteration per piece.
     const auto vars = tin::statement_vars(stmt.assignment);
     SPD_CHECK(!vars.empty() && vars[0] == ck.dist_source_var_, ScheduleError,
               "only outermost-variable distribution is supported (got "
                   << ck.dist_source_var_.name() << " for " << stmt.str()
                   << ")");
+    for (size_t a = 1; a < ck.dist_source_vars_.size(); ++a) {
+      const IndexVar& v = ck.dist_source_vars_[a];
+      SPD_CHECK(std::find(vars.begin(), vars.end(), v) != vars.end(),
+                ScheduleError, "distributed variable " << v.name()
+                                                       << " is not used in "
+                                                       << stmt.str());
+      for (size_t b = 0; b < a; ++b) {
+        SPD_CHECK(!(ck.dist_source_vars_[b] == v), ScheduleError,
+                  "variable " << v.name() << " is distributed on two axes");
+      }
+    }
   }
 
   auto unit = schedule.leaf_parallel_unit();
@@ -93,7 +139,8 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
   }
 
   SelectedLeaf leaf = select_leaf(stmt, ck.position_space_, ck.split_tensor_,
-                                  ck.position_space_ ? ck.split_level_ : -1);
+                                  ck.position_space_ ? ck.split_level_ : -1,
+                                  ck.dist_source_vars_);
   ck.leaf_ = leaf.fn;
   ck.leaf_name_ = leaf.name;
   return ck;
@@ -175,11 +222,16 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
                            "non-zeros",
                            inst->output_.name().c_str(),
                            static_cast<long long>(res.output_nnz)));
-    // Symbolic execution runs once, distributed; charge it round-robin.
+    // Symbolic execution runs once, distributed; charge each piece's share
+    // to the processor that will own it (grid-aware, same mapping as the
+    // compute launch below).
+    rt::IndexLaunch shape_only;
+    shape_only.domain = pieces_;
+    shape_only.domain_shape = grid_pieces_;
     for (int p = 0; p < pieces_; ++p) {
       rt::WorkEstimate w{res.symbolic_work.flops / pieces_,
                          res.symbolic_work.bytes / pieces_};
-      runtime.sim().run_task(runtime.proc_for_point(p, pieces_), w,
+      runtime.sim().run_task(runtime.proc_for_point(p, shape_only), w,
                              leaf_threads_, 0.0);
     }
   }
@@ -240,20 +292,68 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
 
   inst->piece_bounds_.resize(static_cast<size_t>(pieces_));
 
-  if (!position_space_) {
-    // === Coordinate-value iteration: universe partitions =====================
-    const IndexVar v = dist_source_var_;
+  // Per-axis equal coordinate blocks of each universe-distributed source
+  // variable; piece colors enumerate the axis blocks row-major (the 2-D
+  // grid of the paper's Machine(Grid(x, y)) schedules when two variables
+  // distribute). A position-space axis 0 uses non-zero ranges instead,
+  // computed in its branch below.
+  const int axes = static_cast<int>(dist_source_vars_.size());
+  std::vector<std::vector<rt::Rect1>> axis_bounds(static_cast<size_t>(axes));
+  for (int a = position_space_ ? 1 : 0; a < axes; ++a) {
+    const IndexVar& v = dist_source_vars_[static_cast<size_t>(a)];
     const Coord extent = var_extent(stmt, v);
     SPD_ASSERT(extent >= 0,
                "variable " << v.name() << " not used in statement");
-    const std::vector<rt::Rect1> bounds = tdn::equal_bounds(extent, pieces_);
+    axis_bounds[static_cast<size_t>(a)] =
+        tdn::equal_bounds(extent, grid_pieces_[static_cast<size_t>(a)]);
+  }
+  // Block index of color `c` along axis `a` (row-major decomposition).
+  auto axis_index = [&](int c, int a) {
+    int rest = c;
+    for (int b = axes - 1; b > a; --b) {
+      rest /= grid_pieces_[static_cast<size_t>(b)];
+    }
+    return rest % grid_pieces_[static_cast<size_t>(a)];
+  };
+  auto block_of = [&](int c, int a) {
+    return axis_bounds[static_cast<size_t>(a)]
+                      [static_cast<size_t>(axis_index(c, a))];
+  };
+  // Inner universe axes restrict their variable per piece in both
+  // iteration styles.
+  for (int c = 0; c < pieces_; ++c) {
+    auto& pb = inst->piece_bounds_[static_cast<size_t>(c)];
+    for (int a = 1; a < axes; ++a) {
+      pb.var_coords.push_back(
+          {dist_source_vars_[static_cast<size_t>(a)].id(), block_of(c, a)});
+    }
+  }
+  launch.domain_shape = grid_pieces_;
+
+  if (!position_space_) {
+    // === Coordinate-value iteration: universe partitions =====================
     for (int c = 0; c < pieces_; ++c) {
       inst->piece_bounds_[static_cast<size_t>(c)].dist_coords =
-          bounds[static_cast<size_t>(c)];
+          block_of(c, 0);
     }
-    trace.append(PlanOpKind::DistributedFor,
-                 strprintf("distributed for %so in [0, %d) over %s blocks",
-                           v.name().c_str(), pieces_, v.name().c_str()));
+    if (axes == 1) {
+      trace.append(PlanOpKind::DistributedFor,
+                   strprintf("distributed for %so in [0, %d) over %s blocks",
+                             dist_source_var_.name().c_str(), pieces_,
+                             dist_source_var_.name().c_str()));
+    } else {
+      std::vector<std::string> shape, names;
+      for (int a = 0; a < axes; ++a) {
+        shape.push_back(
+            std::to_string(grid_pieces_[static_cast<size_t>(a)]));
+        names.push_back(dist_source_vars_[static_cast<size_t>(a)].name() +
+                        "o");
+      }
+      trace.append(PlanOpKind::DistributedFor,
+                   strprintf("distributed for (%s) over %s grid blocks",
+                             join(names, ", ").c_str(),
+                             join(shape, "x").c_str()));
+    }
 
     // First pass: sparse and var-partitioned tensors; remember each sparse
     // tensor's coordinate-tree partition so the second pass can derive the
@@ -262,29 +362,78 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
     std::map<std::string, TensorPartition> sparse_tps;
     for (const auto& [name, tensor] : stmt.bindings) {
       const bool is_output = name == stmt.assignment.lhs.tensor;
-      const int dim = dim_of_var(stmt, name, v);
+      // Which tensor dimension (if any) each distribution axis indexes.
+      std::vector<int> axis_dim(static_cast<size_t>(axes));
+      int indexed_axes = 0;
+      for (int a = 0; a < axes; ++a) {
+        axis_dim[static_cast<size_t>(a)] =
+            dim_of_var(stmt, name, dist_source_vars_[static_cast<size_t>(a)]);
+        if (axis_dim[static_cast<size_t>(a)] >= 0) ++indexed_axes;
+      }
       const fmt::TensorStorage& st = tensor.storage();
-      if (dim < 0) continue;  // second pass
-      const int level = tensor.format().level_of_dim(dim);
+      if (indexed_axes == 0) continue;  // second pass
       if (tensor.format().all_dense()) {
-        std::vector<rt::RectN> rb;
-        for (const auto& b : bounds) rb.push_back(rt::RectN(b));
-        Partition oned = rt::partition_by_bounds(
-            rt::IndexSpace(tensor.dims()[static_cast<size_t>(dim)]), rb);
-        Partition lifted =
-            rt::lift_to_dim(oned, st.vals()->space(), level);
+        if (axes == 2 && indexed_axes == 2 &&
+            st.vals()->space().dim() == 2 &&
+            tensor.format().level_of_dim(axis_dim[0]) == 0 &&
+            tensor.format().level_of_dim(axis_dim[1]) == 1) {
+          // The exact Figure 4c case — px x py tiles of a matrix, colors
+          // row-major — is the runtime's 2-D grid tiler.
+          Partition grid = rt::partition_grid2(
+              st.vals()->space(), grid_pieces_[0], grid_pieces_[1]);
+          launch.reqs.push_back(rt::RegionReq{
+              st.vals(), own(std::move(grid)),
+              is_output ? Privilege::WO : Privilege::RO});
+          continue;
+        }
+        // Cross-product of the axis blocks: a true grid partition when every
+        // axis indexes the tensor (Figure 4c tiles), a row/column-block
+        // partition replicated across the remaining axes otherwise.
+        std::vector<rt::RectN> tiles;
+        tiles.reserve(static_cast<size_t>(pieces_));
+        for (int c = 0; c < pieces_; ++c) {
+          rt::RectN t = st.vals()->space().bounds();
+          for (int a = 0; a < axes; ++a) {
+            const int dim = axis_dim[static_cast<size_t>(a)];
+            if (dim < 0) continue;
+            const int level = tensor.format().level_of_dim(dim);
+            const rt::Rect1 b = block_of(c, a);
+            t.lo[level] = std::max(t.lo[level], b.lo);
+            t.hi[level] = std::min(t.hi[level], b.hi);
+          }
+          tiles.push_back(t);
+        }
+        Partition grid = rt::partition_by_bounds(st.vals()->space(), tiles);
+        // Pieces replicated across an axis that does not index the output
+        // write overlapping subsets, which must merge by reduction.
+        const Privilege out_priv =
+            indexed_axes == axes ? Privilege::WO : Privilege::REDUCE;
         launch.reqs.push_back(rt::RegionReq{
-            st.vals(), own(std::move(lifted)),
-            is_output ? Privilege::WO : Privilege::RO});
+            st.vals(), own(std::move(grid)),
+            is_output ? out_priv : Privilege::RO});
         continue;
+      }
+      // Sparse: partition the coordinate tree along the first axis indexing
+      // it; further axes restrict iteration through the leaf's piece bounds
+      // (their pieces read overlapping subsets of this tree).
+      int part_axis = 0;
+      while (axis_dim[static_cast<size_t>(part_axis)] < 0) ++part_axis;
+      const int dim = axis_dim[static_cast<size_t>(part_axis)];
+      const int level = tensor.format().level_of_dim(dim);
+      std::vector<rt::Rect1> bounds;
+      bounds.reserve(static_cast<size_t>(pieces_));
+      for (int c = 0; c < pieces_; ++c) {
+        bounds.push_back(block_of(c, part_axis));
       }
       const fmt::LevelStorage& ls = st.level(level);
       LevelPartitions init = LevelFuncs::get(ls.kind).universe_partition(
           trace, name, level, ls, bounds);
       TensorPartition tp =
           fmt::partition_coordinate_tree(trace, st, level, init);
-      add_sparse_reqs(st, tp, is_output ? Privilege::WO : Privilege::RO,
-                      Privilege::RO);
+      const Privilege vals_priv =
+          !is_output ? Privilege::RO
+                     : (axes == 1 ? Privilege::WO : Privilege::REDUCE);
+      add_sparse_reqs(st, tp, vals_priv, Privilege::RO);
       sparse_tps.emplace(name, std::move(tp));
     }
     // Second pass: tensors not indexed by the distributed variable. A 1-D
@@ -294,7 +443,11 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
     // by bucketing each piece's crd values. Everything else is replicated.
     for (const auto& [name, tensor] : stmt.bindings) {
       const bool is_output = name == stmt.assignment.lhs.tensor;
-      if (dim_of_var(stmt, name, v) >= 0) continue;
+      bool indexed = false;
+      for (const auto& dv : dist_source_vars_) {
+        if (dim_of_var(stmt, name, dv) >= 0) indexed = true;
+      }
+      if (indexed) continue;
       const fmt::TensorStorage& st = tensor.storage();
       bool derived = false;
       if (!is_output && tensor.format().all_dense() &&
@@ -336,21 +489,27 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
     }
   } else {
     // === Coordinate-position iteration: non-zero partitions ==================
+    // Axis 0 iterates equal non-zero blocks; inner universe axes (a non-zero
+    // x universe grid) clamp their variable through var_coords above.
     const Tensor& T = stmt.tensor(split_tensor_);
     const fmt::TensorStorage& tst = T.storage();
     const fmt::LevelStorage& sl = tst.level(split_level_);
-    const std::vector<rt::Rect1> bounds =
-        tdn::equal_bounds(std::max<Coord>(sl.positions, 1), pieces_);
+    const std::vector<rt::Rect1> nz_axis = tdn::equal_bounds(
+        std::max<Coord>(sl.positions, 1), grid_pieces_[0]);
+    std::vector<rt::Rect1> bounds;
+    bounds.reserve(static_cast<size_t>(pieces_));
     for (int c = 0; c < pieces_; ++c) {
+      bounds.push_back(nz_axis[static_cast<size_t>(axis_index(c, 0))]);
       auto& pb = inst->piece_bounds_[static_cast<size_t>(c)];
-      pb.dist_pos = bounds[static_cast<size_t>(c)];
+      pb.dist_pos = bounds.back();
       pb.pos_tensor = split_tensor_;
       pb.pos_level = split_level_;
     }
     trace.append(
         PlanOpKind::DistributedFor,
-        strprintf("distributed for over %d equal non-zero blocks of %s",
-                  pieces_, split_tensor_.c_str()));
+        strprintf("distributed for over %d equal non-zero blocks of %s%s",
+                  grid_pieces_[0], split_tensor_.c_str(),
+                  axes > 1 ? " x universe grid axes" : ""));
 
     LevelPartitions init = LevelFuncs::get(sl.kind).nonzero_partition(
         trace, split_tensor_, split_level_, sl, bounds);
@@ -398,12 +557,32 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
       const int dim = dim_of_var(stmt, name, v0);
       if (dim >= 0 && tensor.format().all_dense()) {
         // Partition this dense tensor by the split tensor's (overlapping)
-        // top-level row partition.
+        // top-level row partition, clamped to any inner universe axis block
+        // (the piece's 2-D tile under a non-zero x universe grid).
         const int level = tensor.format().level_of_dim(dim);
         Partition lifted = rt::lift_to_dim(
             rt::copy_partition(
                 top, rt::IndexSpace(tensor.dims()[static_cast<size_t>(dim)])),
             st.vals()->space(), level);
+        if (axes > 1) {
+          std::vector<rt::IndexSubset> subs;
+          subs.reserve(static_cast<size_t>(pieces_));
+          for (int c = 0; c < pieces_; ++c) {
+            rt::RectN clamp = st.vals()->space().bounds();
+            for (int a = 1; a < axes; ++a) {
+              const int d2 =
+                  dim_of_var(stmt, name,
+                             dist_source_vars_[static_cast<size_t>(a)]);
+              if (d2 < 0) continue;
+              const int l2 = tensor.format().level_of_dim(d2);
+              const rt::Rect1 b = block_of(c, a);
+              clamp.lo[l2] = std::max(clamp.lo[l2], b.lo);
+              clamp.hi[l2] = std::min(clamp.hi[l2], b.hi);
+            }
+            subs.push_back(lifted.subset(c).intersect(clamp));
+          }
+          lifted = Partition(st.vals()->space(), std::move(subs));
+        }
         launch.reqs.push_back(rt::RegionReq{
             st.vals(), own(std::move(lifted)),
             is_output ? Privilege::REDUCE : Privilege::RO});
@@ -451,6 +630,37 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
                                  split_level_ + 1));
           launch.reqs.push_back(
               rt::RegionReq{st.vals(), own(std::move(p)), Privilege::RO});
+          continue;
+        }
+      }
+      // Dense tensors indexed by an inner universe axis of a non-zero x
+      // universe grid need only their axis block per piece (replicated
+      // across the non-zero axis) — e.g. C's column blocks in 2-D SpMM.
+      if (tensor.format().all_dense() && axes > 1) {
+        std::vector<rt::RectN> tiles;
+        tiles.reserve(static_cast<size_t>(pieces_));
+        bool any_axis = false;
+        for (int c = 0; c < pieces_; ++c) {
+          rt::RectN t = st.vals()->space().bounds();
+          for (int a = 1; a < axes; ++a) {
+            const int d =
+                dim_of_var(stmt, name,
+                           dist_source_vars_[static_cast<size_t>(a)]);
+            if (d < 0) continue;
+            any_axis = true;
+            const int level = tensor.format().level_of_dim(d);
+            const rt::Rect1 b = block_of(c, a);
+            t.lo[level] = std::max(t.lo[level], b.lo);
+            t.hi[level] = std::min(t.hi[level], b.hi);
+          }
+          tiles.push_back(t);
+        }
+        if (any_axis) {
+          Partition grid =
+              rt::partition_by_bounds(st.vals()->space(), tiles);
+          launch.reqs.push_back(rt::RegionReq{
+              st.vals(), own(std::move(grid)),
+              is_output ? Privilege::REDUCE : Privilege::RO});
           continue;
         }
       }

@@ -46,11 +46,19 @@ class CompiledKernel {
   std::unique_ptr<Instance> instantiate(rt::Runtime& runtime) const;
 
   // --- analysis results (inspectable, used by tests) -------------------------
+  // Total pieces: the product of the per-axis piece counts.
   int pieces() const { return pieces_; }
+  // Per-axis piece counts of the distributed grid ((px) for a 1-D
+  // distribution, (px, py) for two distribute() commands, ...).
+  const std::vector<int>& grid_pieces() const { return grid_pieces_; }
   bool position_space() const { return position_space_; }
   const std::string& split_tensor() const { return split_tensor_; }
   int split_level() const { return split_level_; }
   const tin::IndexVar& dist_source_var() const { return dist_source_var_; }
+  // Source variables per grid axis (axis 0 == dist_source_var()).
+  const std::vector<tin::IndexVar>& dist_source_vars() const {
+    return dist_source_vars_;
+  }
   int leaf_threads() const { return leaf_threads_; }
   const std::string& leaf_kernel_name() const { return leaf_name_; }
 
@@ -60,10 +68,12 @@ class CompiledKernel {
   sched::Schedule schedule_;
   rt::Machine machine_;
   int pieces_ = 1;
+  std::vector<int> grid_pieces_{1};  // per-axis piece counts
   bool position_space_ = false;
   std::string split_tensor_;   // position-space only
   int split_level_ = 0;        // position-space only
-  tin::IndexVar dist_source_var_;  // the divided variable (or fused var)
+  tin::IndexVar dist_source_var_;  // axis-0 divided variable (or fused var)
+  std::vector<tin::IndexVar> dist_source_vars_;  // one per grid axis
   std::vector<tin::IndexVar> fused_sources_;
   int leaf_threads_ = 1;
   LeafFn leaf_;

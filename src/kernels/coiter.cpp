@@ -278,12 +278,23 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
         break;
       }
     }
-    const bool restrict0 = k == 0 && piece.dist_coords.has_value();
-    const Coord rlo = restrict0 ? piece.dist_coords->lo : 0;
-    const Coord rhi = restrict0 ? piece.dist_coords->hi
-                                : (extent.count(v.id())
-                                       ? extent.at(v.id()) - 1
-                                       : -1);
+    // Piece restriction: the legacy outermost-variable bound plus any
+    // var-keyed bound from a multi-axis (grid) distribution.
+    rt::Rect1 bound{0, extent.count(v.id()) ? extent.at(v.id()) - 1 : -1};
+    bool restricted = false;
+    if (k == 0 && piece.dist_coords.has_value()) {
+      bound = bound.intersect(*piece.dist_coords);
+      restricted = true;
+    }
+    for (const auto& [vid, r] : piece.var_coords) {
+      if (vid == v.id()) {
+        bound = bound.intersect(r);
+        restricted = true;
+      }
+    }
+    const bool restrict0 = restricted;
+    const Coord rlo = bound.lo;
+    const Coord rhi = bound.hi;
     const std::vector<Cursor> saved = cur;
     if (driver >= 0) {
       const auto& d = accs[static_cast<size_t>(driver)];

@@ -30,11 +30,23 @@ struct PieceBounds {
   // Coordinate-value iteration: bounds on the outermost (distributed) index
   // variable. Empty optional = full range.
   std::optional<rt::Rect1> dist_coords;
+  // Additional per-variable coordinate bounds for the inner axes of a
+  // multi-dimensional (grid) distribution, keyed by IndexVar id. A variable
+  // absent from this list iterates its full range.
+  std::vector<std::pair<uint32_t, rt::Rect1>> var_coords;
   // Coordinate-position iteration: bounds on stored positions of
   // `pos_tensor`'s level `pos_level` (the last fused level).
   std::optional<rt::Rect1> dist_pos;
   std::string pos_tensor;
   int pos_level = 0;
+
+  // The bound recorded for variable `var_id` in var_coords, or `full`.
+  rt::Rect1 var_bound(uint32_t var_id, rt::Rect1 full) const {
+    for (const auto& [id, r] : var_coords) {
+      if (id == var_id) full = full.intersect(r);
+    }
+    return full;
+  }
 };
 
 class CoiterEngine {

@@ -23,10 +23,14 @@ Leaf make_spmv_row(Tensor a, Tensor B, Tensor c);
 Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c);
 
 // A(i,j) = B(i,k) * C(k,j), A/C dense matrices, B = {Dense, Compressed}.
-Leaf make_spmm_row(Tensor A, Tensor B, Tensor C);
+// With `col_var`, the dense j loop clamps to the piece's bound for that
+// variable (the axis-1 tile of a 2-D grid distribution).
+Leaf make_spmm_row(Tensor A, Tensor B, Tensor C,
+                   std::optional<uint32_t> col_var = std::nullopt);
 // Non-zero variant (fused i,k over B): the load-balanced GPU schedule that
-// replicates C (§VI-A2).
-Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C);
+// replicates C (§VI-A2). `col_var` as in make_spmm_row.
+Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C,
+                  std::optional<uint32_t> col_var = std::nullopt);
 
 // A(i,j) = B(i,j) + C(i,j) + D(i,j), all {Dense, Compressed}; A assembled.
 // Single-pass three-way union merge per row (the fused kernel whose absence
@@ -34,9 +38,13 @@ Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C);
 Leaf make_spadd3_row(Tensor A, Tensor B, Tensor C, Tensor D);
 
 // A(i,j) = B(i,j) * C(i,k) * D(k,j), B sparse, C/D dense, A assembled with
-// B's pattern (positions align 1:1).
-Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D);
-Leaf make_sddmm_nz(Tensor A, Tensor B, Tensor C, Tensor D);
+// B's pattern (positions align 1:1). With `col_var`, only B's stored columns
+// inside the piece's bound for that variable are evaluated (axis-1 tile of
+// a 2-D grid distribution).
+Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D,
+                    std::optional<uint32_t> col_var = std::nullopt);
+Leaf make_sddmm_nz(Tensor A, Tensor B, Tensor C, Tensor D,
+                   std::optional<uint32_t> col_var = std::nullopt);
 
 // A(i,j) = B(i,j,k) * c(k), B = {Dense, Compressed, Compressed} or
 // {Dense, Dense, Compressed}; A = {Dense, Compressed} assembled.

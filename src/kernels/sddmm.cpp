@@ -8,10 +8,12 @@ using rt::Coord;
 namespace {
 
 // Shared inner body: A and B patterns align 1:1, so the output value for
-// B's position q lives at A's position q.
+// B's position q lives at A's position q. `cols` restricts evaluation to
+// stored columns inside the piece's axis-1 tile (full range by default).
 rt::WorkEstimate sddmm_positions(Tensor& A, Tensor& B, Tensor& C, Tensor& D,
                                  rt::Rect1 range,
-                                 const std::vector<Coord>& row_of) {
+                                 const std::vector<Coord>& row_of,
+                                 std::optional<rt::Rect1> cols = std::nullopt) {
   WorkCounter work;
   const auto& crd = *B.storage().level(1).crd;
   const auto& bv = *B.storage().vals();
@@ -22,6 +24,10 @@ rt::WorkEstimate sddmm_positions(Tensor& A, Tensor& B, Tensor& C, Tensor& D,
   for (Coord q = range.lo; q <= range.hi; ++q) {
     const Coord i = row_of[static_cast<size_t>(q)];
     const Coord j = crd[q];
+    if (cols.has_value()) {
+      work.stream(1, 4.0);
+      if (!cols->contains(j)) continue;
+    }
     double dot = 0;
     for (Coord k = 0; k < K; ++k) {
       dot += cv.at2(i, k) * dv.at2(k, j);
@@ -48,20 +54,32 @@ std::shared_ptr<std::vector<Coord>> build_row_of(const Tensor& B) {
 
 }  // namespace
 
-Leaf make_sddmm_nz(Tensor A, Tensor B, Tensor C, Tensor D) {
+Leaf make_sddmm_nz(Tensor A, Tensor B, Tensor C, Tensor D,
+                   std::optional<uint32_t> col_var) {
   auto row_of = build_row_of(B);
-  return [A, B, C, D, row_of](const PieceBounds& piece) mutable {
+  return [A, B, C, D, row_of, col_var](const PieceBounds& piece) mutable {
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, B.storage().level(1).positions - 1});
-    return sddmm_positions(A, B, C, D, range, *row_of);
+    const std::optional<rt::Rect1> cols =
+        col_var.has_value()
+            ? std::optional<rt::Rect1>(piece.var_bound(
+                  *col_var, rt::Rect1{0, B.dims()[1] - 1}))
+            : std::nullopt;
+    return sddmm_positions(A, B, C, D, range, *row_of, cols);
   };
 }
 
-Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D) {
+Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D,
+                    std::optional<uint32_t> col_var) {
   auto row_of = build_row_of(B);
-  return [A, B, C, D, row_of](const PieceBounds& piece) mutable {
+  return [A, B, C, D, row_of, col_var](const PieceBounds& piece) mutable {
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
+    const std::optional<rt::Rect1> cols =
+        col_var.has_value()
+            ? std::optional<rt::Rect1>(piece.var_bound(
+                  *col_var, rt::Rect1{0, B.dims()[1] - 1}))
+            : std::nullopt;
     // Convert the row range to this piece's contiguous position range.
     const auto& pos = *B.storage().level(1).pos;
     rt::Rect1 range{0, -1};
@@ -75,7 +93,7 @@ Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D) {
       }
     }
     if (range.empty()) return rt::WorkEstimate{};
-    return sddmm_positions(A, B, C, D, range, *row_of);
+    return sddmm_positions(A, B, C, D, range, *row_of, cols);
   };
 }
 

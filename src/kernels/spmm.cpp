@@ -5,9 +5,10 @@ namespace spdistal::kern {
 
 using rt::Coord;
 
-Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C) {
+Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C,
+                  std::optional<uint32_t> col_var) {
   auto owners = build_owner_maps(B, 2);
-  return [A, B, C, owners](const PieceBounds& piece) mutable
+  return [A, B, C, owners, col_var](const PieceBounds& piece) mutable
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
@@ -18,21 +19,27 @@ Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C) {
     const Coord J = A.dims()[1];
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, Bl.positions - 1});
+    const rt::Rect1 cols = col_var.has_value()
+                               ? piece.var_bound(*col_var, rt::Rect1{0, J - 1})
+                               : rt::Rect1{0, J - 1};
+    if (cols.empty()) return work.done();
     for (Coord q = range.lo; q <= range.hi; ++q) {
       const Coord i = (*owners)[1][static_cast<size_t>(q)];
       const Coord k = crd[q];
       const double v = bv[q];
-      for (Coord j = 0; j < J; ++j) {
+      for (Coord j = cols.lo; j <= cols.hi; ++j) {
         av.at2(i, j) += v * cv.at2(k, j);
       }
-      work.fma_dense_cached(J);
+      work.fma_dense_cached(cols.size());
     }
     return work.done();
   };
 }
 
-Leaf make_spmm_row(Tensor A, Tensor B, Tensor C) {
-  return [A, B, C](const PieceBounds& piece) mutable -> rt::WorkEstimate {
+Leaf make_spmm_row(Tensor A, Tensor B, Tensor C,
+                   std::optional<uint32_t> col_var) {
+  return [A, B, C, col_var](const PieceBounds& piece) mutable
+             -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
     const auto& pos = *Bl.pos;
@@ -43,6 +50,12 @@ Leaf make_spmm_row(Tensor A, Tensor B, Tensor C) {
     const Coord J = A.dims()[1];
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
+    // Axis-1 tile of a grid distribution: this piece owns only a block of
+    // the dense output columns.
+    const rt::Rect1 cols = col_var.has_value()
+                               ? piece.var_bound(*col_var, rt::Rect1{0, J - 1})
+                               : rt::Rect1{0, J - 1};
+    if (cols.empty()) return work.done();
     // The Senanayake et al. schedule: loop non-zeros of the row, stream the
     // dense row of C into the dense row of A.
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
@@ -51,11 +64,12 @@ Leaf make_spmm_row(Tensor A, Tensor B, Tensor C) {
       for (Coord q = seg.lo; q <= seg.hi; ++q) {
         const Coord k = crd[q];
         const double v = bv[q];
-        for (Coord j = 0; j < J; ++j) {
+        for (Coord j = cols.lo; j <= cols.hi; ++j) {
           av.at2(i, j) += v * cv.at2(k, j);
         }
-        // 2J flops per non-zero; C's row streams, A's row stays resident.
-        work.fma_dense_cached(J);
+        // 2·|cols| flops per non-zero; C's row streams, A's row stays
+        // resident.
+        work.fma_dense_cached(cols.size());
       }
     }
     return work.done();

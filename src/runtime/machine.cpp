@@ -40,6 +40,20 @@ Proc Machine::proc(int flat) const {
               flat % config_.gpus_per_node};
 }
 
+Proc Machine::proc_at(const std::vector<int>& point) const {
+  SPD_ASSERT(static_cast<int>(point.size()) == grid_.ndims(),
+             "grid point rank " << point.size() << " does not match grid rank "
+                                << grid_.ndims());
+  int flat = 0;
+  for (int d = 0; d < grid_.ndims(); ++d) {
+    const int c = point[static_cast<size_t>(d)];
+    SPD_ASSERT(c >= 0 && c < grid_.dim(d),
+               "grid point coordinate " << c << " out of range for dim " << d);
+    flat = flat * grid_.dim(d) + c;
+  }
+  return proc(flat);
+}
+
 Mem Machine::proc_mem(const Proc& p) const {
   if (p.kind == ProcKind::CPU) return Mem{p.node, MemKind::SYS, 0};
   return Mem{p.node, MemKind::FB, p.index};

@@ -125,6 +125,12 @@ class Machine {
   int num_procs() const { return grid_.total(); }
   // Processor owning grid point `flat` (row-major flattening of the grid).
   Proc proc(int flat) const;
+  // Processor owning the n-dimensional grid point `point` (one coordinate
+  // per grid dimension). The grid flattens row-major, so points adjacent
+  // along the innermost axis land on adjacent processors: a Grid(x, y) row
+  // of up to `gpus_per_node` pieces shares one node (and its NVLink) on a
+  // GPU machine, which is what makes per-row reductions intra-node.
+  Proc proc_at(const std::vector<int>& point) const;
   // Memory that processor `p` computes out of.
   Mem proc_mem(const Proc& p) const;
   // System memory of a node.

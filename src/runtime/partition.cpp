@@ -27,14 +27,15 @@ bool Partition::complete() const {
     // volumes are exact.
     return u.volume() == parent_.volume();
   }
-  // N-D: all clients build N-D partitions from disjoint rectangles, so the
-  // volume sum is exact there too; verify no rect escapes the parent.
-  int64_t vol = 0;
+  // N-D: normalize() does not make overlapping rectangles disjoint, so a
+  // volume sum can double-count overlaps and report completeness despite
+  // holes. Subtraction is exact in any dimension: the partition is complete
+  // iff no point of the parent survives removing the union. Escaping rects
+  // still fail loudly (coverage of the parent would mask them).
   for (const auto& r : u.rects()) {
     SPD_ASSERT(parent_.bounds().contains(r), "subset escapes parent space");
-    vol += r.volume();
   }
-  return vol >= parent_.volume();
+  return parent_.as_subset().subtract(u).empty();
 }
 
 std::string Partition::str() const {
@@ -101,18 +102,43 @@ Partition partition_by_value_ranges(const Region<int32_t>& crd,
       open[c] = Rect1{0, -1};
     }
   };
+  auto extend = [&](size_t c, Coord p) {
+    if (!open[c].empty() && open[c].hi == p - 1) {
+      open[c].hi = p;
+    } else {
+      flush(c);
+      open[c] = Rect1{p, p};
+    }
+  };
+  // Universe bounds from equal_bounds are sorted and disjoint; binary-search
+  // the color per coordinate then (O(nnz log pieces) instead of the
+  // O(nnz × pieces) per-color probe). Arbitrary (overlapping or unsorted)
+  // ranges keep the exhaustive scan.
+  std::vector<std::pair<Rect1, size_t>> lookup;  // non-empty range -> color
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    if (!ranges[c].empty()) lookup.push_back({ranges[c], c});
+  }
+  bool sorted_disjoint = true;
+  for (size_t k = 1; k < lookup.size(); ++k) {
+    if (lookup[k - 1].first.hi >= lookup[k].first.lo) sorted_disjoint = false;
+  }
   for (const auto& rect : positions.rects()) {
     for (Coord p = rect.lo[0]; p <= rect.hi[0]; ++p) {
       const int32_t v = crd[p];
+      if (sorted_disjoint) {
+        // Last range whose lo <= v; it is the only possible owner.
+        auto it = std::upper_bound(
+            lookup.begin(), lookup.end(), static_cast<Coord>(v),
+            [](Coord x, const std::pair<Rect1, size_t>& e) {
+              return x < e.first.lo;
+            });
+        if (it == lookup.begin()) continue;
+        --it;
+        if (it->first.contains(v)) extend(it->second, p);
+        continue;
+      }
       for (size_t c = 0; c < ranges.size(); ++c) {
-        if (ranges[c].contains(v)) {
-          if (!open[c].empty() && open[c].hi == p - 1) {
-            open[c].hi = p;
-          } else {
-            flush(c);
-            open[c] = Rect1{p, p};
-          }
-        }
+        if (ranges[c].contains(v)) extend(c, p);
       }
     }
   }
@@ -147,14 +173,27 @@ Partition preimage(const Region<PosRange>& pos, const Partition& crd_part) {
   subsets.reserve(static_cast<size_t>(crd_part.num_colors()));
   for (int c = 0; c < crd_part.num_colors(); ++c) {
     const IndexSubset& crd_sub = crd_part.subset(c);
+    // Normalized 1-D subsets are sorted by lo and disjoint, so both lo and
+    // hi ascend: the first rect with hi >= pr.lo is the only candidate for
+    // an intersection (O(log rects) instead of a linear probe per entry).
+    // Unnormalized inputs keep the exhaustive probe.
+    const std::vector<RectN>& rects = crd_sub.rects();
+    bool sorted_disjoint = true;
+    for (size_t k = 1; k < rects.size(); ++k) {
+      if (rects[k - 1].hi[0] >= rects[k].lo[0]) sorted_disjoint = false;
+    }
     IndexSubset out(1);
     Rect1 run{0, -1};
     for (Coord i = pos_dom.lo; i <= pos_dom.hi; ++i) {
       const PosRange& pr = pos[i];
       bool hit = false;
-      if (!pr.empty()) {
-        // Does [pr.lo, pr.hi] intersect the colored crd subset?
-        for (const auto& r : crd_sub.rects()) {
+      if (!pr.empty() && sorted_disjoint) {
+        auto it = std::lower_bound(
+            rects.begin(), rects.end(), pr.lo,
+            [](const RectN& r, Coord x) { return r.hi[0] < x; });
+        hit = it != rects.end() && it->lo[0] <= pr.hi;
+      } else if (!pr.empty()) {
+        for (const auto& r : rects) {
           if (r.lo[0] <= pr.hi && pr.lo <= r.hi[0]) {
             hit = true;
             break;
@@ -213,9 +252,15 @@ Partition partition_grid2(const IndexSpace& space, int pieces_x, int pieces_y) {
   const Partition px = partition_equal(space, pieces_x, 0);
   std::vector<RectN> tiles;
   tiles.reserve(static_cast<size_t>(pieces_x * pieces_y));
+  // An empty row block (pieces_x > row extent) must still contribute
+  // dim-2 rects: a default RectN is 1-D and would trip the dimension
+  // check in partition_by_bounds.
+  RectN empty_row;
+  empty_row.dim = 2;
   for (int x = 0; x < pieces_x; ++x) {
-    const RectN row = px.subset(x).rects().empty() ? RectN{}
-                                                   : px.subset(x).rects()[0];
+    const RectN row = px.subset(x).rects().empty()
+                          ? empty_row
+                          : px.subset(x).rects()[0];
     // Split the row block along dimension 1.
     const Rect1 cols = space.bounds().dim_rect(1);
     const Coord n = cols.size();
@@ -225,10 +270,8 @@ Partition partition_grid2(const IndexSpace& space, int pieces_x, int pieces_y) {
     for (int y = 0; y < pieces_y; ++y) {
       const Coord len = base + (y >= pieces_y - rem ? 1 : 0);
       RectN t = row;
-      if (t.dim == 2) {
-        t.lo[1] = at;
-        t.hi[1] = at + len - 1;
-      }
+      t.lo[1] = at;
+      t.hi[1] = at + len - 1;
       at += len;
       tiles.push_back(t);
     }

@@ -25,6 +25,23 @@ Proc Runtime::proc_for_point(int p, int domain) const {
   return machine_.proc(p % machine_.num_procs());
 }
 
+Proc Runtime::proc_for_point(int p, const IndexLaunch& launch) const {
+  const Grid& g = machine_.grid();
+  const auto& shape = launch.domain_shape;
+  if (static_cast<int>(shape.size()) != g.ndims() || g.ndims() <= 1) {
+    return proc_for_point(p, launch.domain);
+  }
+  // Row-major decomposition of the point, wrapped per grid axis.
+  std::vector<int> pt(shape.size());
+  int rest = p;
+  for (int a = static_cast<int>(shape.size()) - 1; a >= 0; --a) {
+    const int extent = std::max(1, shape[static_cast<size_t>(a)]);
+    pt[static_cast<size_t>(a)] = (rest % extent) % g.dim(a);
+    rest /= extent;
+  }
+  return machine_.proc_at(pt);
+}
+
 void Runtime::drop_placement(RegionBase& region) {
   PlacementInfo& pl = placement(region);
   for (const auto& [mem, bytes] : pl.alloc_bytes) {
@@ -158,7 +175,7 @@ void Runtime::execute(const IndexLaunch& launch) {
   std::vector<PointResult> points(static_cast<size_t>(launch.domain));
 
   for (int p = 0; p < launch.domain; ++p) {
-    const Proc proc = proc_for_point(p, launch.domain);
+    const Proc proc = proc_for_point(p, launch);
     const Mem target = machine_.proc_mem(proc);
     double data_ready = 0;
     for (size_t r = 0; r < launch.reqs.size(); ++r) {

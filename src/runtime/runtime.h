@@ -64,6 +64,11 @@ class TaskContext {
 struct IndexLaunch {
   std::string name;
   int domain = 1;  // number of points (colors)
+  // Shape of the launch domain as a grid, row-major (empty = 1-D {domain}).
+  // When its rank matches the machine grid's, points map onto processors
+  // axis-by-axis (with per-axis wrap for overdecomposition) so neighbors
+  // along the innermost axis share nodes where the hardware allows.
+  std::vector<int> domain_shape;
   std::vector<RegionReq> reqs;
   // Hardware threads the leaf exploits on a CPU (parallelize(_, CPUThread)
   // grants the node's cores; an unparallelized leaf gets 1). Ignored on GPU.
@@ -139,6 +144,10 @@ class Runtime {
 
   // Maps launch point `p` of a `domain`-point launch onto the machine grid.
   Proc proc_for_point(int p, int domain) const;
+  // Grid-aware mapping honoring the launch's domain shape: point (x, y) of
+  // a 2-D launch runs on grid processor (x mod gx, y mod gy) instead of a
+  // flat modulo, keeping row-neighbors on the same node.
+  Proc proc_for_point(int p, const IndexLaunch& launch) const;
 
  private:
   struct PlacementInfo {

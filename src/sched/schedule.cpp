@@ -1,5 +1,7 @@
 #include "sched/schedule.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace spdistal::sched {
@@ -85,6 +87,30 @@ const Command* Schedule::producer_of(const IndexVar& v) const {
   return nullptr;
 }
 
+std::vector<IndexVar> Schedule::distributed_vars() const {
+  std::vector<IndexVar> out;
+  for (const auto& c : commands_) {
+    if (c.kind == CommandKind::Distribute) out.push_back(c.vars[0]);
+  }
+  return out;
+}
+
+IndexVar Schedule::distributed_source(const IndexVar& dv) const {
+  const Command* p = producer_of(dv);
+  SPD_CHECK(p != nullptr, ScheduleError,
+            "distributed variable " << dv.name()
+                                    << " was not produced by divide()");
+  return p->vars[0];
+}
+
+int Schedule::distributed_pieces(const IndexVar& dv) const {
+  const Command* p = producer_of(dv);
+  SPD_CHECK(p != nullptr, ScheduleError,
+            "distributed variable " << dv.name()
+                                    << " was not produced by divide()");
+  return p->pieces;
+}
+
 std::optional<IndexVar> Schedule::distributed_var() const {
   for (const auto& c : commands_) {
     if (c.kind == CommandKind::Distribute) return c.vars[0];
@@ -95,28 +121,24 @@ std::optional<IndexVar> Schedule::distributed_var() const {
 IndexVar Schedule::distributed_source() const {
   auto dv = distributed_var();
   SPD_CHECK(dv.has_value(), ScheduleError, "schedule has no distribute()");
-  const Command* p = producer_of(*dv);
-  SPD_CHECK(p != nullptr, ScheduleError,
-            "distributed variable " << dv->name()
-                                    << " was not produced by divide()");
-  return p->vars[0];
+  return distributed_source(*dv);
 }
 
 int Schedule::distributed_pieces() const {
   auto dv = distributed_var();
   SPD_CHECK(dv.has_value(), ScheduleError, "schedule has no distribute()");
-  const Command* p = producer_of(*dv);
-  SPD_CHECK(p != nullptr, ScheduleError,
-            "distributed variable " << dv->name()
-                                    << " was not produced by divide()");
-  return p->pieces;
+  return distributed_pieces(*dv);
+}
+
+bool Schedule::distributed_is_position_space(const IndexVar& dv) const {
+  const Command* p = producer_of(dv);
+  return p != nullptr && p->kind == CommandKind::DividePos;
 }
 
 bool Schedule::distributed_is_position_space() const {
   auto dv = distributed_var();
   if (!dv) return false;
-  const Command* p = producer_of(*dv);
-  return p != nullptr && p->kind == CommandKind::DividePos;
+  return distributed_is_position_space(*dv);
 }
 
 std::string Schedule::position_split_tensor() const {
@@ -154,8 +176,22 @@ std::optional<ParallelUnit> Schedule::leaf_parallel_unit() const {
 }
 
 std::vector<std::string> Schedule::communicated_tensors() const {
+  std::vector<std::string> out;
   for (const auto& c : commands_) {
-    if (c.kind == CommandKind::Communicate) return c.tensors;
+    if (c.kind != CommandKind::Communicate) continue;
+    for (const auto& t : c.tensors) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Schedule::communicated_tensors_at(
+    const IndexVar& at) const {
+  for (const auto& c : commands_) {
+    if (c.kind == CommandKind::Communicate && c.vars[0] == at) {
+      return c.tensors;
+    }
   }
   return {};
 }

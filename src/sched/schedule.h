@@ -3,9 +3,11 @@
 // transformations (split/divide/fuse + their position-space variants) with
 // DISTAL's distributed commands (distribute/communicate).
 //
-// The compiler consumes a Schedule to decide (a) which index variable is
-// distributed and over how many pieces, (b) whether the distributed loop
-// iterates coordinates (universe partitions) or non-zero positions (non-zero
+// The compiler consumes a Schedule to decide (a) which index variables are
+// distributed and over how many pieces each — repeated distribute() commands
+// form an ordered tuple mapping the loop nest onto a multi-dimensional
+// machine grid (Grid(x, y)) — (b) whether the distributed loops iterate
+// coordinates (universe partitions) or non-zero positions (non-zero
 // partitions, from the pos-split variant), and (c) how leaves are
 // parallelized (the leaf cost model's thread count).
 #pragma once
@@ -64,14 +66,30 @@ class Schedule {
 
   // --- queries used by lowering ---------------------------------------------
 
-  // The variable named by distribute(), if any.
+  // All variables named by distribute() commands, in command order. Each is
+  // one axis of the distributed piece grid: two distribute() commands map the
+  // loop nest onto a Machine(Grid(x, y)), matching the paper's 2-D SpMM /
+  // SDDMM schedules. Empty if the schedule never distributes.
+  std::vector<IndexVar> distributed_vars() const;
+  // The original variable whose divide/divide_pos produced distributed
+  // variable `dv` (e.g. `i` for divide(i, io, ii, p) + distribute(io)).
+  IndexVar distributed_source(const IndexVar& dv) const;
+  // Pieces of the divide/divide_pos that produced distributed variable `dv`.
+  int distributed_pieces(const IndexVar& dv) const;
+  // True if distributed variable `dv` came from divide_pos. Only axis 0 of
+  // a multi-axis grid may be position-space (the non-zero blocks drive the
+  // loop); further axes must be universe divides.
+  bool distributed_is_position_space(const IndexVar& dv) const;
+
+  // --- single-axis convenience API (delegates to distribution axis 0) --------
+
+  // The first variable named by distribute(), if any.
   std::optional<IndexVar> distributed_var() const;
-  // The original variable whose divide/divide_pos produced the distributed
-  // variable (e.g. `i` for divide(i, io, ii, p) + distribute(io)).
   IndexVar distributed_source() const;
-  // Pieces of the divide/divide_pos that produced the distributed variable.
   int distributed_pieces() const;
-  // True if the distributed variable came from divide_pos (position space).
+  // True if the first distributed variable came from divide_pos (position
+  // space). Position-space distribution is single-axis: lowering rejects
+  // schedules mixing divide_pos with additional distribute() commands.
   bool distributed_is_position_space() const;
   // Tensor targeted by the position-space divide.
   std::string position_split_tensor() const;
@@ -79,9 +97,14 @@ class Schedule {
   std::vector<IndexVar> fused_sources(const IndexVar& v) const;
   // Leaf parallelization unit & implied hardware thread count.
   std::optional<ParallelUnit> leaf_parallel_unit() const;
-  // Tensors requested at the distributed loop by communicate();
-  // empty if no communicate command was given.
+  // Tensors requested at any distributed loop by communicate(); the union
+  // over all communicate commands, empty if none was given.
   std::vector<std::string> communicated_tensors() const;
+  // Tensors whose movement granularity is placed at distributed variable
+  // `at` (communicate({...}, at)); empty if no such command exists. With a
+  // 2-D grid, communicate at the outer axis moves whole row-blocks while the
+  // inner axis moves per-tile pieces.
+  std::vector<std::string> communicated_tensors_at(const IndexVar& at) const;
 
   std::string str() const;
 

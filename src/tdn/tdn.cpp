@@ -152,23 +152,10 @@ std::vector<Mem> color_mems(const rt::Machine& machine, int colors) {
   return mems;
 }
 
-// All-dense tensors partition directly through rectangles of the N-D vals
-// space rather than through the level-function machinery.
-Materialized materialize_dense(const TensorStorage& storage, int dim,
-                               bool replicated, const rt::Machine& machine) {
-  Materialized m;
-  if (replicated) {
-    m.replicated = true;
-    return m;
-  }
-  const int pieces = machine.num_procs();
-  const int level = storage.format().level_of_dim(dim);
-  rt::Partition oned = rt::partition_equal(
-      rt::IndexSpace(storage.dims()[static_cast<size_t>(dim)]), pieces);
-  m.partition.vals_part =
-      rt::lift_to_dim(oned, storage.vals()->space(), level);
-  m.mems = color_mems(machine, pieces);
-  return m;
+// Coordinate of flat grid index `flat` along grid dimension `d` (row-major).
+int grid_coord(const rt::Grid& g, int flat, int d) {
+  for (int k = g.ndims() - 1; k > d; --k) flat /= g.dim(k);
+  return flat % g.dim(d);
 }
 
 }  // namespace
@@ -222,41 +209,86 @@ Materialized materialize(comp::PlanTrace& trace, const TensorStorage& storage,
     slots.insert(slots.begin() + static_cast<long>(start), fused);
   }
 
-  // Find the (at most one, for sparse tensors) shared machine variable.
-  int match_machine_dim = -1;
-  const Slot* match_slot = nullptr;
+  // Find the shared machine variables per *grid axis* (dense tensors may
+  // share several — the Grid(x, y) tiling of Figure 4c; sparse tensors at
+  // most one). On a rank-1 grid every machine variable names the single
+  // axis, preserving the legacy behavior of placement strings like
+  // "C(x, y) -> M(z, y)" on Machine(Grid(p)).
+  const rt::Grid& grid = machine.grid();
+  std::vector<const Slot*> matches(static_cast<size_t>(grid.ndims()),
+                                   nullptr);
+  int num_matches = 0;
   for (size_t k = 0; k < dist.machine_vars().size(); ++k) {
     for (const auto& s : slots) {
       if (s.var == dist.machine_vars()[k]) {
-        SPD_CHECK(match_slot == nullptr, NotationError,
-                  "multi-dimensional sparse distributions are not supported: "
+        const size_t axis = grid.ndims() == 1 ? 0 : k;
+        SPD_CHECK(matches[axis] == nullptr, NotationError,
+                  "two tensor dimensions mapped to one machine dimension: "
                       << dist.str(storage.name()));
-        match_machine_dim = static_cast<int>(k);
-        match_slot = &s;
+        matches[axis] = &s;
+        ++num_matches;
       }
     }
   }
-  (void)match_machine_dim;
+  const int colors = grid.total();
 
   if (storage.format().all_dense()) {
-    if (match_slot == nullptr) {
-      return materialize_dense(storage, 0, /*replicated=*/true, machine);
+    Materialized m;
+    if (num_matches == 0) {
+      m.replicated = true;
+      return m;
     }
-    SPD_CHECK(match_slot->dims.size() == 1, NotationError,
-              "fused distributions of dense tensors are not supported");
-    SPD_CHECK(!dist.is_nonzero(match_slot->var), NotationError,
-              "non-zero partitions of dense tensors are meaningless: "
-                  << dist.str(storage.name()));
-    return materialize_dense(storage, match_slot->dims[0], false, machine);
-  }
-
-  Materialized m;
-  if (match_slot == nullptr) {
-    m.replicated = true;
+    // One color per grid point; each tile restricts the matched dimensions
+    // to their axis blocks and is replicated across unmatched axes.
+    std::vector<rt::RectN> tiles;
+    tiles.reserve(static_cast<size_t>(colors));
+    std::vector<std::vector<rt::Rect1>> axis_blocks(matches.size());
+    for (size_t k = 0; k < matches.size(); ++k) {
+      if (matches[k] == nullptr) continue;
+      SPD_CHECK(matches[k]->dims.size() == 1, NotationError,
+                "fused distributions of dense tensors are not supported");
+      SPD_CHECK(!dist.is_nonzero(matches[k]->var), NotationError,
+                "non-zero partitions of dense tensors are meaningless: "
+                    << dist.str(storage.name()));
+      axis_blocks[k] = equal_bounds(
+          storage.dims()[static_cast<size_t>(matches[k]->dims[0])],
+          grid.dim(static_cast<int>(k)));
+    }
+    for (int c = 0; c < colors; ++c) {
+      rt::RectN t = storage.vals()->space().bounds();
+      for (size_t k = 0; k < matches.size(); ++k) {
+        if (matches[k] == nullptr) continue;
+        const int level =
+            storage.format().level_of_dim(matches[k]->dims[0]);
+        const Rect1 b =
+            axis_blocks[k][static_cast<size_t>(
+                grid_coord(grid, c, static_cast<int>(k)))];
+        t.lo[level] = std::max(t.lo[level], b.lo);
+        t.hi[level] = std::min(t.hi[level], b.hi);
+      }
+      tiles.push_back(t);
+    }
+    m.partition.vals_part =
+        rt::partition_by_bounds(storage.vals()->space(), tiles);
+    m.mems = color_mems(machine, colors);
     return m;
   }
 
-  const int pieces = machine.num_procs();
+  SPD_CHECK(num_matches <= 1, NotationError,
+            "multi-dimensional sparse distributions are not supported: "
+                << dist.str(storage.name()));
+  Materialized m;
+  if (num_matches == 0) {
+    m.replicated = true;
+    return m;
+  }
+  int match_machine_dim = 0;
+  while (matches[static_cast<size_t>(match_machine_dim)] == nullptr) {
+    ++match_machine_dim;
+  }
+  const Slot* match_slot = matches[static_cast<size_t>(match_machine_dim)];
+
+  const int axis_pieces = grid.dim(match_machine_dim);
   const bool nz = dist.is_nonzero(match_slot->var);
   int level;
   if (match_slot->dims.size() > 1) {
@@ -279,16 +311,24 @@ Materialized materialize(comp::PlanTrace& trace, const TensorStorage& storage,
 
   const fmt::LevelStorage& ls = storage.level(level);
   const LevelFuncs& funcs = LevelFuncs::get(ls.kind);
+  // Split along the matched grid axis; each block is replicated onto every
+  // processor sharing that axis coordinate (one color per grid point).
+  const std::vector<Rect1> axis = equal_bounds(
+      nz ? ls.positions : ls.extent, axis_pieces);
+  std::vector<Rect1> bounds;
+  bounds.reserve(static_cast<size_t>(colors));
+  for (int c = 0; c < colors; ++c) {
+    bounds.push_back(
+        axis[static_cast<size_t>(grid_coord(grid, c, match_machine_dim))]);
+  }
   LevelPartitions init;
   if (nz) {
-    init = funcs.nonzero_partition(trace, storage.name(), level, ls,
-                                   equal_bounds(ls.positions, pieces));
+    init = funcs.nonzero_partition(trace, storage.name(), level, ls, bounds);
   } else {
-    init = funcs.universe_partition(trace, storage.name(), level, ls,
-                                    equal_bounds(ls.extent, pieces));
+    init = funcs.universe_partition(trace, storage.name(), level, ls, bounds);
   }
   m.partition = fmt::partition_coordinate_tree(trace, storage, level, init);
-  m.mems = color_mems(machine, pieces);
+  m.mems = color_mems(machine, colors);
   return m;
 }
 

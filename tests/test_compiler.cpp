@@ -357,6 +357,237 @@ TEST(Simulation, StrongScalingAndLoadBalance) {
   EXPECT_LT(t8nz, t8 * 1.1);
 }
 
+// --- Multi-dimensional distribution onto Machine(Grid(x, y)) -----------------
+
+// The paper's 2-D SpMM schedule (§II-C): divide both output variables and
+// distribute each onto one grid axis.
+struct Grid2SpmmProgram {
+  IndexVar i{"i"}, j{"j"}, k{"k"}, io{"io"}, ii{"ii"}, jo{"jo"}, ji{"ji"};
+  Tensor A, B, C;
+  Statement* stmt;
+
+  Grid2SpmmProgram(int px, int py, fmt::Coo coo, Coord jdim = 16) {
+    const Coord n = coo.dims[0];
+    const Coord m = coo.dims[1];
+    // Figure 4c-style placements on Machine(Grid(x, y)): A tiled on both
+    // axes, B row-blocked (replicated across y), C column-blocked
+    // (replicated across x).
+    A = Tensor("A", {n, jdim}, fmt::dense_matrix(),
+               tdn::parse_tdn("A(x, y) -> M(x, y)"));
+    B = Tensor("B", {n, m}, fmt::csr(), tdn::parse_tdn("B(x, y) -> M(x, z)"));
+    C = Tensor("C", {m, jdim}, fmt::dense_matrix(),
+               tdn::parse_tdn("C(x, y) -> M(z, y)"));
+    B.from_coo(std::move(coo));
+    C.init_dense([](const auto& x) {
+      return 0.25 * static_cast<double>((x[0] + 2 * x[1]) % 9);
+    });
+    stmt = &(A(i, j) = B(i, k) * C(k, j));
+    A.schedule()
+        .divide(i, io, ii, px)
+        .divide(j, jo, ji, py)
+        .distribute(io)
+        .distribute(jo)
+        .communicate({"A", "B", "C"}, io)
+        .parallelize(ii, sched::ParallelUnit::CPUThread);
+  }
+};
+
+TEST(CompileGrid, Spmm2dAnalysis) {
+  Grid2SpmmProgram prog(2, 2, data::uniform_matrix(64, 64, 400, 21));
+  rt::MachineConfig cfg;
+  cfg.nodes = 4;
+  rt::Machine m(cfg, rt::Grid(2, 2), rt::ProcKind::CPU);
+  CompiledKernel ck = CompiledKernel::compile(*prog.stmt, m);
+  EXPECT_EQ(ck.pieces(), 4);
+  EXPECT_EQ(ck.grid_pieces(), (std::vector<int>{2, 2}));
+  ASSERT_EQ(ck.dist_source_vars().size(), 2u);
+  EXPECT_EQ(ck.dist_source_vars()[0], prog.i);
+  EXPECT_EQ(ck.dist_source_vars()[1], prog.j);
+  EXPECT_FALSE(ck.position_space());
+  // spmm_row clamps its dense j loop to the axis-1 tile.
+  EXPECT_EQ(ck.leaf_kernel_name(), "spmm_row");
+}
+
+TEST(ExecuteGrid, Spmm2dMatchesOracle) {
+  for (auto [px, py] : {std::pair<int, int>{2, 2}, {4, 2}, {2, 4}}) {
+    Grid2SpmmProgram prog(px, py,
+                          data::powerlaw_matrix(96, 96, 800, 1.2, 22));
+    rt::MachineConfig cfg;
+    cfg.nodes = px * py;
+    rt::Machine m(cfg, rt::Grid(px, py), rt::ProcKind::CPU);
+    rt::Runtime runtime(m);
+    auto inst = CompiledKernel::compile(*prog.stmt, m).instantiate(runtime);
+    inst->run(2);  // steady state must stay correct
+    EXPECT_LE(ref::max_abs_diff(prog.A, ref::eval(*prog.stmt)), 1e-10)
+        << px << "x" << py;
+    EXPECT_EQ(inst->trace().count(PlanOpKind::DistributedFor), 1);
+  }
+}
+
+TEST(ExecuteGrid, Spmm2dOnGpuMachineMatchesOracle) {
+  Grid2SpmmProgram prog(2, 4, data::powerlaw_matrix(80, 80, 600, 1.3, 23));
+  rt::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 4;
+  rt::Machine m(cfg, rt::Grid(2, 4), rt::ProcKind::GPU);
+  rt::Runtime runtime(m);
+  auto inst = CompiledKernel::compile(*prog.stmt, m).instantiate(runtime);
+  inst->run(1);
+  EXPECT_LE(ref::max_abs_diff(prog.A, ref::eval(*prog.stmt)), 1e-10);
+}
+
+// 2-D SpMV distributes the reduction variable j on axis 1: the output is
+// merged across the column axis (reduction privileges), the co-iteration
+// engine clamps j per piece.
+TEST(ExecuteGrid, Spmv2dReductionAxisMatchesOracle) {
+  IndexVar i("i"), j("j"), io("io"), ii("ii"), jo("jo"), ji("ji");
+  fmt::Coo coo = data::powerlaw_matrix(72, 72, 500, 1.2, 24);
+  Tensor a("a", {72}, fmt::dense_vector());
+  Tensor B("B", {72, 72}, fmt::csr());
+  Tensor c("c", {72}, fmt::dense_vector());
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto& x) {
+    return 1.0 + 0.5 * static_cast<double>(x[0] % 3);
+  });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  a.schedule()
+      .divide(i, io, ii, 2)
+      .divide(j, jo, ji, 2)
+      .distribute(io)
+      .distribute(jo);
+  rt::MachineConfig cfg;
+  cfg.nodes = 4;
+  rt::Machine m(cfg, rt::Grid(2, 2), rt::ProcKind::CPU);
+  CompiledKernel ck = CompiledKernel::compile(stmt, m);
+  EXPECT_EQ(ck.leaf_kernel_name(), "coiter");  // spmv_row cannot clamp j
+  rt::Runtime runtime(m);
+  auto inst = ck.instantiate(runtime);
+  inst->run(2);
+  EXPECT_LE(ref::max_abs_diff(a, ref::eval(stmt)), 1e-10);
+}
+
+TEST(ExecuteGrid, Sddmm2dMatchesOracle) {
+  IndexVar i("i"), j("j"), k("k"), io("io"), ii("ii"), jo("jo"), ji("ji");
+  fmt::Coo coo = data::powerlaw_matrix(56, 56, 350, 1.2, 25);
+  Tensor A("A", {56, 56}, fmt::csr());
+  Tensor B("B", {56, 56}, fmt::csr());
+  Tensor C("C", {56, 6}, fmt::dense_matrix());
+  Tensor D("D", {6, 56}, fmt::dense_matrix());
+  B.from_coo(std::move(coo));
+  C.init_dense([](const auto& x) {
+    return 1.0 + 0.5 * static_cast<double>(x[1] % 3);
+  });
+  D.init_dense([](const auto& x) {
+    return 0.5 + 0.25 * static_cast<double>(x[0] % 2);
+  });
+  Statement& stmt = (A(i, j) = B(i, j) * C(i, k) * D(k, j));
+  A.schedule()
+      .divide(i, io, ii, 2)
+      .divide(j, jo, ji, 2)
+      .distribute(io)
+      .distribute(jo);
+  rt::MachineConfig cfg;
+  cfg.nodes = 4;
+  rt::Machine m(cfg, rt::Grid(2, 2), rt::ProcKind::CPU);
+  CompiledKernel ck = CompiledKernel::compile(stmt, m);
+  EXPECT_EQ(ck.leaf_kernel_name(), "sddmm_row");
+  rt::Runtime runtime(m);
+  auto inst = ck.instantiate(runtime);
+  inst->run(2);
+  EXPECT_LE(ref::max_abs_diff(A, ref::eval(stmt)), 1e-10);
+}
+
+// Cross-product of a non-zero split (axis 0) and a universe split (axis 1):
+// equal non-zero blocks of B x column blocks of the dense output.
+TEST(ExecuteGrid, SpmmNonZeroTimesUniverseGridMatchesOracle) {
+  IndexVar i("i"), j("j"), k("k"), f("f"), fo("fo"), fi("fi"), jo("jo"),
+      ji("ji");
+  fmt::Coo coo = data::powerlaw_matrix(64, 64, 500, 1.4, 28);
+  Tensor A("A", {64, 12}, fmt::dense_matrix());
+  Tensor B("B", {64, 64}, fmt::csr());
+  Tensor C("C", {64, 12}, fmt::dense_matrix());
+  B.from_coo(std::move(coo));
+  C.init_dense([](const auto& x) {
+    return 0.5 + 0.1 * static_cast<double>((x[0] + x[1]) % 5);
+  });
+  Statement& stmt = (A(i, j) = B(i, k) * C(k, j));
+  A.schedule()
+      .fuse(i, k, f)
+      .divide_pos(f, fo, fi, 2, "B")
+      .divide(j, jo, ji, 2)
+      .distribute(fo)
+      .distribute(jo);
+  rt::MachineConfig cfg;
+  cfg.nodes = 4;
+  rt::Machine m(cfg, rt::Grid(2, 2), rt::ProcKind::CPU);
+  CompiledKernel ck = CompiledKernel::compile(stmt, m);
+  EXPECT_TRUE(ck.position_space());
+  EXPECT_EQ(ck.pieces(), 4);
+  EXPECT_EQ(ck.grid_pieces(), (std::vector<int>{2, 2}));
+  EXPECT_EQ(ck.leaf_kernel_name(), "spmm_nz");  // clamps j per piece
+  rt::Runtime runtime(m);
+  auto inst = ck.instantiate(runtime);
+  inst->run(2);
+  EXPECT_LE(ref::max_abs_diff(A, ref::eval(stmt)), 1e-10);
+}
+
+TEST(CompileGrid, RejectsFusedVariableOnInnerAxis) {
+  IndexVar i("i"), j("j"), k("k"), f("f"), fo("fo"), fi("fi"), io("io"),
+      ii("ii");
+  fmt::Coo coo = data::uniform_matrix(32, 32, 100, 29);
+  Tensor A("A", {32, 8}, fmt::dense_matrix());
+  Tensor B("B", {32, 32}, fmt::csr());
+  Tensor C("C", {32, 8}, fmt::dense_matrix());
+  B.from_coo(std::move(coo));
+  C.init_dense([](const auto&) { return 1.0; });
+  Statement& stmt = (A(i, j) = B(i, k) * C(k, j));
+  // i is fused into the position split; it cannot also be an inner axis.
+  A.schedule()
+      .fuse(i, k, f)
+      .divide_pos(f, fo, fi, 2, "B")
+      .divide(i, io, ii, 2)
+      .distribute(fo)
+      .distribute(io);
+  EXPECT_THROW(CompiledKernel::compile(stmt, cpu_machine(4)), ScheduleError);
+}
+
+TEST(CompileGrid, RejectsPositionSpaceOnInnerAxis) {
+  IndexVar i("i"), j("j"), f("f"), fo("fo"), fi("fi"), go("go"), gi("gi");
+  fmt::Coo coo = data::uniform_matrix(32, 32, 100, 26);
+  Tensor a("a", {32}, fmt::dense_vector());
+  Tensor B("B", {32, 32}, fmt::csr());
+  Tensor c("c", {32}, fmt::dense_vector());
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto&) { return 1.0; });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  // Only axis 0 may drive non-zero blocks; a second divide_pos axis is
+  // rejected.
+  a.schedule()
+      .fuse(i, j, f)
+      .divide_pos(f, fo, fi, 2, "B")
+      .divide_pos(fi, go, gi, 2, "B")
+      .distribute(fo)
+      .distribute(go);
+  EXPECT_THROW(CompiledKernel::compile(stmt, cpu_machine(4)), ScheduleError);
+}
+
+TEST(CompileGrid, RejectsSameVariableOnTwoAxes) {
+  IndexVar i("i"), j("j"), io("io"), ii("ii"), io2("io2"), ii2("ii2");
+  fmt::Coo coo = data::uniform_matrix(32, 32, 100, 27);
+  Tensor a("a", {32}, fmt::dense_vector());
+  Tensor B("B", {32, 32}, fmt::csr());
+  Tensor c("c", {32}, fmt::dense_vector());
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto&) { return 1.0; });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  a.schedule()
+      .divide(i, io, ii, 2)
+      .divide(i, io2, ii2, 2)
+      .distribute(io)
+      .distribute(io2);
+  EXPECT_THROW(CompiledKernel::compile(stmt, cpu_machine(4)), ScheduleError);
+}
+
 // Mismatched data and compute distributions still compute correctly but
 // move more data (paper §II-D, last paragraph).
 TEST(Simulation, DistributionMismatchCostsCommunication) {

@@ -1,0 +1,124 @@
+// Grid-aware placement: Machine::proc/proc_at on multi-dimensional grids
+// (node boundaries, gpus_per_node wrap), the runtime's piece -> processor
+// mapping for shaped launch domains, and the simulator pricing reduction
+// traffic intra- vs inter-node depending on which grid axis it crosses.
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.h"
+
+namespace spdistal::rt {
+namespace {
+
+TEST(MachineGrid, CpuGridPointsMapToDistinctNodes) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  Machine m(cfg, Grid(2, 2), ProcKind::CPU);
+  EXPECT_EQ(m.num_procs(), 4);
+  // Row-major: (x, y) -> node 2x + y.
+  EXPECT_EQ(m.proc_at({0, 0}).node, 0);
+  EXPECT_EQ(m.proc_at({0, 1}).node, 1);
+  EXPECT_EQ(m.proc_at({1, 0}).node, 2);
+  EXPECT_EQ(m.proc_at({1, 1}).node, 3);
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_EQ(m.proc(f).kind, ProcKind::CPU);
+    EXPECT_EQ(m.proc(f).index, 0);
+  }
+}
+
+TEST(MachineGrid, GpuGridRowsShareNodes) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 4;
+  Machine m(cfg, Grid(2, 4), ProcKind::GPU);
+  // A full grid row fits one node: row-neighbors share its NVLink.
+  for (int y = 0; y < 4; ++y) {
+    EXPECT_EQ(m.proc_at({0, y}).node, 0);
+    EXPECT_EQ(m.proc_at({0, y}).index, y);
+    EXPECT_EQ(m.proc_at({1, y}).node, 1);
+    EXPECT_EQ(m.proc_at({1, y}).index, y);
+  }
+}
+
+TEST(MachineGrid, GpuIndexWrapsAtNodeBoundary) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.gpus_per_node = 2;
+  Machine m(cfg, Grid(4, 2), ProcKind::GPU);
+  // gpus_per_node = 2 packs one grid row per node; flat index wraps.
+  EXPECT_EQ(m.proc_at({0, 0}), (Proc{0, ProcKind::GPU, 0}));
+  EXPECT_EQ(m.proc_at({0, 1}), (Proc{0, ProcKind::GPU, 1}));
+  EXPECT_EQ(m.proc_at({1, 0}), (Proc{1, ProcKind::GPU, 0}));
+  EXPECT_EQ(m.proc_at({3, 1}), (Proc{3, ProcKind::GPU, 1}));
+}
+
+TEST(MachineGrid, ShapedLaunchWrapsPerAxis) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 4;
+  Machine m(cfg, Grid(2, 4), ProcKind::GPU);
+  Runtime rt(m);
+  IndexLaunch launch;
+  launch.domain = 4 * 8;  // 2x-overdecomposed on both axes
+  launch.domain_shape = {4, 8};
+  // Point (x, y) runs on grid processor (x mod 2, y mod 4): piece (3, 6)
+  // wraps to (1, 2) = node 1, GPU 2 — its row stays on its node.
+  auto point = [&](int x, int y) { return rt.proc_for_point(x * 8 + y, launch); };
+  EXPECT_EQ(point(3, 6), (Proc{1, ProcKind::GPU, 2}));
+  EXPECT_EQ(point(0, 5), (Proc{0, ProcKind::GPU, 1}));
+  EXPECT_EQ(point(2, 0), (Proc{0, ProcKind::GPU, 0}));
+  // A shapeless launch keeps the flat modulo mapping.
+  IndexLaunch flat;
+  flat.domain = 4 * 8;
+  EXPECT_EQ(rt.proc_for_point(9, flat), m.proc(1));
+}
+
+// Reduction merges between pieces in the same grid row ride NVLink
+// (intra-node); merges across rows cross the network. Two launches with the
+// same overlap volume differ only in which axis the overlap spans.
+TEST(MachineGrid, ReductionTrafficSplitsByGridAxis) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 2;
+  Machine m(cfg, Grid(2, 2), ProcKind::GPU);
+
+  auto run = [&](bool overlap_within_row) {
+    Runtime rt(m);
+    auto region = make_region<double>(IndexSpace(100), "r");
+    // Colors enumerate grid points row-major: (0,0) (0,1) (1,0) (1,1).
+    std::vector<IndexSubset> subs;
+    for (int c = 0; c < 4; ++c) subs.push_back(IndexSubset(1));
+    if (overlap_within_row) {
+      // (0,0) overlaps (0,1); (1,0) overlaps (1,1): same node each.
+      subs[0].add(RectN::make1(0, 9));
+      subs[1].add(RectN::make1(0, 9));
+      subs[2].add(RectN::make1(50, 59));
+      subs[3].add(RectN::make1(50, 59));
+    } else {
+      // (0,0) overlaps (1,0); (0,1) overlaps (1,1): across nodes.
+      subs[0].add(RectN::make1(0, 9));
+      subs[2].add(RectN::make1(0, 9));
+      subs[1].add(RectN::make1(50, 59));
+      subs[3].add(RectN::make1(50, 59));
+    }
+    Partition part(region->space(), subs);
+    IndexLaunch launch;
+    launch.domain = 4;
+    launch.domain_shape = {2, 2};
+    launch.reqs.push_back(RegionReq{region, &part, Privilege::REDUCE});
+    launch.body = [](const TaskContext&) { return WorkEstimate{1, 8}; };
+    rt.execute(launch);
+    return rt.report();
+  };
+
+  const SimReport within = run(true);
+  const SimReport across = run(false);
+  // Same overlap volume, different interconnect: row-axis merges stay on
+  // the node, column-axis merges pay the NIC.
+  EXPECT_GT(within.intra_node_bytes, 0);
+  EXPECT_EQ(within.inter_node_bytes, 0);
+  EXPECT_GT(across.inter_node_bytes, 0);
+  EXPECT_GT(across.inter_node_bytes, within.inter_node_bytes);
+}
+
+}  // namespace
+}  // namespace spdistal::rt

@@ -187,6 +187,68 @@ TEST(Grid2, TilesMatrix) {
   EXPECT_TRUE(p.complete());
 }
 
+// Regression: pieces_x > row extent used to produce a default (1-D) empty
+// rect that tripped the dimension assert in partition_by_bounds.
+TEST(Grid2, MorePiecesThanRows) {
+  IndexSpace matrix(RectN::make2(0, 1, 0, 9));  // 2 rows, 10 cols
+  Partition p = partition_grid2(matrix, 4, 2);
+  ASSERT_EQ(p.num_colors(), 8);
+  int64_t total = 0;
+  for (int c = 0; c < 8; ++c) total += p.subset(c).volume();
+  EXPECT_EQ(total, 20);
+  EXPECT_TRUE(p.disjoint());
+  EXPECT_TRUE(p.complete());
+}
+
+// Regression: overlapping N-D rects double-counted volume, so a partition
+// with a hole could report complete (vol >= parent volume despite row 3
+// being uncovered).
+TEST(PartitionComplete, OverlappingNDRectsDoNotMaskHoles) {
+  IndexSpace s(RectN::make2(0, 3, 0, 3));  // 16 points
+  IndexSubset holey(2);
+  holey.add(RectN::make2(0, 1, 0, 3));  // rows 0-1: 8 points
+  holey.add(RectN::make2(1, 2, 0, 3));  // rows 1-2: 8 points (4 overlap)
+  Partition p(s, {holey});
+  EXPECT_FALSE(p.complete());  // row 3 is a hole
+  IndexSubset covered = holey;
+  covered.add(RectN::make2(2, 3, 0, 3));
+  Partition q(s, {covered});
+  EXPECT_TRUE(q.complete());
+}
+
+// Overlapping value ranges may not be binary-searched: a value inside two
+// ranges must land in both colors (the exhaustive fallback path).
+TEST(PartitionByValueRanges, OverlappingRangesKeepMultiMembership) {
+  PaperMatrix m;
+  // crd = 0 1 3 1 3 0 0 3; ranges {0..2} and {1..3} share values 1 and 2.
+  Partition p = partition_by_value_ranges(*m.crd, {{0, 2}, {1, 3}});
+  ASSERT_EQ(p.num_colors(), 2);
+  // Value-1 positions (1, 3) belong to both colors.
+  EXPECT_TRUE(p.subset(0).contains_point1(1));
+  EXPECT_TRUE(p.subset(1).contains_point1(1));
+  EXPECT_TRUE(p.subset(0).contains_point1(3));
+  EXPECT_TRUE(p.subset(1).contains_point1(3));
+  EXPECT_FALSE(p.disjoint());
+}
+
+// Sorted-disjoint ranges with interleaved empties (equal_bounds output when
+// pieces > extent) still bucket exactly like the exhaustive scan.
+TEST(PartitionByValueRanges, EmptyRangesAndBinarySearchAgree) {
+  PaperMatrix m;
+  const std::vector<Rect1> ranges = {
+      {0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 3}};  // two empty ranges inside
+  Partition p = partition_by_value_ranges(*m.crd, ranges);
+  ASSERT_EQ(p.num_colors(), 5);
+  // crd = 0 1 3 1 3 0 0 3.
+  EXPECT_EQ(p.subset(0).volume(), 3);  // value 0: positions 0, 5, 6
+  EXPECT_EQ(p.subset(1).volume(), 0);
+  EXPECT_EQ(p.subset(2).volume(), 2);  // value 1: positions 1, 3
+  EXPECT_EQ(p.subset(3).volume(), 0);
+  EXPECT_EQ(p.subset(4).volume(), 3);  // values 2-3: positions 2, 4, 7
+  EXPECT_TRUE(p.disjoint());
+  EXPECT_TRUE(p.complete());
+}
+
 // Property test over random CSR-like structures: universe and non-zero
 // partitions always cover all stored coordinates, image/preimage round-trips
 // keep every non-zero reachable, and non-zero partitions are balanced.

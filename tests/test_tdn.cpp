@@ -132,6 +132,52 @@ TEST(TdnMaterialize, DenseMatrixColumnPartition) {
   EXPECT_TRUE(m.partition.vals_part.complete());
 }
 
+// 2-D machine-tuple placement strings keep working on a rank-1 grid: every
+// machine variable names the single axis, so "C(x, y) -> M(z, y)" is a
+// column partition across all processors (legacy behavior).
+TEST(TdnMaterialize, TwoDimTupleOnRankOneGrid) {
+  Coo coo;
+  coo.dims = {6, 8};
+  auto st = fmt::pack("C", fmt::dense_matrix(), {6, 8}, std::move(coo));
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("C(x, y) -> M(z, y)"),
+                               cpu_machine(4));
+  ASSERT_FALSE(m.replicated);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.partition.vals_part.subset(c).volume(), 6 * 2);
+  }
+}
+
+// Figure 4c: a dense matrix tiled on both axes of a Grid(x, y) machine.
+TEST(TdnMaterialize, DenseGridTiles) {
+  Coo coo;
+  coo.dims = {6, 8};
+  auto st = fmt::pack("A", fmt::dense_matrix(), {6, 8}, std::move(coo));
+  rt::MachineConfig cfg;
+  cfg.nodes = 4;
+  rt::Machine machine(cfg, rt::Grid(2, 2), rt::ProcKind::CPU);
+  comp::PlanTrace trace;
+  Materialized m = materialize(trace, st, parse_tdn("A(x, y) -> M(x, y)"),
+                               machine);
+  ASSERT_FALSE(m.replicated);
+  ASSERT_EQ(m.partition.vals_part.num_colors(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(m.partition.vals_part.subset(c).volume(), 3 * 4);
+  }
+  EXPECT_TRUE(m.partition.vals_part.disjoint());
+  EXPECT_TRUE(m.partition.vals_part.complete());
+  // Sparse row blocks on the same machine replicate across the column axis:
+  // colors (x, 0) and (x, 1) hold the same rows.
+  auto bst = skewed_csr(8);
+  Materialized mb = materialize(trace, bst, parse_tdn("B(x, y) -> M(x, z)"),
+                                machine);
+  ASSERT_EQ(mb.partition.level_parts[0].num_colors(), 4);
+  EXPECT_EQ(mb.partition.level_parts[0].subset(0).str(),
+            mb.partition.level_parts[0].subset(1).str());
+  EXPECT_EQ(mb.partition.level_parts[0].subset(2).str(),
+            mb.partition.level_parts[0].subset(3).str());
+}
+
 TEST(TdnMaterialize, RejectsNonZeroOnDense) {
   Coo coo;
   coo.dims = {6, 8};

@@ -89,6 +89,35 @@ TEST(Schedule, RecordsAndQueriesCommands) {
   EXPECT_TRUE(s.leaf_parallel_unit().has_value());
 }
 
+TEST(Schedule, MultiAxisDistributionQueries) {
+  IndexVar i("i"), j("j"), io("io"), ii("ii"), jo("jo"), ji("ji");
+  sched::Schedule s;
+  s.divide(i, io, ii, 4)
+      .divide(j, jo, ji, 2)
+      .distribute(io)
+      .distribute(jo)
+      .communicate({"B"}, io)
+      .communicate({"C"}, jo);
+  const auto dvs = s.distributed_vars();
+  ASSERT_EQ(dvs.size(), 2u);
+  EXPECT_EQ(dvs[0], io);
+  EXPECT_EQ(dvs[1], jo);
+  EXPECT_EQ(s.distributed_source(io), i);
+  EXPECT_EQ(s.distributed_source(jo), j);
+  EXPECT_EQ(s.distributed_pieces(io), 4);
+  EXPECT_EQ(s.distributed_pieces(jo), 2);
+  EXPECT_FALSE(s.distributed_is_position_space(io));
+  // The single-var API delegates to axis 0.
+  EXPECT_EQ(*s.distributed_var(), io);
+  EXPECT_EQ(s.distributed_pieces(), 4);
+  // Per-axis communicate placement; the legacy query unions both.
+  EXPECT_EQ(s.communicated_tensors_at(io),
+            (std::vector<std::string>{"B"}));
+  EXPECT_EQ(s.communicated_tensors_at(jo),
+            (std::vector<std::string>{"C"}));
+  EXPECT_EQ(s.communicated_tensors().size(), 2u);
+}
+
 TEST(Schedule, PositionSpaceDistribution) {
   IndexVar i("i"), j("j"), f("f"), fo("fo"), fi("fi");
   sched::Schedule s;
