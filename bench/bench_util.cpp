@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include "autosched/autosched.h"
+
 namespace spdbench {
 
 using base::KernelKind;
@@ -184,6 +186,33 @@ Result run_spdistal(KernelKind kind, const fmt::Coo& coo, bool nz,
     rt::Runtime runtime(machine);
     auto inst =
         comp::CompiledKernel::compile(*b.stmt, machine).instantiate(runtime);
+    inst->run(kWarmIters);
+    runtime.reset_timing();
+    inst->run(kTimedIters);
+    r.seconds = inst->report().sim_time / kTimedIters;
+  } catch (const OutOfMemoryError& e) {
+    r.dnc = true;
+    r.note = e.what();
+  } catch (const SpdError& e) {
+    r.unsupported = true;
+    r.note = e.what();
+  }
+  return r;
+}
+
+Result run_spdistal_autosched(KernelKind kind, const fmt::Coo& coo,
+                              const rt::Machine& machine) {
+  Result r;
+  try {
+    Built b = build_kernel(kind, coo, /*nz=*/false, machine.num_procs());
+    b.out.schedule() = sched::Schedule{};  // wipe the hand-written schedule
+    autosched::Result searched =
+        autosched::autoschedule_search(*b.stmt, machine);
+    r.note = searched.summary();
+    rt::Runtime runtime(machine);
+    auto inst = comp::CompiledKernel::compile(*b.stmt, searched.schedule,
+                                              machine)
+                    .instantiate(runtime);
     inst->run(kWarmIters);
     runtime.reset_timing();
     inst->run(kTimedIters);

@@ -61,6 +61,13 @@ rt::Machine make_machine(int nodes, rt::ProcKind kind, int grid_size);
 
 Result run_spdistal(base::KernelKind kind, const fmt::Coo& coo, bool nz,
                     const rt::Machine& machine);
+// Same cell with the hand-written schedule wiped and the auto-scheduler
+// searching instead; `note` carries the search diagnostics
+// (autosched::Result::summary) so searched-vs-hand-written rows in the
+// figure tables are attributable. Enabled in the fig harnesses via
+// $SPDISTAL_BENCH_AUTOSCHED.
+Result run_spdistal_autosched(base::KernelKind kind, const fmt::Coo& coo,
+                              const rt::Machine& machine);
 // The memory-conserving GPU SpMM schedule (SpDISTAL-Batched, §VI-A2):
 // row-distributed compute with the dense operand partitioned by columns and
 // cycled between devices in rounds.

@@ -4,6 +4,8 @@
 // the geometric-mean speedup over SpDISTAL on one node (the paper's
 // normalization), plus the median speedup of SpDISTAL over each baseline
 // (the §VI-A1 headline numbers).
+#include <cstdlib>
+
 #include "bench_util.h"
 
 namespace spdbench {
@@ -26,6 +28,11 @@ void run_kernel(KernelKind kind, bool spd_nz,
   // results[system][nodes][dataset] = seconds (absent => DNC/unsupported).
   std::map<std::string, std::map<int, std::map<std::string, double>>> times;
   std::vector<double> spd_base;  // SpDISTAL 1-node per dataset
+  // Search diagnostics (autosched::Result::summary) per (nodes, dataset)
+  // for the optional searched-schedule row.
+  std::map<int, std::map<std::string, std::string>> search_notes;
+  const bool with_autosched =
+      std::getenv("SPDISTAL_BENCH_AUTOSCHED") != nullptr;
 
   for (const auto& ds : datasets) {
     const fmt::Coo coo = ds.make();
@@ -38,6 +45,11 @@ void run_kernel(KernelKind kind, bool spd_nz,
         Result r = sys.run(kind, coo, m);
         if (r.ok()) times[sys.name][nodes][ds.name] = r.seconds;
       }
+      if (with_autosched) {
+        Result r = run_spdistal_autosched(kind, coo, m);
+        if (r.ok()) times["SpD-auto"][nodes][ds.name] = r.seconds;
+        if (!r.note.empty()) search_notes[nodes][ds.name] = r.note;
+      }
     }
   }
 
@@ -47,6 +59,7 @@ void run_kernel(KernelKind kind, bool spd_nz,
   print_rule(78);
   const double base1 = geomean(spd_base);
   std::vector<std::string> order = {"SpDISTAL"};
+  if (with_autosched) order.push_back("SpD-auto");
   for (const auto& sys : baselines) order.push_back(sys.name);
   for (const auto& name : order) {
     std::printf("%-10s", name.c_str());
@@ -77,6 +90,15 @@ void run_kernel(KernelKind kind, bool spd_nz,
     std::sort(ratios.begin(), ratios.end());
     std::printf("median SpDISTAL speedup over %-9s: %.2fx\n",
                 sys.name.c_str(), ratios[ratios.size() / 2]);
+  }
+
+  // Attribution for the searched row: what the search considered and which
+  // plan won, per (nodes, dataset) cell.
+  for (const auto& [nodes, notes] : search_notes) {
+    for (const auto& [ds, note] : notes) {
+      std::printf("  SpD-auto %2dN %-12s %s\n", nodes, ds.c_str(),
+                  note.c_str());
+    }
   }
 }
 

@@ -2,6 +2,8 @@
 // For every (tensor, GPU count) cell each system's time in milliseconds is
 // printed ("DNC" = did not complete: simulated OOM or unsupported), followed
 // by the fastest-system grid that the paper renders as a colored heatmap.
+#include <cstdlib>
+
 #include "bench_util.h"
 
 namespace spdbench {
@@ -20,7 +22,18 @@ rt::Machine gpu_machine(int gpus) {
 void heatmap(const std::string& title,
              const std::vector<data::DatasetInfo>& datasets,
              const std::vector<int>& gpu_counts,
-             const std::vector<GpuSystem>& systems) {
+             std::vector<GpuSystem> systems,
+             std::optional<base::KernelKind> auto_kind = std::nullopt) {
+  // With $SPDISTAL_BENCH_AUTOSCHED, add a searched-schedule row whose
+  // per-cell search diagnostics (autosched::Result::summary) are printed
+  // under the tables, so searched-vs-hand-written cells are attributable.
+  if (auto_kind.has_value() && std::getenv("SPDISTAL_BENCH_AUTOSCHED")) {
+    const base::KernelKind kind = *auto_kind;
+    systems.push_back({"SpD-auto", [kind](const fmt::Coo& coo, int g) {
+                         return run_spdistal_autosched(kind, coo,
+                                                       gpu_machine(g));
+                       }});
+  }
   print_header(title);
   // results[system][dataset][gpu] text cells.
   std::map<std::string, std::map<std::string, std::map<int, Result>>> grid;
@@ -67,6 +80,17 @@ void heatmap(const std::string& title,
     }
     std::printf("\n");
   }
+  for (const auto& sys : systems) {
+    if (sys.name != "SpD-auto") continue;
+    for (const auto& ds : datasets) {
+      for (int g : gpu_counts) {
+        const Result& r = grid[sys.name][ds.name][g];
+        if (r.note.empty()) continue;
+        std::printf("  SpD-auto %2dG %-18s %s\n", g, ds.name.c_str(),
+                    r.note.c_str());
+      }
+    }
+  }
 }
 
 }  // namespace spdbench
@@ -92,7 +116,8 @@ int main() {
                [](const fmt::Coo& coo, int g) {
                  return run_trilinos(KernelKind::SpMV, coo, gpu_machine(g));
                }},
-          });
+          },
+          KernelKind::SpMV);
 
   heatmap(
       "Figure 11b: GPU SpMM (load-balanced nz + memory-conserving Batched)",
@@ -114,7 +139,8 @@ int main() {
            [](const fmt::Coo& coo, int g) {
              return run_trilinos(KernelKind::SpMM, coo, gpu_machine(g));
            }},
-      });
+      },
+      KernelKind::SpMM);
 
   heatmap("Figure 11c: GPU SpAdd3 (row-based; PETSc lacks GPU support)",
           matrices, {1, 2, 4, 8, 16},
@@ -128,7 +154,8 @@ int main() {
                [](const fmt::Coo& coo, int g) {
                  return run_trilinos(KernelKind::SpAdd3, coo, gpu_machine(g));
                }},
-          });
+          },
+          KernelKind::SpAdd3);
 
   heatmap("Figure 11d: GPU SDDMM (nz; vs SpDISTAL's CPU kernel per node)",
           matrices, {1, 2, 4, 8, 16},
@@ -145,6 +172,7 @@ int main() {
                                      make_machine(nodes, rt::ProcKind::CPU,
                                                   nodes));
                }},
-          });
+          },
+          KernelKind::SDDMM);
   return 0;
 }

@@ -45,11 +45,13 @@ void run_cell(KernelKind kind, const fmt::Coo& coo,
   std::optional<double> t_search;
   std::string plan = "n/a";
   std::string recompile = "-";
+  std::string diagnostics = "search failed: no instantiable candidate";
   try {
     autosched::Result r1 =
         autosched::autoschedule_search(*searched.stmt, machine);
     t_search = measure(*searched.stmt, r1.schedule, machine);
     plan = r1.recipe.str();
+    diagnostics = r1.summary();
     autosched::Result r2 =
         autosched::autoschedule_search(*searched.stmt, machine);
     recompile = r2.from_cache ? "cache-hit" : "cache-MISS";
@@ -63,6 +65,9 @@ void run_cell(KernelKind kind, const fmt::Coo& coo,
   std::printf("%-9s %s %s %s  %-12s %s\n", base::kernel_kind_name(kind),
               ms(t_hand).c_str(), ms(t_search).c_str(), speedup.c_str(),
               recompile.c_str(), plan.c_str());
+  // Search diagnostics (Result::summary): what the search considered and
+  // why this plan won — makes searched-vs-hand-written cells attributable.
+  std::printf("%-9s   search: %s\n", "", diagnostics.c_str());
 }
 
 void run_machine(const std::string& title, const rt::Machine& machine) {

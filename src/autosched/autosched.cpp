@@ -6,6 +6,7 @@
 
 #include "autosched/cost.h"
 #include "common/str_util.h"
+#include "exec/executor.h"
 
 namespace spdistal::autosched {
 
@@ -56,18 +57,40 @@ Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
                                  static_cast<size_t>(options.sim_top_k),
                                  candidates.size());
 
-  Statement proxy = make_proxy(stmt, options);
+  // Proxy simulations fan out across the worker pool. The downsampled
+  // proxy is built once; each candidate shares its input tensors (read-only
+  // during simulation) and gets a private output clone, so concurrent
+  // candidates never touch the same mutable storage and the search result
+  // is independent of the pool size. Each simulation runs its own Runtime
+  // over the shared pool, helping execute while it waits (no nested-pool
+  // deadlock).
+  const Statement base_proxy = make_proxy(stmt, options);
+  std::vector<Statement> proxies;
+  proxies.reserve(top_k);
   for (size_t k = 0; k < top_k; ++k) {
-    Candidate& c = candidates[order[k]];
-    try {
-      c.sim_time = simulate_candidate(proxy, c.schedule, machine, options);
-      c.simulated = true;
-      ++result.simulated;
-    } catch (const SpdError&) {
-      // Cannot be instantiated on this machine (e.g. simulated OOM):
-      // infinite cost.
-      c.sim_time = std::numeric_limits<double>::infinity();
+    proxies.push_back(clone_proxy_output(base_proxy));
+  }
+  {
+    exec::Executor fan(exec::WorkerPool::shared());
+    for (size_t k = 0; k < top_k; ++k) {
+      Candidate& c = candidates[order[k]];
+      fan.submit("simulate " + c.recipe.str(), [&c, &proxies, &machine,
+                                               &options, k] {
+        try {
+          c.sim_time =
+              simulate_candidate(proxies[k], c.schedule, machine, options);
+          c.simulated = true;
+        } catch (const SpdError&) {
+          // Cannot be instantiated on this machine (e.g. simulated OOM):
+          // infinite cost.
+          c.sim_time = std::numeric_limits<double>::infinity();
+        }
+      });
     }
+    fan.flush();
+  }
+  for (size_t k = 0; k < top_k; ++k) {
+    if (candidates[order[k]].simulated) ++result.simulated;
   }
 
   // Winner: lowest simulated makespan; analytic estimate and enumeration

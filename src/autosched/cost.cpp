@@ -39,7 +39,8 @@ double AnalyticModel::estimate(const Recipe& recipe) {
   const int procs = std::max(1, machine_.num_procs());
   const int PX = std::max(1, recipe.pieces);
   const int PY = std::max(1, recipe.pieces_y);
-  const int P = PX * PY;
+  const int PZ = std::max(1, recipe.pieces_z);
+  const int P = PX * PY * PZ;
   const int threads = (recipe.unit.has_value() &&
                        *recipe.unit == sched::ParallelUnit::CPUThread)
                           ? cfg.cores_per_node
@@ -77,6 +78,10 @@ double AnalyticModel::estimate(const Recipe& recipe) {
     const auto vars = tin::statement_vars(stmt_.assignment);
     const tin::IndexVar v = vars.front();
     const bool grid = PY > 1 && vars.size() >= 2;
+    // Distribution axes: (variable, pieces) per grid rank, in order.
+    std::vector<std::pair<tin::IndexVar, int>> grid_axes{{v, PX}};
+    if (vars.size() >= 2) grid_axes.push_back({vars[1], PY});
+    if (PZ > 1 && vars.size() >= 3) grid_axes.push_back({vars[2], PZ});
     auto dim_of = [](const tin::Access& a, const tin::IndexVar& u) {
       int d = -1;
       for (size_t k = 0; k < a.vars.size(); ++k) {
@@ -85,12 +90,12 @@ double AnalyticModel::estimate(const Recipe& recipe) {
       return d;
     };
     if (grid) {
-      // (px, py) grid over (vars[0], vars[1]). Per-axis fractions: an axis
-      // variable indexing the operand keeps its worst coordinate block; one
-      // that only splits a surrounding dense loop scales the per-non-zero
-      // work by 1/pieces. The per-operand products sum over co-iterated
-      // operands (independence approximation between the two axes).
-      const tin::IndexVar w = vars[1];
+      // (px, py[, pz]) grid over the leading statement variables. Per-axis
+      // fractions: an axis variable indexing the operand keeps its worst
+      // coordinate block; one that only splits a surrounding dense loop
+      // scales the per-non-zero work by 1/pieces. The per-operand products
+      // sum over co-iterated operands (independence approximation between
+      // the axes).
       double total_piece = 0;
       double total = 0;
       bool bucketed = false;
@@ -110,15 +115,16 @@ double AnalyticModel::estimate(const Recipe& recipe) {
                  nnz;
         };
         bucketed = true;
-        total_piece += nnz * axis_frac(v, PX) * axis_frac(w, PY);
+        double frac = 1.0;
+        for (const auto& [u, pa] : grid_axes) frac *= axis_frac(u, pa);
+        total_piece += nnz * frac;
       }
       piece_max_nnz = bucketed ? std::max(total_piece, 1.0)
                                : std::ceil(std::max(total, 1.0) / P);
       // An axis whose variable does not index the output merges partial
       // results by reduction every iteration: one pass over the output.
       const auto& lhs = stmt_.assignment.lhs.vars;
-      for (const auto& [u, pa] :
-           {std::pair<tin::IndexVar, int>{v, PX}, {w, PY}}) {
+      for (const auto& [u, pa] : grid_axes) {
         if (pa > 1 &&
             std::find(lhs.begin(), lhs.end(), u) == lhs.end()) {
           comm_bytes += output_bytes();
@@ -162,10 +168,7 @@ double AnalyticModel::estimate(const Recipe& recipe) {
       for (Coord d : t.dims()) bytes *= static_cast<double>(d);
       double split = 1;
       int copies = 1;
-      for (const auto& [u, pa] :
-           {std::pair<tin::IndexVar, int>{vars.front(), PX},
-            {vars.size() >= 2 ? vars[1] : vars.front(),
-             vars.size() >= 2 ? PY : 1}}) {
+      for (const auto& [u, pa] : grid_axes) {
         if (dim_of(a, u) >= 0) {
           split *= pa;
         } else {
@@ -215,6 +218,24 @@ Statement make_proxy(const Statement& stmt, const Options& options) {
     proxy.bindings.emplace(name, std::move(clone));
   }
   return proxy;
+}
+
+Statement clone_proxy_output(const Statement& proxy) {
+  Statement s;
+  s.assignment = proxy.assignment;
+  const std::string& out = proxy.assignment.lhs.tensor;
+  for (const auto& [name, t] : proxy.bindings) {
+    if (name == out) {
+      // Fresh output: dense tensors get zeroed storage from the
+      // constructor; sparse outputs stay unassembled (the compiler's
+      // assembly phase builds them during instantiation).
+      s.bindings.emplace(name,
+                         Tensor(name, t.dims(), t.format(), t.distribution()));
+    } else {
+      s.bindings.emplace(name, t);
+    }
+  }
+  return s;
 }
 
 double simulate_candidate(Statement& proxy, const sched::Schedule& schedule,

@@ -56,6 +56,12 @@ double analytic_estimate(const Statement& stmt, const Recipe& recipe,
 // instantiate and run without touching the user's tensors.
 Statement make_proxy(const Statement& stmt, const Options& options);
 
+// Clones only the output binding of a proxy (fresh storage for a candidate
+// simulation to zero/assemble); input bindings are shared handles, read-only
+// during simulation — so concurrent candidates reuse one downsampled proxy
+// instead of re-running make_proxy's convert/sample/pack per candidate.
+Statement clone_proxy_output(const Statement& proxy);
+
 // Simulated seconds/iteration of `schedule` applied to `proxy` (built once
 // via make_proxy and reused across candidates). Throws OutOfMemoryError /
 // SpdError when the candidate cannot be instantiated; callers treat that as

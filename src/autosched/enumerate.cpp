@@ -51,10 +51,13 @@ std::vector<Candidate> enumerate_candidates(const Statement& stmt,
     }
   }
 
-  // --- Multi-axis universe grids (px, py) -------------------------------------
+  // --- Multi-axis universe grids (px, py) and (px, py, pz) --------------------
   // Every proper factorization of the processor count becomes a 2-D grid
-  // mapping the two outermost variables onto Machine(Grid(px, py)) — the
-  // paper's 2-D SpMM/SDDMM schedules that trade replication for balance.
+  // mapping the two outermost variables onto Machine(Grid(x, y)) — the
+  // paper's 2-D SpMM/SDDMM schedules that trade replication for balance —
+  // and, with three or more statement variables, every 3-way factorization
+  // becomes a rank-3 Grid(x, y, z) (lowering handles arbitrary-rank grids;
+  // per-axis blocks restrict iteration through the leaf's piece bounds).
   if (vars.size() >= 2 && procs > 1) {
     const Coord e0 = var_extent(stmt, vars[0]);
     const Coord e1 = var_extent(stmt, vars[1]);
@@ -70,6 +73,28 @@ std::vector<Candidate> enumerate_candidates(const Statement& stmt,
         if (r.pieces_y <= 1) continue;  // degenerated to 1-D
         r.unit = unit;
         add(r);
+      }
+    }
+    if (vars.size() >= 3) {
+      const Coord e2 = var_extent(stmt, vars[2]);
+      for (int px = 2; px * 4 <= procs; ++px) {
+        if (procs % px != 0) continue;
+        for (int py = 2; px * py * 2 <= procs; ++py) {
+          if ((procs / px) % py != 0) continue;
+          const int pz = procs / (px * py);
+          for (const auto& unit : units) {
+            Recipe r;
+            r.pieces = static_cast<int>(
+                std::clamp<Coord>(px, 1, std::max<Coord>(e0, 1)));
+            r.pieces_y = static_cast<int>(
+                std::clamp<Coord>(py, 1, std::max<Coord>(e1, 1)));
+            r.pieces_z = static_cast<int>(
+                std::clamp<Coord>(pz, 1, std::max<Coord>(e2, 1)));
+            if (r.pieces_y <= 1 || r.pieces_z <= 1) continue;  // lower rank
+            r.unit = unit;
+            add(r);
+          }
+        }
       }
     }
   }

@@ -14,6 +14,9 @@ std::string Recipe::str() const {
     s = strprintf("divide_pos(%s, fuse_depth=%d, pieces=%d)",
                   split_tensor.c_str(), fuse_depth, pieces);
     if (pieces_y > 1) s += strprintf(" x divide(%d)", pieces_y);
+  } else if (pieces_z > 1) {
+    s = strprintf("divide(grid %dx%dx%d)%s", pieces, pieces_y, pieces_z,
+                  communicate_all ? " + communicate(all)" : "");
   } else if (pieces_y > 1) {
     s = strprintf("divide(grid %dx%d)%s", pieces, pieces_y,
                   communicate_all ? " + communicate(all)" : "");
@@ -38,13 +41,29 @@ sched::Schedule materialize(const Recipe& recipe, const Statement& stmt) {
     IndexVar io(v.name() + "o"), ii(v.name() + "i");
     s.divide(v, io, ii, recipe.pieces);
     if (recipe.pieces_y > 1) {
-      // Second grid axis over the next index variable.
+      // Second (and optionally third) grid axis over the next statement
+      // variables, in order.
       SPD_CHECK(vars.size() >= 2, ScheduleError,
                 "grid recipe needs two index variables: " << stmt.str());
       const IndexVar w = vars[1];
       IndexVar jo(w.name() + "o"), ji(w.name() + "i");
-      s.divide(w, jo, ji, recipe.pieces_y).distribute(io).distribute(jo);
+      s.divide(w, jo, ji, recipe.pieces_y);
+      if (recipe.pieces_z > 1) {
+        SPD_CHECK(vars.size() >= 3, ScheduleError,
+                  "rank-3 grid recipe needs three index variables: "
+                      << stmt.str());
+        const IndexVar u = vars[2];
+        IndexVar ko(u.name() + "o"), ki(u.name() + "i");
+        s.divide(u, ko, ki, recipe.pieces_z)
+            .distribute(io)
+            .distribute(jo)
+            .distribute(ko);
+      } else {
+        s.distribute(io).distribute(jo);
+      }
     } else {
+      SPD_CHECK(recipe.pieces_z <= 1, ScheduleError,
+                "rank-3 grid recipe requires pieces_y > 1");
       s.distribute(io);
     }
     if (recipe.communicate_all) {

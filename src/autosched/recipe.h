@@ -29,6 +29,10 @@ struct Recipe {
   // second index variable (> 1 maps the loop nest onto a Machine(Grid(x, y))
   // as divide(i) + divide(j) + distribute(io) + distribute(jo); 1 = 1-D).
   int pieces_y = 1;
+  // Universe only: pieces of a third distributed axis over the statement's
+  // third index variable — a rank-3 (px, py, pz) machine grid. Requires
+  // pieces_y > 1.
+  int pieces_z = 1;
   // Position space only: tensor whose stored non-zeros are divided, and how
   // many of its leading storage levels are fused before the divide (>= 2).
   std::string split_tensor;

@@ -205,6 +205,9 @@ Partition needed_coords_partition(const fmt::LevelStorage& sl,
 
 std::unique_ptr<Instance> CompiledKernel::instantiate(
     rt::Runtime& runtime) const {
+  // Instantiation charges costs host-side (assembly, placements): drain any
+  // in-flight launches first so accounting stays in submission order.
+  runtime.flush();
   auto inst = std::unique_ptr<Instance>(new Instance());
   inst->runtime_ = &runtime;
   inst->kernel_ = this;

@@ -84,9 +84,22 @@ class CompiledKernel {
 // and the plan trace. run() executes timed iterations.
 class Instance {
  public:
+  // Launch bodies enqueued by run/run_async reference this Instance's piece
+  // bounds: destruction drains any still-in-flight launches first
+  // (swallowing deferred errors — synchronize with wait()/flush() to
+  // observe them).
+  ~Instance();
+
   // Executes `iters` iterations of the distributed loop (no barriers between
-  // iterations — Legion-style deferred execution).
+  // iterations — Legion-style deferred execution) and waits for the last
+  // one, so the output is readable on return.
   void run(int iters = 1);
+
+  // Deferred variant: enqueues the iterations and returns the last launch's
+  // completion future without joining, so back-to-back instances with
+  // disjoint requirements overlap on the worker pool. Deferred errors
+  // (e.g. simulated OOM) surface at wait()/flush().
+  exec::Future run_async(int iters = 1);
 
   const PlanTrace& trace() const { return trace_; }
   rt::SimReport report() const { return runtime_->report(); }

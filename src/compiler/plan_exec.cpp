@@ -2,15 +2,41 @@
 
 namespace spdistal::comp {
 
+Instance::~Instance() {
+  if (runtime_ == nullptr) return;
+  try {
+    runtime_->flush();
+  } catch (...) {
+    // Deferred errors belong to wait()/flush() callers; a destructor drain
+    // only guarantees no enqueued body outlives the piece bounds it reads.
+  }
+}
+
 void Instance::run(int iters) {
+  run_async(iters).wait();
+  // Anything still in flight (e.g. an unrelated instance sharing the
+  // runtime) is intentionally left running; waiting on our own last launch
+  // is what makes the output readable on return.
+}
+
+exec::Future Instance::run_async(int iters) {
   SPD_ASSERT(runtime_ != nullptr, "Instance not bound to a runtime");
+  exec::Future last;
+  auto vals = output_.storage().vals();
   for (int it = 0; it < iters; ++it) {
     // Assignment semantics: the output is rebuilt every iteration; leaves
     // accumulate into zeroed values (reduction-safe for overlapping
-    // non-zero partitions).
-    output_.storage().vals()->fill(0.0);
-    runtime_->execute(launch_);
+    // non-zero partitions). The zeroing rides the task graph as a host
+    // task with write privilege, so it orders after the previous
+    // iteration's reductions and before this iteration's leaves without
+    // joining the pipeline.
+    runtime_->run_host_task(
+        "zero " + output_.name(),
+        {rt::HostAccess{vals, rt::Privilege::WO}},
+        [vals] { vals->fill(0.0); });
+    last = runtime_->execute(launch_);
   }
+  return last;
 }
 
 }  // namespace spdistal::comp

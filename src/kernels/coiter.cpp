@@ -63,7 +63,9 @@ CoiterEngine::CoiterEngine(const Statement& stmt,
                      const std::vector<IndexVar>& vars) {
     Access a;
     const Tensor& t = stmt_.tensor(name);
-    a.st = &t.storage();
+    // A sparse output may not be assembled yet at compile time; its storage
+    // is re-resolved at run time (after assembly) by run_term.
+    a.st = t.has_storage() ? &t.storage() : nullptr;
     a.vars = vars;
     a.all_dense = t.format().all_dense();
     for (int l = 0; l < t.format().order(); ++l) {
@@ -155,7 +157,7 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       extent[vars[d].id()] = dims[d];
     }
   };
-  note(output_.vars, output_.st->dims());
+  note(output_.vars, stmt_.tensor(stmt_.assignment.lhs.tensor).dims());
   for (const auto& a : accs) note(a.vars, a.st->dims());
 
   // Per-access cursor: how many levels consumed and the current parent

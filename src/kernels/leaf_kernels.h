@@ -6,6 +6,14 @@
 // All kernels are validated against the general co-iteration engine and the
 // dense reference oracle in tests; the compiler selects them by pattern
 // (kernel_select.h) and falls back to co-iteration otherwise.
+//
+// Leaves are executor-agnostic and must be safe to invoke concurrently for
+// different pieces: captured tensors are read-only during a launch, shared
+// precomputed state (the *_nz owner maps) is immutable after construction,
+// work measurement is local to each invocation (see work.h), and output
+// writes either target disjoint subsets or accumulate under a REDUCE
+// privilege — which the runtime redirects into per-task scratch buffers
+// folded deterministically in color order.
 #pragma once
 
 #include <functional>

@@ -1,6 +1,14 @@
 // Work accounting shared by leaf kernels: every kernel measures the work it
 // actually performed (non-zeros processed, values touched) and reports a
 // WorkEstimate the simulator prices on the owning processor.
+//
+// Thread-safety contract: point tasks of a launch retire concurrently on
+// the deferred executor's worker pool, so work measurement must stay
+// task-local. A WorkCounter lives on the stack of one leaf invocation; the
+// returned WorkEstimate is written into the launch record's per-point slot
+// (no shared accumulation), and the simulator prices the slots serially at
+// launch retirement. Never accumulate work through captured or global
+// state from inside a leaf.
 #pragma once
 
 #include <cstdint>

@@ -9,4 +9,33 @@ RegionId RegionBase::next_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Redirect table of the current thread: a stack of frames so nested scopes
+// (a helping thread picking up another privatized task mid-wait) compose.
+// Lookups walk newest-first. The frames themselves live by value inside
+// the ScopedRedirects guards on the task stacks.
+thread_local const RegionBase::RedirectFrame* tls_redirects = nullptr;
+
+}  // namespace
+
+RegionBase::ScopedRedirects::ScopedRedirects(const Redirect* entries,
+                                             size_t count)
+    : frame_{entries, count, tls_redirects} {
+  tls_redirects = &frame_;
+}
+
+RegionBase::ScopedRedirects::~ScopedRedirects() {
+  tls_redirects = frame_.prev;
+}
+
+void* RegionBase::thread_redirect() const {
+  for (const RedirectFrame* f = tls_redirects; f != nullptr; f = f->prev) {
+    for (size_t k = 0; k < f->count; ++k) {
+      if (f->entries[k].region == id_) return f->entries[k].data;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace spdistal::rt

@@ -11,9 +11,11 @@
 // (see memory.h / runtime.h), not here.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.h"
@@ -60,6 +62,68 @@ class RegionBase {
   uint64_t version() const { return version_; }
   void bump_version() { ++version_; }
 
+  // --- reduction privatization (deferred executor) ---------------------------
+  // Concurrent REDUCE point tasks with overlapping subsets each accumulate
+  // into a private scratch buffer (installed as a thread-local redirect for
+  // the task's duration); the launch's retirement task folds the scratches
+  // into the real data in color order, making parallel reductions
+  // bit-identical to the serial schedule.
+
+  // Whether this region's element type supports scratch + fold (arithmetic
+  // element types; pos/crd metadata does not, and overlapping reducers on
+  // such regions serialize instead).
+  virtual bool can_privatize() const { return false; }
+  // A zero-initialized scratch buffer shaped like the region's data.
+  virtual std::shared_ptr<void> make_scratch() const { return nullptr; }
+  // data += scratch over `subset` (row-major within the region's bounds).
+  virtual void fold_scratch(const void* scratch, const IndexSubset& subset) {
+    (void)scratch;
+    (void)subset;
+    SPD_ASSERT(false, "fold_scratch on non-privatizable region " << name_);
+  }
+
+  // One redirect epoch is open per in-flight privatized launch touching this
+  // region; accessors consult the thread-local redirect table only while an
+  // epoch is open (a relaxed load on the hot path otherwise).
+  bool maybe_redirected() const {
+    return redirect_epochs_.load(std::memory_order_relaxed) > 0;
+  }
+  void begin_redirect_epoch() {
+    redirect_epochs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_redirect_epoch() {
+    redirect_epochs_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  struct Redirect {
+    RegionId region = 0;
+    void* data = nullptr;
+  };
+  // One link of the thread-local redirect chain; lives by value inside a
+  // ScopedRedirects on the task's stack (no allocation per task).
+  struct RedirectFrame {
+    const Redirect* entries = nullptr;
+    size_t count = 0;
+    const RedirectFrame* prev = nullptr;
+  };
+  // Installs redirects for the current thread for the lifetime of the
+  // scope; used by executor workers around privatized point-task bodies.
+  class ScopedRedirects {
+   public:
+    ScopedRedirects(const Redirect* entries, size_t count);
+    ~ScopedRedirects();
+    ScopedRedirects(const ScopedRedirects&) = delete;
+    ScopedRedirects& operator=(const ScopedRedirects&) = delete;
+
+   private:
+    RedirectFrame frame_;
+  };
+
+ protected:
+  // The scratch buffer installed for this region on the current thread, or
+  // nullptr.
+  void* thread_redirect() const;
+
  private:
   static RegionId next_id();
 
@@ -68,6 +132,7 @@ class RegionBase {
   size_t elem_size_;
   std::string name_;
   uint64_t version_ = 0;
+  std::atomic<int> redirect_epochs_{0};
 };
 
 template <typename T>
@@ -80,7 +145,7 @@ class Region final : public RegionBase {
   // 1-D element access.
   T& operator[](Coord i) {
     SPD_ASSERT(space().dim() == 1, "1-D access on " << space().dim() << "-D");
-    return data_[static_cast<size_t>(i - space().bounds().lo[0])];
+    return base()[static_cast<size_t>(i - space().bounds().lo[0])];
   }
   const T& operator[](Coord i) const {
     return const_cast<Region*>(this)->operator[](i);
@@ -90,8 +155,8 @@ class Region final : public RegionBase {
   T& at2(Coord i, Coord j) {
     const RectN& b = space().bounds();
     SPD_ASSERT(b.dim == 2, "2-D access on " << b.dim << "-D region");
-    return data_[static_cast<size_t>((i - b.lo[0]) * (b.hi[1] - b.lo[1] + 1) +
-                                     (j - b.lo[1]))];
+    return base()[static_cast<size_t>((i - b.lo[0]) * (b.hi[1] - b.lo[1] + 1) +
+                                      (j - b.lo[1]))];
   }
   const T& at2(Coord i, Coord j) const {
     return const_cast<Region*>(this)->at2(i, j);
@@ -103,8 +168,9 @@ class Region final : public RegionBase {
     SPD_ASSERT(b.dim == 3, "3-D access on " << b.dim << "-D region");
     const Coord nj = b.hi[1] - b.lo[1] + 1;
     const Coord nk = b.hi[2] - b.lo[2] + 1;
-    return data_[static_cast<size_t>(((i - b.lo[0]) * nj + (j - b.lo[1])) * nk +
-                                     (k - b.lo[2]))];
+    return base()[static_cast<size_t>(((i - b.lo[0]) * nj + (j - b.lo[1])) *
+                                          nk +
+                                      (k - b.lo[2]))];
   }
   const T& at3(Coord i, Coord j, Coord k) const {
     return const_cast<Region*>(this)->at3(i, j, k);
@@ -113,17 +179,73 @@ class Region final : public RegionBase {
   // Direct row-major linearized access (any dimensionality). The row-major
   // layout matches the coordinate-tree position numbering of dense levels,
   // so sparse-storage walkers can address N-D dense vals by position.
-  T& at_linear(Coord idx) { return data_[static_cast<size_t>(idx)]; }
+  T& at_linear(Coord idx) { return base()[static_cast<size_t>(idx)]; }
   const T& at_linear(Coord idx) const {
-    return data_[static_cast<size_t>(idx)];
+    return const_cast<Region*>(this)->at_linear(idx);
   }
 
+  // Raw backing store: host-side use only (bulk init, I/O). Never consulted
+  // through a task's reduction redirect.
   std::vector<T>& data() { return data_; }
   const std::vector<T>& data() const { return data_; }
 
   void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
 
+  // --- reduction privatization -----------------------------------------------
+  bool can_privatize() const override { return std::is_arithmetic_v<T>; }
+
+  std::shared_ptr<void> make_scratch() const override {
+    if constexpr (std::is_arithmetic_v<T>) {
+      return std::make_shared<std::vector<T>>(data_.size());
+    } else {
+      return nullptr;
+    }
+  }
+
+  void fold_scratch(const void* scratch,
+                    const IndexSubset& subset) override {
+    if constexpr (std::is_arithmetic_v<T>) {
+      const auto& s = *static_cast<const std::vector<T>*>(scratch);
+      const RectN& b = space().bounds();
+      for (const RectN& rect : subset.rects()) {
+        const RectN r = rect.intersect(b);
+        if (r.empty()) continue;
+        // Row-major odometer over the rectangle; the innermost dimension is
+        // contiguous.
+        std::array<Coord, kMaxDim> p{};
+        for (int d = 0; d < r.dim; ++d) p[static_cast<size_t>(d)] = r.lo[d];
+        while (true) {
+          const int64_t lin = linearize(b, p);
+          const int64_t run = r.hi[r.dim - 1] - r.lo[r.dim - 1] + 1;
+          for (int64_t k = 0; k < run; ++k) {
+            data_[static_cast<size_t>(lin + k)] +=
+                s[static_cast<size_t>(lin + k)];
+          }
+          int d = r.dim - 2;
+          for (; d >= 0; --d) {
+            if (++p[static_cast<size_t>(d)] <= r.hi[d]) break;
+            p[static_cast<size_t>(d)] = r.lo[d];
+          }
+          if (d < 0) break;
+        }
+      }
+    } else {
+      RegionBase::fold_scratch(scratch, subset);
+    }
+  }
+
  private:
+  // Element base pointer: the thread's scratch buffer while a reduction
+  // redirect is installed for this region, the real data otherwise.
+  T* base() {
+    if (maybe_redirected()) {
+      if (void* s = thread_redirect()) {
+        return static_cast<std::vector<T>*>(s)->data();
+      }
+    }
+    return data_.data();
+  }
+
   std::vector<T> data_;
 };
 

@@ -7,18 +7,61 @@
 
 namespace spdistal::rt {
 
+namespace {
+
+exec::AccessMode to_mode(Privilege p) {
+  switch (p) {
+    case Privilege::RO: return exec::AccessMode::Read;
+    case Privilege::WO: return exec::AccessMode::Write;
+    case Privilege::RW: return exec::AccessMode::ReadWrite;
+    case Privilege::REDUCE: return exec::AccessMode::Reduce;
+  }
+  return exec::AccessMode::ReadWrite;
+}
+
+}  // namespace
+
 IndexSubset TaskContext::subset(size_t req) const {
   SPD_ASSERT(req < launch_.reqs.size(), "req index out of range");
+  if (subsets_ != nullptr) return (*subsets_)[req];
   const RegionReq& r = launch_.reqs[req];
   if (r.partition == nullptr) return r.region->space().as_subset();
   return r.partition->subset(color_);
 }
 
-Runtime::Runtime(Machine machine)
+// Everything one deferred launch needs after submission. Point tasks fill
+// work[]; the retirement task folds reduction scratches and replays the
+// simulated cost accounting.
+struct Runtime::LaunchRecord {
+  IndexLaunch launch;                             // captured copy
+  std::vector<Proc> procs;                        // per point
+  std::vector<std::vector<IndexSubset>> subsets;  // [point][req]
+  std::vector<WorkEstimate> work;                 // per point
+  // Whether each requirement carried a partition (the borrowed Partition*
+  // itself is nulled after capture — it need not outlive the submission).
+  std::vector<bool> partitioned;
+  // Reduction privatization, per requirement: scratch[r][p] is point p's
+  // private accumulator (empty when the requirement is not privatized).
+  std::vector<bool> privatized;
+  std::vector<std::vector<std::shared_ptr<void>>> scratch;
+};
+
+Runtime::Runtime(Machine machine, int exec_threads)
     : machine_(std::move(machine)),
       sim_(machine_),
       net_(machine_.config()),
-      mems_(machine_) {}
+      mems_(machine_),
+      pool_(exec_threads < 0 ? exec::WorkerPool::shared()
+                             : exec::WorkerPool::create(exec_threads)),
+      ex_(std::make_unique<exec::Executor>(pool_)),
+      tracker_(std::make_unique<exec::DepTracker>(*ex_)) {}
+
+Runtime::~Runtime() {
+  // Executor destruction drains in-flight tasks (which touch sim/network/
+  // placement state) before the rest of the runtime goes away.
+  tracker_.reset();
+  ex_.reset();
+}
 
 Proc Runtime::proc_for_point(int p, int domain) const {
   (void)domain;
@@ -56,6 +99,7 @@ void Runtime::set_placement(RegionBase& region, const Partition& part,
                             const std::vector<Mem>& mems) {
   SPD_ASSERT(static_cast<int>(mems.size()) == part.num_colors(),
              "set_placement: one memory per color required");
+  flush();
   drop_placement(region);
   PlacementInfo& pl = placement(region);
   const Mem root = Mem{0, MemKind::SYS, 0};
@@ -81,6 +125,7 @@ void Runtime::set_placement(RegionBase& region, const Partition& part,
 }
 
 void Runtime::replicate_sys(RegionBase& region) {
+  flush();
   drop_placement(region);
   PlacementInfo& pl = placement(region);
   const double bytes = static_cast<double>(region.size_bytes());
@@ -98,7 +143,15 @@ void Runtime::replicate_sys(RegionBase& region) {
 }
 
 void Runtime::place_whole(RegionBase& region, Mem mem) {
+  flush();
   drop_placement(region);
+  install_whole(region, mem);
+}
+
+// Whole-region instance bookkeeping shared by place_whole and the virgin-
+// region path of fetch (which runs inside retirement tasks and therefore
+// must not flush).
+void Runtime::install_whole(RegionBase& region, Mem mem) {
   PlacementInfo& pl = placement(region);
   const double bytes = static_cast<double>(region.size_bytes());
   mems_.pool(mem).allocate(bytes, region.name());
@@ -107,7 +160,10 @@ void Runtime::place_whole(RegionBase& region, Mem mem) {
   pl.ready[mem] = 0.0;
 }
 
-void Runtime::invalidate(RegionBase& region) { drop_placement(region); }
+void Runtime::invalidate(RegionBase& region) {
+  flush();
+  drop_placement(region);
+}
 
 double Runtime::fetch(RegionBase& region, const IndexSubset& subset,
                       const Mem& mem, double ready_time) {
@@ -115,7 +171,7 @@ double Runtime::fetch(RegionBase& region, const IndexSubset& subset,
   PlacementInfo& pl = placement(region);
   if (pl.valid.empty()) {
     // Virgin region: data considered loaded at the root node.
-    place_whole(region, Mem{0, MemKind::SYS, 0});
+    install_whole(region, Mem{0, MemKind::SYS, 0});
   }
   double arrival = ready_time;
   IndexSubset missing = subset;
@@ -165,9 +221,232 @@ double Runtime::fetch(RegionBase& region, const IndexSubset& subset,
   return arrival;
 }
 
-void Runtime::execute(const IndexLaunch& launch) {
+exec::Future Runtime::execute(const IndexLaunch& launch) {
   SPD_ASSERT(launch.domain >= 1, "empty launch domain");
   SPD_ASSERT(launch.body, "launch without body");
+
+  auto rec = std::make_shared<LaunchRecord>();
+  rec->launch = launch;
+  const int P = launch.domain;
+  const size_t R = launch.reqs.size();
+  rec->procs.resize(static_cast<size_t>(P));
+  rec->subsets.resize(static_cast<size_t>(P));
+  rec->work.resize(static_cast<size_t>(P));
+  rec->privatized.assign(R, false);
+  rec->scratch.resize(R);
+  for (int p = 0; p < P; ++p) {
+    rec->procs[static_cast<size_t>(p)] = proc_for_point(p, launch);
+    auto& subs = rec->subsets[static_cast<size_t>(p)];
+    subs.reserve(R);
+    for (const RegionReq& req : launch.reqs) {
+      subs.push_back(req.partition ? req.partition->subset(p)
+                                   : req.region->space().as_subset());
+    }
+  }
+  rec->partitioned.reserve(R);
+  for (RegionReq& req : rec->launch.reqs) {
+    rec->partitioned.push_back(req.partition != nullptr);
+    req.partition = nullptr;  // subsets captured; drop the borrowed pointer
+  }
+
+  // Per-requirement pairwise disjointness of the point subsets (computed
+  // once, with early exit; RO requirements never need it). Drives both the
+  // REDUCE privatization decision and the intra-launch conflict analysis.
+  std::vector<bool> req_overlapping(R, false);
+  for (size_t r = 0; r < R; ++r) {
+    if (launch.reqs[r].priv == Privilege::RO || P <= 1) continue;
+    bool overlapping = false;
+    for (int q = 1; q < P && !overlapping; ++q) {
+      for (int p = 0; p < q && !overlapping; ++p) {
+        overlapping = rec->subsets[static_cast<size_t>(p)][r].overlaps(
+            rec->subsets[static_cast<size_t>(q)][r]);
+      }
+    }
+    req_overlapping[r] = overlapping;
+  }
+
+  // Privatize REDUCE requirements whose point subsets overlap: each point
+  // accumulates into its own zeroed scratch (allocated by the point task
+  // itself, so the zeroing parallelizes); the retirement task folds the
+  // scratches in color order (deterministic regardless of worker count).
+  // A region named by more than one requirement is never privatized — the
+  // redirect is region-wide per task, so it would hijack the sibling
+  // requirement's accesses into the scratch; such reductions fall back to
+  // color-order serialization below instead.
+  std::map<RegionId, int> region_reqs;
+  for (size_t r = 0; r < R; ++r) ++region_reqs[launch.reqs[r].region->id()];
+  for (size_t r = 0; r < R; ++r) {
+    if (launch.reqs[r].priv != Privilege::REDUCE || !req_overlapping[r]) {
+      continue;
+    }
+    if (region_reqs[launch.reqs[r].region->id()] > 1) continue;
+    if (!launch.reqs[r].region->can_privatize()) continue;
+    rec->privatized[r] = true;
+    rec->scratch[r].resize(static_cast<size_t>(P));
+    launch.reqs[r].region->begin_redirect_epoch();
+  }
+
+  // Accesses per point, as dependence analysis sees them.
+  std::vector<std::vector<exec::RegionAccess>> accesses(
+      static_cast<size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    auto& acc = accesses[static_cast<size_t>(p)];
+    acc.reserve(R);
+    for (size_t r = 0; r < R; ++r) {
+      acc.push_back(exec::RegionAccess{
+          launch.reqs[r].region->id(),
+          rec->subsets[static_cast<size_t>(p)][r],
+          to_mode(launch.reqs[r].priv), rec->privatized[r]});
+    }
+  }
+
+  // Mint the point tasks and the retirement task.
+  std::vector<exec::TaskId> ids(static_cast<size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    ids[static_cast<size_t>(p)] = ex_->create(
+        strprintf("%s[%d]", launch.name.c_str(), p), [this, rec, p] {
+          // Allocate this point's reduction scratches (zeroing a private
+          // buffer is per-point work; doing it here parallelizes it) and
+          // install the redirects for the body's duration. Each task only
+          // touches its own scratch slot; the retirement task reads the
+          // slots after every point completed (ordered by its edges).
+          std::vector<RegionBase::Redirect> rds;
+          for (size_t r = 0; r < rec->privatized.size(); ++r) {
+            if (!rec->privatized[r]) continue;
+            rec->scratch[r][static_cast<size_t>(p)] =
+                rec->launch.reqs[r].region->make_scratch();
+            rds.push_back(RegionBase::Redirect{
+                rec->launch.reqs[r].region->id(),
+                rec->scratch[r][static_cast<size_t>(p)].get()});
+          }
+          RegionBase::ScopedRedirects guard(rds.data(), rds.size());
+          TaskContext ctx(*this, rec->launch, p,
+                          rec->procs[static_cast<size_t>(p)],
+                          &rec->subsets[static_cast<size_t>(p)]);
+          rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
+        });
+  }
+  const exec::TaskId retire =
+      ex_->create(launch.name + ":retire", [this, rec] {
+        // Fold privatized reductions in color order, close their redirect
+        // epochs, then replay the simulated cost accounting.
+        for (size_t r = 0; r < rec->privatized.size(); ++r) {
+          if (!rec->privatized[r]) continue;
+          RegionBase& region = *rec->launch.reqs[r].region;
+          for (int p = 0; p < rec->launch.domain; ++p) {
+            // A point that failed before allocating (e.g. scratch
+            // bad_alloc, surfaced as a deferred error) leaves a null slot.
+            const auto& scratch = rec->scratch[r][static_cast<size_t>(p)];
+            if (scratch == nullptr) continue;
+            region.fold_scratch(scratch.get(),
+                                rec->subsets[static_cast<size_t>(p)][r]);
+          }
+          region.end_redirect_epoch();
+        }
+        account_launch(*rec);
+      });
+
+  // Cross-launch edges from the requirement history; intra-launch edges by
+  // pairwise privilege analysis in color order (WO/RW serialize per
+  // overlapping subset; RO/RO and privatized REDUCE/REDUCE commute).
+  for (int p = 0; p < P; ++p) {
+    for (exec::TaskId d : tracker_->deps_for(accesses[static_cast<size_t>(p)])) {
+      ex_->add_dep(ids[static_cast<size_t>(p)], d);
+    }
+    ex_->add_dep(retire, ids[static_cast<size_t>(p)]);
+  }
+  // Same-requirement conflicts exist only for non-RO requirements with
+  // overlapping, non-privatized point subsets; cross-requirement conflicts
+  // only when two requirements name the same region. Both are rare, so the
+  // pairwise point loop usually has nothing to test.
+  std::vector<size_t> same_req;
+  for (size_t r = 0; r < R; ++r) {
+    if (req_overlapping[r] && !rec->privatized[r]) same_req.push_back(r);
+  }
+  std::vector<std::pair<size_t, size_t>> cross_req;
+  for (size_t r = 0; r < R; ++r) {
+    for (size_t s = r + 1; s < R; ++s) {
+      if (launch.reqs[r].region->id() == launch.reqs[s].region->id()) {
+        cross_req.push_back({r, s});
+      }
+    }
+  }
+  if (!same_req.empty() || !cross_req.empty()) {
+    auto conflicts = [&](int p, size_t rp, int q, size_t rq) {
+      const auto& ap = accesses[static_cast<size_t>(p)][rp];
+      const auto& aq = accesses[static_cast<size_t>(q)][rq];
+      return exec::modes_conflict(ap.mode, ap.privatized, aq.mode,
+                                  aq.privatized) &&
+             ap.subset.overlaps(aq.subset);
+    };
+    for (int q = 1; q < P; ++q) {
+      for (int p = 0; p < q; ++p) {
+        bool conflict = false;
+        for (size_t r : same_req) {
+          if ((conflict = conflicts(p, r, q, r))) break;
+        }
+        for (size_t k = 0; k < cross_req.size() && !conflict; ++k) {
+          const auto& [r, s] = cross_req[k];
+          conflict = conflicts(p, r, q, s) || conflicts(p, s, q, r);
+        }
+        if (conflict) {
+          ex_->add_dep(ids[static_cast<size_t>(q)],
+                       ids[static_cast<size_t>(p)]);
+        }
+      }
+    }
+  }
+  // The retire chain totally orders cost accounting in submission order —
+  // what makes the SimReport bit-identical to the serial schedule.
+  ex_->add_dep(retire, last_retire_);
+  last_retire_ = retire;
+
+  // Record the accesses: later conflicting tasks wait on the point that
+  // produced the data, or on the retirement (fold) for privatized
+  // reductions.
+  for (int p = 0; p < P; ++p) {
+    auto& acc = accesses[static_cast<size_t>(p)];
+    std::vector<exec::RegionAccess> direct, folded;
+    for (size_t r = 0; r < R; ++r) {
+      (rec->privatized[r] ? folded : direct).push_back(std::move(acc[r]));
+    }
+    if (!direct.empty()) {
+      tracker_->record(ids[static_cast<size_t>(p)], direct);
+    }
+    if (!folded.empty()) tracker_->record(retire, folded);
+  }
+
+  for (int p = 0; p < P; ++p) ex_->commit(ids[static_cast<size_t>(p)]);
+  ex_->commit(retire);
+  return ex_->future(retire);
+}
+
+exec::Future Runtime::run_host_task(std::string name,
+                                    std::vector<HostAccess> accesses,
+                                    std::function<void()> fn) {
+  std::vector<exec::RegionAccess> acc;
+  acc.reserve(accesses.size());
+  for (const HostAccess& a : accesses) {
+    acc.push_back(exec::RegionAccess{a.region->id(),
+                                     a.region->space().as_subset(),
+                                     to_mode(a.priv), false});
+  }
+  const exec::TaskId id = ex_->create(std::move(name), std::move(fn));
+  for (exec::TaskId d : tracker_->deps_for(acc)) ex_->add_dep(id, d);
+  tracker_->record(id, acc);
+  ex_->commit(id);
+  return ex_->future(id);
+}
+
+void Runtime::flush() { ex_->flush(); }
+
+void Runtime::barrier() {
+  flush();
+  sim_.barrier();
+}
+
+void Runtime::account_launch(LaunchRecord& rec) {
+  const IndexLaunch& launch = rec.launch;
   struct PointResult {
     Proc proc;
     double completion = 0;
@@ -175,14 +454,12 @@ void Runtime::execute(const IndexLaunch& launch) {
   std::vector<PointResult> points(static_cast<size_t>(launch.domain));
 
   for (int p = 0; p < launch.domain; ++p) {
-    const Proc proc = proc_for_point(p, launch);
+    const Proc proc = rec.procs[static_cast<size_t>(p)];
     const Mem target = machine_.proc_mem(proc);
     double data_ready = 0;
     for (size_t r = 0; r < launch.reqs.size(); ++r) {
       const RegionReq& req = launch.reqs[r];
-      const IndexSubset s = req.partition
-                                ? req.partition->subset(p)
-                                : req.region->space().as_subset();
+      const IndexSubset& s = rec.subsets[static_cast<size_t>(p)][r];
       switch (req.priv) {
         case Privilege::RO:
         case Privilege::RW:
@@ -197,10 +474,8 @@ void Runtime::execute(const IndexLaunch& launch) {
         }
       }
     }
-    TaskContext ctx(*this, launch, p, proc);
-    const WorkEstimate work = launch.body(ctx);
-    const double done = sim_.run_task(proc, work, launch.leaf_threads,
-                                      data_ready);
+    const double done = sim_.run_task(proc, rec.work[static_cast<size_t>(p)],
+                                      launch.leaf_threads, data_ready);
     points[static_cast<size_t>(p)] = PointResult{proc, done};
   }
 
@@ -214,9 +489,7 @@ void Runtime::execute(const IndexLaunch& launch) {
     PlacementInfo& pl = placement(region);
     const double elem = static_cast<double>(region.elem_size());
     for (int p = 0; p < launch.domain; ++p) {
-      const IndexSubset s = req.partition
-                                ? req.partition->subset(p)
-                                : region.space().as_subset();
+      const IndexSubset& s = rec.subsets[static_cast<size_t>(p)][r];
       if (s.empty()) continue;
       const Mem m = machine_.proc_mem(points[static_cast<size_t>(p)].proc);
       IndexSubset fresh = pl.valid.count(m) ? s.subtract(pl.valid[m]) : s;
@@ -229,13 +502,14 @@ void Runtime::execute(const IndexLaunch& launch) {
       double& rdy = pl.ready[m];
       rdy = std::max(rdy, points[static_cast<size_t>(p)].completion);
     }
-    if (req.priv == Privilege::REDUCE && req.partition != nullptr) {
+    if (req.priv == Privilege::REDUCE && rec.partitioned[r]) {
       // Partial results on overlapping subsets are combined at the
       // lowest-colored owner: transfer + add for each pairwise overlap.
       for (int q = 1; q < launch.domain; ++q) {
         for (int p = 0; p < q; ++p) {
           const IndexSubset ov =
-              req.partition->subset(p).intersect(req.partition->subset(q));
+              rec.subsets[static_cast<size_t>(p)][r].intersect(
+                  rec.subsets[static_cast<size_t>(q)][r]);
           if (ov.empty()) continue;
           const Proc owner = points[static_cast<size_t>(p)].proc;
           const Proc src = points[static_cast<size_t>(q)].proc;
@@ -254,6 +528,7 @@ void Runtime::execute(const IndexLaunch& launch) {
 }
 
 void Runtime::charge_transfer(const Mem& src, const Mem& dst, double bytes) {
+  flush();
   const Proc src_cpu{src.node, ProcKind::CPU, 0};
   const Proc dst_cpu{dst.node, ProcKind::CPU, 0};
   const double t = net_.transfer(src, dst, bytes, sim_.clock(src_cpu));
@@ -262,6 +537,7 @@ void Runtime::charge_transfer(const Mem& src, const Mem& dst, double bytes) {
 
 void Runtime::charge_broadcast(const Mem& src, const std::vector<int>& dst_nodes,
                                double bytes) {
+  flush();
   const Proc src_cpu{src.node, ProcKind::CPU, 0};
   const double t = net_.broadcast(src, dst_nodes, bytes, sim_.clock(src_cpu));
   for (int n : dst_nodes) {
@@ -271,6 +547,7 @@ void Runtime::charge_broadcast(const Mem& src, const std::vector<int>& dst_nodes
 }
 
 void Runtime::reset_timing() {
+  flush();
   sim_.reset();
   net_.reset_stats();
   net_.reset_clocks();
@@ -280,6 +557,7 @@ void Runtime::reset_timing() {
 }
 
 SimReport Runtime::report() const {
+  ex_->flush();
   SimReport rep;
   rep.sim_time = sim_.now_max();
   rep.inter_node_bytes = net_.stats().inter_node_bytes;

@@ -10,6 +10,19 @@
 // the source and destination of transfers", paper §II-C). Instances persist
 // across launches, so steady-state iterations of a kernel — what the paper
 // times — incur only the communication its algorithm fundamentally needs.
+//
+// Execution model: execute() is a *deferred* enqueue (Legion's non-blocking
+// pipeline, §II-C). Point-task bodies run for real — concurrently, on the
+// exec::WorkerPool, under dependence edges derived from region requirement
+// privileges — while the simulated cost accounting (fetches, task costs,
+// write-back, reduction combines) replays in exact submission order inside
+// per-launch retirement tasks chained one after another. The SimReport is
+// therefore bit-identical for any worker count, including the serial
+// fallback (SPDISTAL_EXEC_THREADS=1). Overlapping REDUCE point tasks
+// accumulate into private scratch buffers folded in color order at
+// retirement, so numerical results are also bit-identical across worker
+// counts. flush() (or Future::wait()) is the synchronization boundary;
+// reading region data or the report before it is a race.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/dep_graph.h"
+#include "exec/executor.h"
 #include "runtime/index_space.h"
 #include "runtime/machine.h"
 #include "runtime/memory.h"
@@ -32,10 +47,12 @@ namespace spdistal::rt {
 enum class Privilege { RO, WO, RW, REDUCE };
 
 // One region requirement of an index launch. With a partition, point p
-// accesses partition.subset(p); without, the whole region.
+// accesses partition.subset(p); without, the whole region. The partition is
+// borrowed and must stay alive for the duration of the execute() call (its
+// subsets are captured at submission; it is not consulted afterwards).
 struct RegionReq {
   std::shared_ptr<RegionBase> region;
-  const Partition* partition = nullptr;  // borrowed; must outlive the launch
+  const Partition* partition = nullptr;  // borrowed; see above
   Privilege priv = Privilege::RO;
 };
 
@@ -46,8 +63,9 @@ struct IndexLaunch;
 class TaskContext {
  public:
   TaskContext(const Runtime& rt, const IndexLaunch& launch, int color,
-              Proc proc)
-      : rt_(rt), launch_(launch), color_(color), proc_(proc) {}
+              Proc proc, const std::vector<IndexSubset>* subsets = nullptr)
+      : rt_(rt), launch_(launch), color_(color), proc_(proc),
+        subsets_(subsets) {}
 
   int color() const { return color_; }
   const Proc& proc() const { return proc_; }
@@ -59,6 +77,7 @@ class TaskContext {
   const IndexLaunch& launch_;
   int color_;
   Proc proc_;
+  const std::vector<IndexSubset>* subsets_;  // captured at submission
 };
 
 struct IndexLaunch {
@@ -73,8 +92,15 @@ struct IndexLaunch {
   // Hardware threads the leaf exploits on a CPU (parallelize(_, CPUThread)
   // grants the node's cores; an unparallelized leaf gets 1). Ignored on GPU.
   int leaf_threads = 1;
-  // Point task body; runs for real, returns measured work.
+  // Point task body; runs for real, returns measured work. May execute on
+  // any worker thread; bodies only touch their requirements' regions.
   std::function<WorkEstimate(const TaskContext&)> body;
+};
+
+// A host-side access of run_host_task (whole-region granularity).
+struct HostAccess {
+  std::shared_ptr<RegionBase> region;
+  Privilege priv = Privilege::RW;
 };
 
 // Aggregate simulation results, reported by benchmark harnesses.
@@ -91,12 +117,17 @@ struct SimReport {
 
 class Runtime {
  public:
-  explicit Runtime(Machine machine);
+  // `exec_threads` < 0 draws execution contexts from the process-wide
+  // worker pool ($SPDISTAL_EXEC_THREADS); an explicit count creates a
+  // private pool (1 = strictly serial, no worker threads).
+  explicit Runtime(Machine machine, int exec_threads = -1);
+  ~Runtime();
 
   const Machine& machine() const { return machine_; }
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
   MemorySystem& mems() { return mems_; }
+  exec::Executor& executor() { return *ex_; }
 
   template <typename T>
   RegionRef<T> create_region(IndexSpace space, std::string name) {
@@ -109,6 +140,7 @@ class Runtime {
   // of `part` becomes valid in `mems[c]`. Replaces prior placement. Traffic
   // for the initial distribution is charged (it is a one-time setup cost;
   // benchmarks reset timing afterwards, matching the paper's warm trials).
+  // Drains in-flight launches first.
   void set_placement(RegionBase& region, const Partition& part,
                      const std::vector<Mem>& mems);
 
@@ -123,16 +155,30 @@ class Runtime {
 
   // --- Execution -------------------------------------------------------------
 
-  // Runs an index launch: infers communication per point, executes bodies
-  // for real, charges simulated costs. Throws OutOfMemoryError if an
-  // instance cannot be placed (surfaced as DNC by harnesses).
-  void execute(const IndexLaunch& launch);
+  // Enqueues an index launch: point bodies run concurrently on the worker
+  // pool under dependence edges derived from the requirements; the
+  // simulated costs (communication inference, task pricing, write-back)
+  // are accounted in exact submission order when the launch retires.
+  // Returns a Future for the launch's retirement; errors (e.g. simulated
+  // OutOfMemoryError) surface at the next wait()/flush().
+  exec::Future execute(const IndexLaunch& launch);
+
+  // Enqueues a host-side callback ordered against launches through
+  // whole-region accesses (e.g. zeroing an output between iterations). No
+  // simulated cost is charged.
+  exec::Future run_host_task(std::string name,
+                             std::vector<HostAccess> accesses,
+                             std::function<void()> fn);
+
+  // Drains every enqueued task; re-throws the first deferred error.
+  void flush();
 
   // Bulk-synchronous barrier (used by MPI-style baselines; SpDISTAL's
   // Legion-like deferred execution never calls this between launches).
-  void barrier() { sim_.barrier(); }
+  void barrier();
 
   // Explicitly charges a data transfer (baselines with hand-rolled comm).
+  // Drains in-flight launches first.
   void charge_transfer(const Mem& src, const Mem& dst, double bytes);
   void charge_broadcast(const Mem& src, const std::vector<int>& dst_nodes,
                         double bytes);
@@ -140,6 +186,7 @@ class Runtime {
   // Zeroes clocks/traffic for steady-state measurement; placements persist.
   void reset_timing();
 
+  // Drains in-flight launches, then reports.
   SimReport report() const;
 
   // Maps launch point `p` of a `domain`-point launch onto the machine grid.
@@ -158,10 +205,24 @@ class Runtime {
     std::map<Mem, double> ready;
   };
 
+  // Everything one deferred launch needs after submission: the captured
+  // launch (requirement subsets resolved), per-point work measurements, and
+  // reduction scratch buffers.
+  struct LaunchRecord;
+
+  // Replays the launch's simulated cost accounting (fetches, task pricing,
+  // write-back, reduction combines) — called from retirement tasks, which
+  // the retire chain serializes in submission order.
+  void account_launch(LaunchRecord& rec);
+
   // Ensures `subset` of `region` is valid in `mem` by `ready_time`;
   // returns the time all data has arrived.
   double fetch(RegionBase& region, const IndexSubset& subset, const Mem& mem,
                double ready_time);
+
+  // Whole-region instance bookkeeping (no flush; safe inside retirement
+  // tasks).
+  void install_whole(RegionBase& region, Mem mem);
 
   void drop_placement(RegionBase& region);
   PlacementInfo& placement(const RegionBase& region) {
@@ -173,6 +234,13 @@ class Runtime {
   Network net_;
   MemorySystem mems_;
   std::map<RegionId, PlacementInfo> placements_;
+  std::shared_ptr<exec::WorkerPool> pool_;
+  // Declared after all state the retirement tasks touch, so the destructor
+  // drains in-flight tasks while that state is still alive. Mutable: const
+  // observers (report) drain first.
+  mutable std::unique_ptr<exec::Executor> ex_;
+  std::unique_ptr<exec::DepTracker> tracker_;
+  exec::TaskId last_retire_ = 0;
 };
 
 }  // namespace spdistal::rt

@@ -138,6 +138,56 @@ TEST(Enumerate, CoversUniverseAndNonZeroFamilies) {
   EXPECT_TRUE(nonzero);
 }
 
+TEST(EnumerateGrid3, EmitsRank3FactorizationsOnLargeMachines) {
+  // 8 processors factor as 2x2x2: statements with >= 3 index variables get
+  // rank-3 machine-grid recipes (lowering already handles them).
+  BuiltStmt b = build_sddmm(5);
+  const auto cands = enumerate_candidates(*b.stmt, cpu_machine(8), Options{});
+  bool rank3 = false;
+  for (const auto& c : cands) {
+    if (c.recipe.pieces_z > 1) {
+      rank3 = true;
+      EXPECT_GT(c.recipe.pieces_y, 1);
+      EXPECT_FALSE(c.recipe.position_space);
+      EXPECT_EQ(c.recipe.pieces * c.recipe.pieces_y * c.recipe.pieces_z, 8);
+    }
+  }
+  EXPECT_TRUE(rank3);
+  // Statements with only two variables never get a z axis.
+  BuiltStmt spmv = build_spmv(6);
+  for (const auto& c :
+       enumerate_candidates(*spmv.stmt, cpu_machine(8), Options{})) {
+    EXPECT_EQ(c.recipe.pieces_z, 1);
+  }
+}
+
+TEST(EnumerateGrid3, Rank3RecipeMatchesOracleOnGridMachine) {
+  IndexVar i("i"), j("j"), k("k");
+  const Coord n = 64;
+  Tensor A("A", {n, 16}, fmt::dense_matrix());
+  Tensor B("B", {n, n}, fmt::csr());
+  Tensor C("C", {n, 16}, fmt::dense_matrix());
+  B.from_coo(data::powerlaw_matrix(n, n, 700, 1.2, 21));
+  C.init_dense([](const auto& x) {
+    return 0.25 + 0.01 * static_cast<double>((x[0] + 3 * x[1]) % 19);
+  });
+  Statement& stmt = (A(i, j) = B(i, k) * C(k, j));
+
+  Recipe r;
+  r.pieces = 2;
+  r.pieces_y = 2;
+  r.pieces_z = 2;
+  sched::Schedule s = materialize(r, stmt);
+  rt::Machine m(data::paper_machine_config(8), rt::Grid(2, 2, 2),
+                rt::ProcKind::CPU);
+  comp::CompiledKernel ck = comp::CompiledKernel::compile(stmt, s, m);
+  EXPECT_EQ(ck.grid_pieces(), (std::vector<int>{2, 2, 2}));
+  rt::Runtime runtime(m);
+  auto inst = ck.instantiate(runtime);
+  inst->run(2);  // steady state: the k-axis reduction must stay correct
+  EXPECT_LE(ref::max_abs_diff(A, ref::eval(stmt)), 1e-10);
+}
+
 TEST(Autoschedule, SearchedSchedulesMatchDenseOracle) {
   for (const rt::Machine& m : {cpu_machine(4), gpu_machine(1, 4)}) {
     for (auto* build : {&build_spmv, &build_sddmm, &build_spmttkrp}) {

@@ -181,6 +181,7 @@ TEST(Runtime, WriteRehomesRegion) {
     return WorkEstimate{500, 500 * 8};
   };
   rt.execute(wr);
+  rt.flush();  // execution is deferred; flush before reading region data
   EXPECT_DOUBLE_EQ((*r)[0], 0);
   EXPECT_DOUBLE_EQ((*r)[999], 1);
 
@@ -217,6 +218,7 @@ TEST(Runtime, ReduceChargesOverlapCombine) {
     return WorkEstimate{51, 51 * 8};
   };
   rt.execute(red);
+  rt.flush();  // join the deferred reduction (scratch fold) before reading
   EXPECT_DOUBLE_EQ((*r)[50], 2.0);  // both contributions applied
   // The overlap element crossed the network once for the combine.
   EXPECT_DOUBLE_EQ(rt.report().inter_node_bytes, sizeof(double));
@@ -234,7 +236,15 @@ TEST(Runtime, GpuOomSurfacesAsException) {
   launch.domain = 1;
   launch.reqs = {RegionReq{r, nullptr, Privilege::RO}};
   launch.body = [](const TaskContext&) { return WorkEstimate{1, 1}; };
-  EXPECT_THROW(rt.execute(launch), OutOfMemoryError);
+  // Deferred execution: the simulated OOM is raised during cost accounting
+  // and surfaces at the synchronization boundary (Legion-style deferred
+  // exception).
+  EXPECT_THROW(
+      {
+        rt.execute(launch);
+        rt.flush();
+      },
+      OutOfMemoryError);
 }
 
 TEST(Runtime, ResetTimingPreservesPlacement) {
