@@ -159,6 +159,66 @@ void BM_DeferredSpmmLaunch(benchmark::State& state) {
 BENCHMARK(BM_DeferredSpmmLaunch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Steady-state enqueue latency of a reduction-bearing launch: warm (the
+// memoized LaunchPlan — enqueue walks the cached plan, zero overlap scans)
+// vs cold (memo disabled — full subset capture + O(P^2) analysis per
+// enqueue). Arg: 1 = warm, 0 = cold. Only the deferred run_async enqueue is
+// timed; the drain happens with the clock paused (exec_threads = 1, so the
+// serial pool runs nothing until flush).
+void BM_ExecuteSteadyState(benchmark::State& state) {
+  const bool memo = state.range(0) != 0;
+  constexpr int kPieces = 16;
+  IndexVar i("i"), j("j"), f("f"), fo("fo"), fi("fi");
+  fmt::Coo coo = data::powerlaw_matrix(4000, 4000, 120000, 1.1, 7);
+  const std::vector<Coord> dims = coo.dims;
+  // Non-zero split SpMV: piece boundaries straddle rows, so the output
+  // carries overlapping REDUCE subsets — the worst case for the cold
+  // path's per-requirement pairwise overlap scans.
+  Tensor a("a", {dims[0]}, fmt::dense_vector());
+  Tensor B("B", dims, fmt::csr(),
+           tdn::parse_tdn("B(x, y) fuse(x, y -> g) -> M(~g)"));
+  Tensor c("c", {dims[1]}, fmt::dense_vector(),
+           tdn::parse_tdn("c(x) -> M(q)"));
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto& x) {
+    return 1.0 + 0.01 * static_cast<double>(x[0] % 17);
+  });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  a.schedule().fuse(i, j, f).divide_pos(f, fo, fi, kPieces, "B")
+      .distribute(fo);
+
+  rt::MachineConfig cfg;
+  cfg.nodes = kPieces;
+  rt::Machine m(cfg, rt::Grid(kPieces), rt::ProcKind::CPU);
+  rt::Runtime runtime(m, 1);
+  runtime.set_plan_memo(memo);
+  auto inst = comp::CompiledKernel::compile(stmt, m).instantiate(runtime);
+  inst->run(1);  // plan build + first-touch communication
+  const rt::SimReport warmup = inst->report();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->run_async(1));
+    state.PauseTiming();
+    runtime.flush();
+    state.ResumeTiming();
+  }
+  const rt::SimReport rep = inst->report();
+  if (memo) {
+    // Acceptance guard: every measured enqueue must have walked the cached
+    // plan — a miss means an overlap scan ran on the steady-state path.
+    SPD_ASSERT(rep.plan_misses == warmup.plan_misses,
+               "warm BM_ExecuteSteadyState rebuilt a plan ("
+                   << warmup.plan_misses << " -> " << rep.plan_misses
+                   << " misses)");
+  }
+  state.counters["plan_hits"] = static_cast<double>(rep.plan_hits);
+  state.counters["plan_hit_rate"] =
+      static_cast<double>(rep.plan_hits) /
+      static_cast<double>(rep.plan_hits + rep.plan_misses);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecuteSteadyState)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_SubsetSubtract(benchmark::State& state) {
   rt::IndexSubset a(1), b(1);
   for (Coord k = 0; k < state.range(0); ++k) {

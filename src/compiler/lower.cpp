@@ -205,9 +205,12 @@ Partition needed_coords_partition(const fmt::LevelStorage& sl,
 
 std::unique_ptr<Instance> CompiledKernel::instantiate(
     rt::Runtime& runtime) const {
-  // Instantiation charges costs host-side (assembly, placements): drain any
-  // in-flight launches first so accounting stays in submission order.
-  runtime.flush();
+  // Instance setup overlaps trailing execution: partition construction is
+  // pure host-side work over immutable coordinate-tree metadata (launches
+  // only ever write vals data), so it runs while earlier launches drain on
+  // the worker pool. The runtime is only drained at the points that mutate
+  // shared state or charge simulated costs — output assembly below, and the
+  // placement installation at the end (set_placement drains internally).
   auto inst = std::unique_ptr<Instance>(new Instance());
   inst->runtime_ = &runtime;
   inst->kernel_ = this;
@@ -218,6 +221,10 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
   // --- Sparse output assembly (two-phase, §V-B) ------------------------------
   bool pattern_preserved = false;
   if (kern::needs_assembly(stmt)) {
+    // Assembly replaces the output's storage and charges symbolic-phase
+    // costs: drain in-flight launches so accounting stays in submission
+    // order and nothing still reads the old pattern.
+    runtime.flush();
     kern::AssemblyResult res = kern::assemble_output(stmt);
     pattern_preserved = res.pattern_preserved;
     trace.append(PlanOpKind::LeafKernel,
@@ -236,14 +243,6 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
                          res.symbolic_work.bytes / pieces_};
       runtime.sim().run_task(runtime.proc_for_point(p, shape_only), w,
                              leaf_threads_, 0.0);
-    }
-  }
-
-  // --- Install data distributions (TDN statements) ---------------------------
-  for (const auto& [name, tensor] : stmt.bindings) {
-    if (tensor.distribution().has_value() && tensor.has_storage()) {
-      tdn::distribute_tensor(trace, runtime, tensor.storage(),
-                             *tensor.distribution(), machine_);
     }
   }
 
@@ -671,6 +670,17 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
       // replicate the remaining dense operands, e.g. C in the load-balanced
       // GPU SpMM).
       add_replicated_reqs(st, is_output ? Privilege::REDUCE : Privilege::RO);
+    }
+  }
+
+  // --- Install data distributions (TDN statements) ---------------------------
+  // Deferred to the end of setup: set_placement drains in-flight launches,
+  // so everything above it (the expensive partition construction) already
+  // overlapped their execution.
+  for (const auto& [name, tensor] : stmt.bindings) {
+    if (tensor.distribution().has_value() && tensor.has_storage()) {
+      tdn::distribute_tensor(trace, runtime, tensor.storage(),
+                             *tensor.distribution(), machine_);
     }
   }
 

@@ -43,6 +43,9 @@ class CompiledKernel {
 
   // Builds partitions and placements against `runtime` and returns a
   // runnable instance. May throw OutOfMemoryError (surfaced as DNC).
+  // Partition construction is pure host-side work and overlaps launches
+  // still draining on the runtime; only output assembly and the final
+  // placement installation synchronize with them.
   std::unique_ptr<Instance> instantiate(rt::Runtime& runtime) const;
 
   // --- analysis results (inspectable, used by tests) -------------------------

@@ -42,38 +42,46 @@ std::vector<TaskId> DepTracker::deps_for(
 }
 
 void DepTracker::record(TaskId completion,
+                        const std::vector<RegionAccess>& accesses,
+                        const std::vector<size_t>& which) {
+  for (size_t i : which) record_one(completion, accesses[i]);
+}
+
+void DepTracker::record(TaskId completion,
                         const std::vector<RegionAccess>& accesses) {
-  for (const RegionAccess& a : accesses) {
-    if (a.subset.empty()) continue;
-    std::vector<Entry>& entries = hist_[a.region];
-    if (a.mode == AccessMode::Write || a.mode == AccessMode::ReadWrite) {
-      // A write supersedes every entry it fully covers: the writer carries
-      // edges to all of them (writes conflict with everything overlapping),
-      // so later tasks serialize behind it transitively.
-      entries.erase(
-          std::remove_if(entries.begin(), entries.end(),
-                         [&](const Entry& e) {
-                           return e.subset.subtract(a.subset).empty();
-                         }),
-          entries.end());
+  for (const RegionAccess& a : accesses) record_one(completion, a);
+}
+
+void DepTracker::record_one(TaskId completion, const RegionAccess& a) {
+  if (a.subset.empty()) return;
+  std::vector<Entry>& entries = hist_[a.region];
+  if (a.mode == AccessMode::Write || a.mode == AccessMode::ReadWrite) {
+    // A write supersedes every entry it fully covers: the writer carries
+    // edges to all of them (writes conflict with everything overlapping),
+    // so later tasks serialize behind it transitively.
+    entries.erase(
+        std::remove_if(entries.begin(), entries.end(),
+                       [&](const Entry& e) {
+                         return e.subset.subtract(a.subset).empty();
+                       }),
+        entries.end());
+  }
+  entries.push_back(Entry{completion, a.subset, a.mode, a.privatized});
+  if (entries.size() > kMaxHistory) {
+    // Collapse behind a no-op sync node depending on every entry; the
+    // union subset with ReadWrite mode conservatively orders any later
+    // access after the sync.
+    std::vector<TaskId> deps;
+    rt::IndexSubset all(entries.front().subset.dim());
+    for (const Entry& e : entries) {
+      deps.push_back(e.completion);
+      for (const auto& r : e.subset.rects()) all.add(r);
     }
-    entries.push_back(Entry{completion, a.subset, a.mode, a.privatized});
-    if (entries.size() > kMaxHistory) {
-      // Collapse behind a no-op sync node depending on every entry; the
-      // union subset with ReadWrite mode conservatively orders any later
-      // access after the sync.
-      std::vector<TaskId> deps;
-      rt::IndexSubset all(entries.front().subset.dim());
-      for (const Entry& e : entries) {
-        deps.push_back(e.completion);
-        for (const auto& r : e.subset.rects()) all.add(r);
-      }
-      all.normalize();
-      const TaskId sync = ex_->submit("dep-sync", nullptr, deps);
-      entries.clear();
-      entries.push_back(Entry{sync, std::move(all), AccessMode::ReadWrite,
-                              false});
-    }
+    all.normalize();
+    const TaskId sync = ex_->submit("dep-sync", nullptr, deps);
+    entries.clear();
+    entries.push_back(Entry{sync, std::move(all), AccessMode::ReadWrite,
+                            false});
   }
 }
 

@@ -59,6 +59,11 @@ class DepTracker {
   // conflicting access waits on: the point task itself, or the launch's
   // retirement (fold) task for privatized reductions.
   void record(TaskId completion, const std::vector<RegionAccess>& accesses);
+  // Records only accesses[i] for i in `which` — lets a caller holding one
+  // access vector split it between two completion tasks (point vs fold)
+  // without materializing per-split copies.
+  void record(TaskId completion, const std::vector<RegionAccess>& accesses,
+              const std::vector<size_t>& which);
 
   // Number of live history entries (tests).
   size_t history_size() const;
@@ -70,6 +75,8 @@ class DepTracker {
     AccessMode mode = AccessMode::Read;
     bool privatized = false;
   };
+
+  void record_one(TaskId completion, const RegionAccess& a);
 
   std::map<uint32_t, std::vector<Entry>> hist_;
   Executor* ex_;

@@ -16,7 +16,7 @@ namespace {
 
 // Binary search for coordinate `c` in crd[seg.lo..seg.hi]; returns position
 // or -1 (crd is sorted within a segment by construction).
-Coord find_in_segment(const rt::Region<int32_t>& crd, rt::PosRange seg,
+Coord find_in_segment(const rt::RegionAccessor<int32_t>& crd, rt::PosRange seg,
                       Coord c) {
   Coord lo = seg.lo;
   Coord hi = seg.hi;
@@ -44,9 +44,11 @@ Coord locate_position(const TensorStorage& st,
     if (level.kind == ModeFormat::Dense) {
       parent = parent * level.extent + c;
     } else {
-      const rt::PosRange seg = (*level.pos)[parent];
+      const rt::RegionAccessor<rt::PosRange> pos(*level.pos);
+      const rt::PosRange seg = pos[parent];
       if (seg.empty()) return -1;
-      const Coord q = find_in_segment(*level.crd, seg, c);
+      const Coord q = find_in_segment(rt::RegionAccessor<int32_t>(*level.crd),
+                                      seg, c);
       if (q < 0) return -1;
       parent = q;
     }
@@ -111,12 +113,19 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
                                         const PieceBounds& piece) const {
   WorkCounter work;
 
-  // Resolve term accesses and the literal coefficient.
+  // Resolve term accesses and the literal coefficient. Accessors for every
+  // stored region are constructed here, once per term evaluation — the
+  // kernel ABI's "resolve the redirect once per leaf invocation" contract —
+  // so the iteration loops below index raw pointers.
   struct TermAccess {
     const TensorStorage* st;
     std::vector<uint32_t> level_var_ids;
     bool all_dense;
     std::vector<IndexVar> vars;
+    rt::LinearAccessor<double> vals;
+    // Per storage level; default (invalid) for Dense levels.
+    std::vector<rt::RegionAccessor<rt::PosRange>> lpos;
+    std::vector<rt::RegionAccessor<int32_t>> lcrd;
   };
   std::vector<TermAccess> accs;
   double coeff = 1.0;
@@ -132,9 +141,17 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
           a.st = &t.storage();
           a.all_dense = t.format().all_dense();
           a.vars = e->vars;
+          a.vals = rt::LinearAccessor<double>(*a.st->vals());
           for (int l = 0; l < t.format().order(); ++l) {
             a.level_var_ids.push_back(
                 e->vars[static_cast<size_t>(t.format().dim_of_level(l))].id());
+            const LevelStorage& level = a.st->level(l);
+            a.lpos.emplace_back();
+            a.lcrd.emplace_back();
+            if (level.kind == ModeFormat::Compressed) {
+              a.lpos.back() = rt::RegionAccessor<rt::PosRange>(*level.pos);
+              a.lcrd.back() = rt::RegionAccessor<int32_t>(*level.crd);
+            }
           }
           accs.push_back(std::move(a));
           break;
@@ -181,6 +198,44 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
   const Tensor& out_tensor = stmt_.tensor(stmt_.assignment.lhs.tensor);
   fmt::TensorStorage& out_st =
       const_cast<Tensor&>(out_tensor).storage();
+  // Output accessors: resolved once per term, *after* assembly re-resolved
+  // the storage; the vals accessor is the one place a reduction redirect
+  // can be in effect. The pos/crd tables keep the per-nonzero sparse-output
+  // locate below off the per-element Region paths.
+  const rt::LinearAccessor<double> out_vals(*out_st.vals());
+  std::vector<rt::RegionAccessor<rt::PosRange>> out_lpos;
+  std::vector<rt::RegionAccessor<int32_t>> out_lcrd;
+  if (!output_.all_dense) {
+    for (int l = 0; l < out_st.num_levels(); ++l) {
+      const LevelStorage& level = out_st.level(l);
+      out_lpos.emplace_back();
+      out_lcrd.emplace_back();
+      if (level.kind == ModeFormat::Compressed) {
+        out_lpos.back() = rt::RegionAccessor<rt::PosRange>(*level.pos);
+        out_lcrd.back() = rt::RegionAccessor<int32_t>(*level.crd);
+      }
+    }
+  }
+  // locate_position over the hoisted output tables.
+  auto locate_out =
+      [&](const std::array<Coord, rt::kMaxDim>& coords) -> Coord {
+    Coord parent = 0;
+    for (int l = 0; l < out_st.num_levels(); ++l) {
+      const LevelStorage& level = out_st.level(l);
+      const Coord c = coords[static_cast<size_t>(level.dim)];
+      if (level.kind == ModeFormat::Dense) {
+        parent = parent * level.extent + c;
+      } else {
+        const rt::PosRange seg = out_lpos[static_cast<size_t>(l)][parent];
+        if (seg.empty()) return -1;
+        const Coord q =
+            find_in_segment(out_lcrd[static_cast<size_t>(l)], seg, c);
+        if (q < 0) return -1;
+        parent = q;
+      }
+    }
+    return parent;
+  };
   auto emit = [&]() {
     double v = coeff;
     for (size_t a = 0; a < accs.size(); ++a) {
@@ -192,13 +247,13 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
           const Coord c = coord_of(accs[a].level_var_ids[l]);
           pos = pos * st->level(static_cast<int>(l)).extent + c;
         }
-        v *= st->vals()->at_linear(pos);
+        v *= accs[a].vals.at(pos);
         work.fma_dense();
       } else {
         SPD_ASSERT(cur[a].depth ==
                        static_cast<int>(accs[a].level_var_ids.size()),
                    "sparse access not fully descended at emit");
-        v *= accs[a].st->vals()->at_linear(cur[a].parent);
+        v *= accs[a].vals.at(cur[a].parent);
         work.fma_sparse();
       }
     }
@@ -209,17 +264,17 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
         const Coord c = coord_of(output_.level_var_ids[l]);
         pos = pos * out_st.level(static_cast<int>(l)).extent + c;
       }
-      out_st.vals()->at_linear(pos) += v;
+      out_vals.at(pos) += v;
     } else {
       std::array<Coord, rt::kMaxDim> coords{};
       for (size_t d = 0; d < output_.vars.size(); ++d) {
         coords[d] = coord_of(output_.vars[d].id());
       }
-      const Coord pos = locate_position(out_st, coords);
+      const Coord pos = locate_out(coords);
       SPD_ASSERT(pos >= 0,
                  "sparse output pattern is missing a computed coordinate; "
                  "run assembly first");
-      out_st.vals()->at_linear(pos) += v;
+      out_vals.at(pos) += v;
       work.stream(1, 12.0);
     }
   };
@@ -247,10 +302,11 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       if (level.kind == ModeFormat::Dense) {
         cur[a].parent = cur[a].parent * level.extent + c;
       } else {
-        const rt::PosRange seg = (*level.pos)[cur[a].parent];
+        const size_t depth = static_cast<size_t>(cur[a].depth);
+        const rt::PosRange seg = accs[a].lpos[depth][cur[a].parent];
         work.segment();
         if (seg.empty()) return false;
-        const Coord q = find_in_segment(*level.crd, seg, c);
+        const Coord q = find_in_segment(accs[a].lcrd[depth], seg, c);
         if (q < 0) return false;
         cur[a].parent = q;
       }
@@ -300,13 +356,13 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
     const std::vector<Cursor> saved = cur;
     if (driver >= 0) {
       const auto& d = accs[static_cast<size_t>(driver)];
-      const LevelStorage& level =
-          d.st->level(cur[static_cast<size_t>(driver)].depth);
+      const size_t ddepth =
+          static_cast<size_t>(cur[static_cast<size_t>(driver)].depth);
       const rt::PosRange seg =
-          (*level.pos)[cur[static_cast<size_t>(driver)].parent];
+          d.lpos[ddepth][cur[static_cast<size_t>(driver)].parent];
       work.segment();
       for (Coord q = seg.lo; q <= seg.hi; ++q) {
-        const Coord c = (*level.crd)[q];
+        const Coord c = d.lcrd[ddepth][q];
         work.stream(1, 4.0);
         if (restrict0 && (c < rlo || c > rhi)) continue;
         env[k] = c;
@@ -378,7 +434,7 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
     owner[static_cast<size_t>(l)].assign(
         static_cast<size_t>(level.positions), 0);
     for (Coord p = 0; p < level.parent_positions; ++p) {
-      const rt::PosRange seg = (*level.pos)[p];
+      const rt::PosRange seg = sa.lpos[static_cast<size_t>(l)][p];
       for (Coord q = seg.lo; q <= seg.hi; ++q) {
         owner[static_cast<size_t>(l)][static_cast<size_t>(q)] = p;
       }
@@ -404,7 +460,7 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       const LevelStorage& level = sa.st->level(l);
       const Coord p = pos_at[static_cast<size_t>(l)];
       const Coord c = level.kind == ModeFormat::Compressed
-                          ? (*level.crd)[p]
+                          ? Coord{sa.lcrd[static_cast<size_t>(l)][p]}
                           : p % level.extent;
       env[static_cast<size_t>(l)] = c;
     }

@@ -14,6 +14,16 @@
 // writes either target disjoint subsets or accumulate under a REDUCE
 // privilege — which the runtime redirects into per-task scratch buffers
 // folded deterministically in color order.
+//
+// Kernel ABI: regions are read and written through accessor objects
+// (rt::RegionAccessor<T, DIM> / rt::LinearAccessor<T>) constructed at the
+// top of each leaf invocation. The accessor resolves the reduction-redirect
+// indirection (an atomic load + TLS walk) exactly once, so the inner loops
+// are plain pointer arithmetic the compiler can vectorize; a redirected
+// output accessor addresses the point's bounding-box scratch buffer
+// transparently. Accessors must be constructed inside the leaf body (after
+// the executor installed the task's redirects), never captured across
+// invocations.
 #pragma once
 
 #include <functional>

@@ -15,11 +15,11 @@ rt::WorkEstimate sddmm_positions(Tensor& A, Tensor& B, Tensor& C, Tensor& D,
                                  const std::vector<Coord>& row_of,
                                  std::optional<rt::Rect1> cols = std::nullopt) {
   WorkCounter work;
-  const auto& crd = *B.storage().level(1).crd;
-  const auto& bv = *B.storage().vals();
-  const auto& cv = *C.storage().vals();
-  const auto& dv = *D.storage().vals();
-  auto& av = *A.storage().vals();
+  const rt::RegionAccessor<int32_t> crd(*B.storage().level(1).crd);
+  const rt::RegionAccessor<double> bv(*B.storage().vals());
+  const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+  const rt::RegionAccessor<double, 2> dv(*D.storage().vals());
+  const rt::RegionAccessor<double> av(*A.storage().vals());
   const Coord K = C.dims()[1];
   for (Coord q = range.lo; q <= range.hi; ++q) {
     const Coord i = row_of[static_cast<size_t>(q)];
@@ -30,7 +30,7 @@ rt::WorkEstimate sddmm_positions(Tensor& A, Tensor& B, Tensor& C, Tensor& D,
     }
     double dot = 0;
     for (Coord k = 0; k < K; ++k) {
-      dot += cv.at2(i, k) * dv.at2(k, j);
+      dot += cv(i, k) * dv(k, j);
     }
     av[q] += bv[q] * dot;
     work.fma_dense(K);
@@ -81,7 +81,7 @@ Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D,
                   *col_var, rt::Rect1{0, B.dims()[1] - 1}))
             : std::nullopt;
     // Convert the row range to this piece's contiguous position range.
-    const auto& pos = *B.storage().level(1).pos;
+    const rt::RegionAccessor<rt::PosRange> pos(*B.storage().level(1).pos);
     rt::Rect1 range{0, -1};
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
       const rt::PosRange seg = pos[i];

@@ -12,25 +12,26 @@ Leaf make_spadd3_row(Tensor A, Tensor B, Tensor C, Tensor D) {
   return [A, B, C, D](const PieceBounds& piece) mutable -> rt::WorkEstimate {
     WorkCounter work;
     struct In {
-      const rt::Region<rt::PosRange>* pos;
-      const rt::Region<int32_t>* crd;
-      const rt::Region<double>* vals;
+      rt::RegionAccessor<rt::PosRange> pos;
+      rt::RegionAccessor<int32_t> crd;
+      rt::RegionAccessor<double> vals;
     };
     auto input = [](const Tensor& t) {
-      return In{t.storage().level(1).pos.get(), t.storage().level(1).crd.get(),
-                t.storage().vals().get()};
+      return In{rt::RegionAccessor<rt::PosRange>(*t.storage().level(1).pos),
+                rt::RegionAccessor<int32_t>(*t.storage().level(1).crd),
+                rt::RegionAccessor<double>(*t.storage().vals())};
     };
     const In ins[3] = {input(B), input(C), input(D)};
-    const auto& apos = *A.storage().level(1).pos;
-    const auto& acrd = *A.storage().level(1).crd;
-    auto& avals = *A.storage().vals();
+    const rt::RegionAccessor<rt::PosRange> apos(*A.storage().level(1).pos);
+    const rt::RegionAccessor<int32_t> acrd(*A.storage().level(1).crd);
+    const rt::RegionAccessor<double> avals(*A.storage().vals());
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, A.dims()[0] - 1});
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
       // Three cursors over this row's segments.
       Coord q[3], hi[3];
       for (int s = 0; s < 3; ++s) {
-        const rt::PosRange seg = (*ins[s].pos)[i];
+        const rt::PosRange seg = ins[s].pos[i];
         q[s] = seg.lo;
         hi[s] = seg.hi;
         work.segment();
@@ -41,12 +42,12 @@ Leaf make_spadd3_row(Tensor A, Tensor B, Tensor C, Tensor D) {
         // Smallest current column across the three inputs.
         Coord col = A.dims()[1];
         for (int s = 0; s < 3; ++s) {
-          if (q[s] <= hi[s]) col = std::min<Coord>(col, (*ins[s].crd)[q[s]]);
+          if (q[s] <= hi[s]) col = std::min<Coord>(col, ins[s].crd[q[s]]);
         }
         double sum = 0;
         for (int s = 0; s < 3; ++s) {
-          if (q[s] <= hi[s] && (*ins[s].crd)[q[s]] == col) {
-            sum += (*ins[s].vals)[q[s]];
+          if (q[s] <= hi[s] && ins[s].crd[q[s]] == col) {
+            sum += ins[s].vals[q[s]];
             ++q[s];
           }
         }

@@ -12,10 +12,10 @@ Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C,
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const auto& crd = *Bl.crd;
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *C.storage().vals();
-    auto& av = *A.storage().vals();
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+    const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     const Coord J = A.dims()[1];
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, Bl.positions - 1});
@@ -28,7 +28,7 @@ Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C,
       const Coord k = crd[q];
       const double v = bv[q];
       for (Coord j = cols.lo; j <= cols.hi; ++j) {
-        av.at2(i, j) += v * cv.at2(k, j);
+        av(i, j) += v * cv(k, j);
       }
       work.fma_dense_cached(cols.size());
     }
@@ -42,11 +42,11 @@ Leaf make_spmm_row(Tensor A, Tensor B, Tensor C,
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const auto& pos = *Bl.pos;
-    const auto& crd = *Bl.crd;
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *C.storage().vals();
-    auto& av = *A.storage().vals();
+    const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos);
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+    const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     const Coord J = A.dims()[1];
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
@@ -65,7 +65,7 @@ Leaf make_spmm_row(Tensor A, Tensor B, Tensor C,
         const Coord k = crd[q];
         const double v = bv[q];
         for (Coord j = cols.lo; j <= cols.hi; ++j) {
-          av.at2(i, j) += v * cv.at2(k, j);
+          av(i, j) += v * cv(k, j);
         }
         // 2·|cols| flops per non-zero; C's row streams, A's row stays
         // resident.

@@ -13,22 +13,30 @@ Leaf make_spmttkrp_row(Tensor A, Tensor B, Tensor C, Tensor D) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *C.storage().vals();
-    const auto& dv = *D.storage().vals();
-    auto& av = *A.storage().vals();
+    const rt::RegionAccessor<rt::PosRange> l2pos(*l2.pos);
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+    const rt::RegionAccessor<double, 2> dv(*D.storage().vals());
+    const rt::RegionAccessor<double, 2> av(*A.storage().vals());
+    rt::RegionAccessor<rt::PosRange> l1pos;
+    rt::RegionAccessor<int32_t> l1crd;
+    if (l1.kind == ModeFormat::Compressed) {
+      l1pos = rt::RegionAccessor<rt::PosRange>(*l1.pos);
+      l1crd = rt::RegionAccessor<int32_t>(*l1.crd);
+    }
     const Coord L = A.dims()[1];
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
       auto fiber = [&](Coord j, Coord q1) {
-        const rt::PosRange seg = (*l2.pos)[q1];
+        const rt::PosRange seg = l2pos[q1];
         work.segment();
         for (Coord q2 = seg.lo; q2 <= seg.hi; ++q2) {
-          const Coord k = (*l2.crd)[q2];
+          const Coord k = l2crd[q2];
           const double v = bv[q2];
           for (Coord l = 0; l < L; ++l) {
-            av.at2(i, l) += v * cv.at2(j, l) * dv.at2(k, l);
+            av(i, l) += v * cv(j, l) * dv(k, l);
           }
           // 4L flops per non-zero; the C/D rows stream once and the A row
           // stays cache-resident across the fiber.
@@ -36,10 +44,10 @@ Leaf make_spmttkrp_row(Tensor A, Tensor B, Tensor C, Tensor D) {
         }
       };
       if (l1.kind == ModeFormat::Compressed) {
-        const rt::PosRange seg = (*l1.pos)[i];
+        const rt::PosRange seg = l1pos[i];
         work.segment();
         for (Coord q1 = seg.lo; q1 <= seg.hi; ++q1) {
-          fiber((*l1.crd)[q1], q1);
+          fiber(l1crd[q1], q1);
         }
       } else {
         for (Coord j = 0; j < l1.extent; ++j) {

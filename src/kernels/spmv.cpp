@@ -9,11 +9,13 @@ Leaf make_spmv_row(Tensor a, Tensor B, Tensor c) {
   return [a, B, c](const PieceBounds& piece) mutable -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const auto& pos = *Bl.pos;
-    const auto& crd = *Bl.crd;
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *c.storage().vals();
-    auto& av = *a.storage().vals();
+    // Accessors resolve the reduction-redirect indirection once per leaf
+    // invocation; the inner loops below index raw pointers.
+    const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos);
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    const rt::RegionAccessor<double> av(*a.storage().vals());
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
@@ -49,10 +51,10 @@ Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c) {
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const auto& crd = *Bl.crd;
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *c.storage().vals();
-    auto& av = *a.storage().vals();
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    const rt::RegionAccessor<double> av(*a.storage().vals());
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, Bl.positions - 1});
     for (Coord q = range.lo; q <= range.hi; ++q) {

@@ -35,11 +35,19 @@ Leaf make_spttv_row(Tensor A, Tensor B, Tensor c) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *c.storage().vals();
-    const auto& apos = *A.storage().level(1).pos;
-    const auto& acrd = *A.storage().level(1).crd;
-    auto& avals = *A.storage().vals();
+    const rt::RegionAccessor<rt::PosRange> l2pos(*l2.pos);
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    const rt::RegionAccessor<rt::PosRange> apos(*A.storage().level(1).pos);
+    const rt::RegionAccessor<int32_t> acrd(*A.storage().level(1).crd);
+    const rt::RegionAccessor<double> avals(*A.storage().vals());
+    rt::RegionAccessor<rt::PosRange> l1pos;
+    rt::RegionAccessor<int32_t> l1crd;
+    if (l1.kind == ModeFormat::Compressed) {
+      l1pos = rt::RegionAccessor<rt::PosRange>(*l1.pos);
+      l1crd = rt::RegionAccessor<int32_t>(*l1.crd);
+    }
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
@@ -47,11 +55,11 @@ Leaf make_spttv_row(Tensor A, Tensor B, Tensor c) {
       const Coord out_hi = apos[i].hi;
       work.segment();
       auto fiber = [&](Coord j, Coord q1) {
-        const rt::PosRange seg = (*l2.pos)[q1];
+        const rt::PosRange seg = l2pos[q1];
         if (seg.empty()) return;
         double sum = 0;
         for (Coord q2 = seg.lo; q2 <= seg.hi; ++q2) {
-          sum += bv[q2] * cv[(*l2.crd)[q2]];
+          sum += bv[q2] * cv[l2crd[q2]];
         }
         work.fma_sparse(seg.size());
         SPD_ASSERT(out <= out_hi && acrd[out] == j,
@@ -61,9 +69,9 @@ Leaf make_spttv_row(Tensor A, Tensor B, Tensor c) {
         work.stream(1, 16.0);
       };
       if (l1.kind == ModeFormat::Compressed) {
-        const rt::PosRange seg = (*l1.pos)[i];
+        const rt::PosRange seg = l1pos[i];
         for (Coord q1 = seg.lo; q1 <= seg.hi; ++q1) {
-          fiber((*l1.crd)[q1], q1);
+          fiber(l1crd[q1], q1);
         }
       } else {
         for (Coord j = 0; j < l1.extent; ++j) {
@@ -82,9 +90,10 @@ Leaf make_spttv_nz(Tensor A, Tensor B, Tensor c) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *c.storage().vals();
-    auto& avals = *A.storage().vals();
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    const rt::RegionAccessor<double> avals(*A.storage().vals());
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, l2.positions - 1});
     // Cache the output position across consecutive values of one fiber.
@@ -106,7 +115,7 @@ Leaf make_spttv_nz(Tensor A, Tensor B, Tensor c) {
         SPD_ASSERT(cur_out >= 0, "SpTTV nz: fiber missing in output pattern");
         work.segment();
       }
-      avals[cur_out] += bv[q2] * cv[(*l2.crd)[q2]];
+      avals[cur_out] += bv[q2] * cv[l2crd[q2]];
       work.fma_sparse(1);
     }
     return work.done();
@@ -120,10 +129,11 @@ Leaf make_spmttkrp_nz(Tensor A, Tensor B, Tensor C, Tensor D) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const auto& bv = *B.storage().vals();
-    const auto& cv = *C.storage().vals();
-    const auto& dv = *D.storage().vals();
-    auto& av = *A.storage().vals();
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
+    const rt::RegionAccessor<double> bv(*B.storage().vals());
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+    const rt::RegionAccessor<double, 2> dv(*D.storage().vals());
+    const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     const Coord L = A.dims()[1];
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, l2.positions - 1});
@@ -137,10 +147,10 @@ Leaf make_spmttkrp_nz(Tensor A, Tensor B, Tensor C, Tensor D) {
         i = q1 / l1.extent;
         j = q1 % l1.extent;
       }
-      const Coord k = (*l2.crd)[q2];
+      const Coord k = l2crd[q2];
       const double v = bv[q2];
       for (Coord l = 0; l < L; ++l) {
-        av.at2(i, l) += v * cv.at2(j, l) * dv.at2(k, l);
+        av(i, l) += v * cv(j, l) * dv(k, l);
       }
       work.fma_dense_cached(2 * L);
     }

@@ -29,10 +29,10 @@ RegionBase::ScopedRedirects::~ScopedRedirects() {
   tls_redirects = frame_.prev;
 }
 
-void* RegionBase::thread_redirect() const {
+const ScratchHeader* RegionBase::thread_redirect() const {
   for (const RedirectFrame* f = tls_redirects; f != nullptr; f = f->prev) {
     for (size_t k = 0; k < f->count; ++k) {
-      if (f->entries[k].region == id_) return f->entries[k].data;
+      if (f->entries[k].region == id_) return f->entries[k].scratch;
     }
   }
   return nullptr;

@@ -9,6 +9,15 @@
 // Data lives once in the simulation's single address space; placement of
 // sub-region *instances* into simulated memories is tracked by the Runtime
 // (see memory.h / runtime.h), not here.
+//
+// Access paths, fastest first:
+//  * RegionAccessor<T, DIM> / LinearAccessor<T>: the kernel ABI. The
+//    reduction-redirect lookup (atomic load + TLS walk) happens once at
+//    accessor construction, so element access inside leaf inner loops is
+//    plain pointer arithmetic the compiler can vectorize.
+//  * Region<T>::operator[] / at2 / at3 / at_linear: per-element access that
+//    re-checks the redirect each call — fine for host-side code and tests,
+//    too slow for kernel inner loops.
 #pragma once
 
 #include <atomic>
@@ -34,6 +43,16 @@ struct PosRange {
   bool empty() const { return lo > hi; }
   Coord size() const { return empty() ? 0 : hi - lo + 1; }
   bool operator==(const PosRange&) const = default;
+};
+
+// Descriptor of one reduction scratch buffer: a private accumulator covering
+// `box` — the bounding box of the point's REDUCE subset, not the whole
+// region — so very large outputs do not cost a full-region copy per point.
+// Accessors (and the per-element Region paths) address the buffer relative
+// to box; fold_scratch translates back to region coordinates.
+struct ScratchHeader {
+  RectN box;             // region-coordinate bounding box this buffer covers
+  void* base = nullptr;  // typed element base (T*), null when box is empty
 };
 
 // Type-erased base so the Runtime can own heterogeneous regions.
@@ -73,10 +92,16 @@ class RegionBase {
   // element types; pos/crd metadata does not, and overlapping reducers on
   // such regions serialize instead).
   virtual bool can_privatize() const { return false; }
-  // A zero-initialized scratch buffer shaped like the region's data.
-  virtual std::shared_ptr<void> make_scratch() const { return nullptr; }
-  // data += scratch over `subset` (row-major within the region's bounds).
-  virtual void fold_scratch(const void* scratch, const IndexSubset& subset) {
+  // A zero-initialized scratch buffer covering `box` (clipped to the
+  // region's bounds). The LaunchPlan computes the box once — the bounding
+  // box of the point's REDUCE subset.
+  virtual std::shared_ptr<ScratchHeader> make_scratch(const RectN& box) const {
+    (void)box;
+    return nullptr;
+  }
+  // data += scratch over `subset` (which must lie inside scratch->box).
+  virtual void fold_scratch(const ScratchHeader* scratch,
+                            const IndexSubset& subset) {
     (void)scratch;
     (void)subset;
     SPD_ASSERT(false, "fold_scratch on non-privatizable region " << name_);
@@ -97,7 +122,7 @@ class RegionBase {
 
   struct Redirect {
     RegionId region = 0;
-    void* data = nullptr;
+    const ScratchHeader* scratch = nullptr;
   };
   // One link of the thread-local redirect chain; lives by value inside a
   // ScopedRedirects on the task's stack (no allocation per task).
@@ -120,9 +145,8 @@ class RegionBase {
   };
 
  protected:
-  // The scratch buffer installed for this region on the current thread, or
-  // nullptr.
-  void* thread_redirect() const;
+  // The scratch installed for this region on the current thread, or nullptr.
+  const ScratchHeader* thread_redirect() const;
 
  private:
   static RegionId next_id();
@@ -145,7 +169,8 @@ class Region final : public RegionBase {
   // 1-D element access.
   T& operator[](Coord i) {
     SPD_ASSERT(space().dim() == 1, "1-D access on " << space().dim() << "-D");
-    return base()[static_cast<size_t>(i - space().bounds().lo[0])];
+    const Backing b = backing();
+    return b.base[static_cast<size_t>(i - b.box->lo[0])];
   }
   const T& operator[](Coord i) const {
     return const_cast<Region*>(this)->operator[](i);
@@ -153,10 +178,11 @@ class Region final : public RegionBase {
 
   // 2-D element access (row-major).
   T& at2(Coord i, Coord j) {
-    const RectN& b = space().bounds();
+    const Backing bk = backing();
+    const RectN& b = *bk.box;
     SPD_ASSERT(b.dim == 2, "2-D access on " << b.dim << "-D region");
-    return base()[static_cast<size_t>((i - b.lo[0]) * (b.hi[1] - b.lo[1] + 1) +
-                                      (j - b.lo[1]))];
+    return bk.base[static_cast<size_t>(
+        (i - b.lo[0]) * (b.hi[1] - b.lo[1] + 1) + (j - b.lo[1]))];
   }
   const T& at2(Coord i, Coord j) const {
     return const_cast<Region*>(this)->at2(i, j);
@@ -164,13 +190,13 @@ class Region final : public RegionBase {
 
   // 3-D element access (row-major).
   T& at3(Coord i, Coord j, Coord k) {
-    const RectN& b = space().bounds();
+    const Backing bk = backing();
+    const RectN& b = *bk.box;
     SPD_ASSERT(b.dim == 3, "3-D access on " << b.dim << "-D region");
     const Coord nj = b.hi[1] - b.lo[1] + 1;
     const Coord nk = b.hi[2] - b.lo[2] + 1;
-    return base()[static_cast<size_t>(((i - b.lo[0]) * nj + (j - b.lo[1])) *
-                                          nk +
-                                      (k - b.lo[2]))];
+    return bk.base[static_cast<size_t>(
+        ((i - b.lo[0]) * nj + (j - b.lo[1])) * nk + (k - b.lo[2]))];
   }
   const T& at3(Coord i, Coord j, Coord k) const {
     return const_cast<Region*>(this)->at3(i, j, k);
@@ -178,8 +204,18 @@ class Region final : public RegionBase {
 
   // Direct row-major linearized access (any dimensionality). The row-major
   // layout matches the coordinate-tree position numbering of dense levels,
-  // so sparse-storage walkers can address N-D dense vals by position.
-  T& at_linear(Coord idx) { return base()[static_cast<size_t>(idx)]; }
+  // so sparse-storage walkers can address N-D dense vals by position. The
+  // linear index is always relative to the region's *full* bounds; a
+  // bounding-box scratch redirect translates.
+  T& at_linear(Coord idx) {
+    if (maybe_redirected()) {
+      if (const ScratchHeader* s = thread_redirect()) {
+        return static_cast<T*>(s->base)[static_cast<size_t>(
+            translate_linear(space().bounds(), s->box, idx))];
+      }
+    }
+    return data_[static_cast<size_t>(idx)];
+  }
   const T& at_linear(Coord idx) const {
     return const_cast<Region*>(this)->at_linear(idx);
   }
@@ -194,32 +230,41 @@ class Region final : public RegionBase {
   // --- reduction privatization -----------------------------------------------
   bool can_privatize() const override { return std::is_arithmetic_v<T>; }
 
-  std::shared_ptr<void> make_scratch() const override {
+  std::shared_ptr<ScratchHeader> make_scratch(const RectN& box) const override {
     if constexpr (std::is_arithmetic_v<T>) {
-      return std::make_shared<std::vector<T>>(data_.size());
+      auto s = std::make_shared<TypedScratch>();
+      s->hdr.box = box.intersect(space().bounds());
+      const int64_t vol = s->hdr.box.volume();
+      s->buf.assign(static_cast<size_t>(vol > 0 ? vol : 0), T{});
+      s->hdr.base = s->buf.empty() ? nullptr : s->buf.data();
+      return std::shared_ptr<ScratchHeader>(s, &s->hdr);
     } else {
       return nullptr;
     }
   }
 
-  void fold_scratch(const void* scratch,
+  void fold_scratch(const ScratchHeader* scratch,
                     const IndexSubset& subset) override {
     if constexpr (std::is_arithmetic_v<T>) {
-      const auto& s = *static_cast<const std::vector<T>*>(scratch);
+      const T* s = static_cast<const T*>(scratch->base);
+      const RectN& box = scratch->box;
       const RectN& b = space().bounds();
       for (const RectN& rect : subset.rects()) {
         const RectN r = rect.intersect(b);
         if (r.empty()) continue;
+        SPD_ASSERT(box.contains(r),
+                   "fold_scratch: subset escapes scratch box on " << name());
         // Row-major odometer over the rectangle; the innermost dimension is
-        // contiguous.
+        // contiguous in both the region and the scratch box.
         std::array<Coord, kMaxDim> p{};
         for (int d = 0; d < r.dim; ++d) p[static_cast<size_t>(d)] = r.lo[d];
         while (true) {
-          const int64_t lin = linearize(b, p);
+          const int64_t dst = linearize(b, p);
+          const int64_t src = linearize(box, p);
           const int64_t run = r.hi[r.dim - 1] - r.lo[r.dim - 1] + 1;
           for (int64_t k = 0; k < run; ++k) {
-            data_[static_cast<size_t>(lin + k)] +=
-                s[static_cast<size_t>(lin + k)];
+            data_[static_cast<size_t>(dst + k)] +=
+                s[static_cast<size_t>(src + k)];
           }
           int d = r.dim - 2;
           for (; d >= 0; --d) {
@@ -235,15 +280,44 @@ class Region final : public RegionBase {
   }
 
  private:
-  // Element base pointer: the thread's scratch buffer while a reduction
-  // redirect is installed for this region, the real data otherwise.
-  T* base() {
+  template <typename, int>
+  friend class RegionAccessor;
+  template <typename>
+  friend class LinearAccessor;
+
+  struct TypedScratch {
+    ScratchHeader hdr;
+    std::vector<T> buf;
+  };
+
+  // Backing buffer for element access: the thread's scratch (with its
+  // bounding box) while a reduction redirect is installed for this region,
+  // the real data (with the region's bounds) otherwise.
+  struct Backing {
+    T* base;
+    const RectN* box;
+  };
+  Backing backing() {
     if (maybe_redirected()) {
-      if (void* s = thread_redirect()) {
-        return static_cast<std::vector<T>*>(s)->data();
+      if (const ScratchHeader* s = thread_redirect()) {
+        return Backing{static_cast<T*>(s->base), &s->box};
       }
     }
-    return data_.data();
+    return Backing{data_.data(), &space().bounds()};
+  }
+
+  // Row-major linear offset within `outer` -> offset of the same point
+  // within `inner` (delinearize, then relinearize).
+  static int64_t translate_linear(const RectN& outer, const RectN& inner,
+                                  Coord idx) {
+    std::array<Coord, kMaxDim> p{};
+    int64_t rest = idx;
+    for (int d = outer.dim - 1; d >= 0; --d) {
+      const Coord extent = outer.hi[d] - outer.lo[d] + 1;
+      p[static_cast<size_t>(d)] = outer.lo[d] + rest % extent;
+      rest /= extent;
+    }
+    return linearize(inner, p);
   }
 
   std::vector<T> data_;
@@ -257,5 +331,97 @@ template <typename T>
 RegionRef<T> make_region(IndexSpace space, std::string name) {
   return std::make_shared<Region<T>>(space, std::move(name));
 }
+
+// --- accessors (the kernel ABI) ----------------------------------------------
+
+// Coordinate-addressed accessor of a DIM-dimensional region, resolved once
+// per leaf invocation: the redirect check happens at construction, element
+// access is plain indexing off a raw pointer. Must be constructed *inside*
+// the point-task body (after the executor installed the task's reduction
+// redirects) and must not outlive it.
+//
+// Writable by design even when constructed from a const reference — leaves
+// receive operand and output tensors through the same storage handles, and
+// const-ness of the underlying data is governed by the launch's privileges,
+// not the C++ type.
+template <typename T, int DIM = 1>
+class RegionAccessor {
+ public:
+  RegionAccessor() = default;
+  explicit RegionAccessor(const Region<T>& region) {
+    auto& r = const_cast<Region<T>&>(region);
+    SPD_ASSERT(r.space().dim() == DIM,
+               DIM << "-D accessor on " << r.space().dim() << "-D region "
+                   << r.name());
+    const auto b = r.backing();
+    base_ = b.base;
+    const RectN& box = *b.box;
+    Coord stride = 1;
+    for (int d = DIM - 1; d >= 0; --d) {
+      lo_[static_cast<size_t>(d)] = box.lo[d];
+      stride_[static_cast<size_t>(d)] = stride;
+      stride *= box.hi[d] - box.lo[d] + 1;
+    }
+  }
+
+  bool valid() const { return base_ != nullptr; }
+
+  T& operator[](Coord i) const
+    requires(DIM == 1)
+  {
+    return base_[static_cast<size_t>(i - lo_[0])];
+  }
+  T& operator()(Coord i, Coord j) const
+    requires(DIM == 2)
+  {
+    return base_[static_cast<size_t>((i - lo_[0]) * stride_[0] +
+                                     (j - lo_[1]))];
+  }
+  T& operator()(Coord i, Coord j, Coord k) const
+    requires(DIM == 3)
+  {
+    return base_[static_cast<size_t>((i - lo_[0]) * stride_[0] +
+                                     (j - lo_[1]) * stride_[1] +
+                                     (k - lo_[2]))];
+  }
+
+ private:
+  T* base_ = nullptr;
+  std::array<Coord, DIM> lo_{};
+  std::array<Coord, DIM> stride_{};
+};
+
+// Position-addressed accessor: indices are row-major linear offsets within
+// the region's full bounds (the coordinate-tree position numbering used by
+// sparse-storage walkers), whatever the region's rank. The common path is a
+// single indexed load/store; only a bounding-box scratch redirect pays a
+// per-access translation.
+template <typename T>
+class LinearAccessor {
+ public:
+  LinearAccessor() = default;
+  explicit LinearAccessor(const Region<T>& region) {
+    auto& r = const_cast<Region<T>&>(region);
+    const auto b = r.backing();
+    base_ = b.base;
+    outer_ = &r.space().bounds();
+    box_ = b.box;
+    direct_ = (box_ == outer_) || (*box_ == *outer_);
+  }
+
+  bool valid() const { return base_ != nullptr; }
+
+  T& at(Coord idx) const {
+    if (direct_) return base_[static_cast<size_t>(idx)];
+    return base_[static_cast<size_t>(
+        Region<T>::translate_linear(*outer_, *box_, idx))];
+  }
+
+ private:
+  T* base_ = nullptr;
+  const RectN* outer_ = nullptr;  // region bounds (linear-index frame)
+  const RectN* box_ = nullptr;    // backing-buffer box (scratch or region)
+  bool direct_ = true;
+};
 
 }  // namespace spdistal::rt

@@ -29,21 +29,54 @@ IndexSubset TaskContext::subset(size_t req) const {
   return r.partition->subset(color_);
 }
 
+// The memoized launch analysis: everything Runtime::execute derives from
+// the launch's structure (subsets, partitions, privileges) and nothing it
+// derives from accounting state. Immutable once built, shared by every
+// execution that hits the cache, so warm and cold executions are
+// bit-identical by construction.
+struct Runtime::LaunchPlan {
+  std::vector<Proc> procs;                        // per point
+  std::vector<std::vector<IndexSubset>> subsets;  // [point][req]
+  // Whether each requirement carried a partition (the borrowed Partition*
+  // itself is not retained — it need not outlive the submission).
+  std::vector<bool> partitioned;
+  // Per-requirement overlap classification and privatization decision.
+  std::vector<bool> req_overlapping;
+  std::vector<bool> privatized;
+  // Bounding box of each privatized point subset — the scratch buffer's
+  // shape (scratch_box[r] is empty when requirement r is not privatized).
+  std::vector<std::vector<RectN>> scratch_box;
+  // Intra-launch conflict edges: point q waits on point p (q > p).
+  std::vector<std::pair<int, int>> conflict_edges;
+  // Retirement replay script for partitioned REDUCE requirements: the
+  // ordered pairwise-overlap combines account_launch charges (same
+  // iteration order as the cold O(P^2) scan, so accounting replays
+  // identically from the plan).
+  struct ReducePair {
+    int p = 0;
+    int q = 0;
+    IndexSubset overlap;
+  };
+  std::vector<std::vector<ReducePair>> reduce_pairs;  // per requirement
+  // Dependence-analysis access descriptors per point, plus the requirement
+  // indices recorded under the point task (direct) vs the launch's
+  // retirement/fold task (privatized) — an index split, so each subset is
+  // stored once.
+  std::vector<std::vector<exec::RegionAccess>> accesses;
+  std::vector<size_t> direct_reqs;
+  std::vector<size_t> folded_reqs;
+};
+
 // Everything one deferred launch needs after submission. Point tasks fill
 // work[]; the retirement task folds reduction scratches and replays the
 // simulated cost accounting.
 struct Runtime::LaunchRecord {
-  IndexLaunch launch;                             // captured copy
-  std::vector<Proc> procs;                        // per point
-  std::vector<std::vector<IndexSubset>> subsets;  // [point][req]
-  std::vector<WorkEstimate> work;                 // per point
-  // Whether each requirement carried a partition (the borrowed Partition*
-  // itself is nulled after capture — it need not outlive the submission).
-  std::vector<bool> partitioned;
+  IndexLaunch launch;  // captured copy (keeps regions + body alive)
+  std::shared_ptr<const LaunchPlan> plan;
+  std::vector<WorkEstimate> work;  // per point
   // Reduction privatization, per requirement: scratch[r][p] is point p's
   // private accumulator (empty when the requirement is not privatized).
-  std::vector<bool> privatized;
-  std::vector<std::vector<std::shared_ptr<void>>> scratch;
+  std::vector<std::vector<std::shared_ptr<ScratchHeader>>> scratch;
 };
 
 Runtime::Runtime(Machine machine, int exec_threads)
@@ -221,147 +254,109 @@ double Runtime::fetch(RegionBase& region, const IndexSubset& subset,
   return arrival;
 }
 
-exec::Future Runtime::execute(const IndexLaunch& launch) {
-  SPD_ASSERT(launch.domain >= 1, "empty launch domain");
-  SPD_ASSERT(launch.body, "launch without body");
-
-  auto rec = std::make_shared<LaunchRecord>();
-  rec->launch = launch;
+// Cold path: the full launch analysis. Everything computed here depends
+// only on the launch's structure (subsets, partitions, privileges, domain
+// shape) — never on placements, clocks, or region data — which is what
+// makes the resulting plan safely reusable across iterations.
+std::shared_ptr<const Runtime::LaunchPlan> Runtime::build_plan(
+    const IndexLaunch& launch) {
+  auto plan = std::make_shared<LaunchPlan>();
   const int P = launch.domain;
   const size_t R = launch.reqs.size();
-  rec->procs.resize(static_cast<size_t>(P));
-  rec->subsets.resize(static_cast<size_t>(P));
-  rec->work.resize(static_cast<size_t>(P));
-  rec->privatized.assign(R, false);
-  rec->scratch.resize(R);
+  plan->procs.resize(static_cast<size_t>(P));
+  plan->subsets.resize(static_cast<size_t>(P));
   for (int p = 0; p < P; ++p) {
-    rec->procs[static_cast<size_t>(p)] = proc_for_point(p, launch);
-    auto& subs = rec->subsets[static_cast<size_t>(p)];
+    plan->procs[static_cast<size_t>(p)] = proc_for_point(p, launch);
+    auto& subs = plan->subsets[static_cast<size_t>(p)];
     subs.reserve(R);
     for (const RegionReq& req : launch.reqs) {
       subs.push_back(req.partition ? req.partition->subset(p)
                                    : req.region->space().as_subset());
     }
   }
-  rec->partitioned.reserve(R);
-  for (RegionReq& req : rec->launch.reqs) {
-    rec->partitioned.push_back(req.partition != nullptr);
-    req.partition = nullptr;  // subsets captured; drop the borrowed pointer
+  plan->partitioned.reserve(R);
+  for (const RegionReq& req : launch.reqs) {
+    plan->partitioned.push_back(req.partition != nullptr);
   }
 
   // Per-requirement pairwise disjointness of the point subsets (computed
   // once, with early exit; RO requirements never need it). Drives both the
   // REDUCE privatization decision and the intra-launch conflict analysis.
-  std::vector<bool> req_overlapping(R, false);
+  plan->req_overlapping.assign(R, false);
   for (size_t r = 0; r < R; ++r) {
     if (launch.reqs[r].priv == Privilege::RO || P <= 1) continue;
     bool overlapping = false;
     for (int q = 1; q < P && !overlapping; ++q) {
       for (int p = 0; p < q && !overlapping; ++p) {
-        overlapping = rec->subsets[static_cast<size_t>(p)][r].overlaps(
-            rec->subsets[static_cast<size_t>(q)][r]);
+        overlapping = plan->subsets[static_cast<size_t>(p)][r].overlaps(
+            plan->subsets[static_cast<size_t>(q)][r]);
       }
     }
-    req_overlapping[r] = overlapping;
+    plan->req_overlapping[r] = overlapping;
   }
 
   // Privatize REDUCE requirements whose point subsets overlap: each point
-  // accumulates into its own zeroed scratch (allocated by the point task
-  // itself, so the zeroing parallelizes); the retirement task folds the
-  // scratches in color order (deterministic regardless of worker count).
-  // A region named by more than one requirement is never privatized — the
-  // redirect is region-wide per task, so it would hijack the sibling
-  // requirement's accesses into the scratch; such reductions fall back to
-  // color-order serialization below instead.
+  // accumulates into its own zeroed scratch shaped like the bounding box of
+  // its subset; the retirement task folds the scratches in color order
+  // (deterministic regardless of worker count). A region named by more than
+  // one requirement is never privatized — the redirect is region-wide per
+  // task, so it would hijack the sibling requirement's accesses into the
+  // scratch; such reductions fall back to color-order serialization below.
+  plan->privatized.assign(R, false);
+  plan->scratch_box.resize(R);
   std::map<RegionId, int> region_reqs;
   for (size_t r = 0; r < R; ++r) ++region_reqs[launch.reqs[r].region->id()];
   for (size_t r = 0; r < R; ++r) {
-    if (launch.reqs[r].priv != Privilege::REDUCE || !req_overlapping[r]) {
+    if (launch.reqs[r].priv != Privilege::REDUCE ||
+        !plan->req_overlapping[r]) {
       continue;
     }
     if (region_reqs[launch.reqs[r].region->id()] > 1) continue;
     if (!launch.reqs[r].region->can_privatize()) continue;
-    rec->privatized[r] = true;
-    rec->scratch[r].resize(static_cast<size_t>(P));
-    launch.reqs[r].region->begin_redirect_epoch();
+    plan->privatized[r] = true;
+    auto& boxes = plan->scratch_box[r];
+    boxes.resize(static_cast<size_t>(P));
+    for (int p = 0; p < P; ++p) {
+      const IndexSubset& s = plan->subsets[static_cast<size_t>(p)][r];
+      if (s.empty()) {
+        RectN empty;  // lo > hi in every dimension
+        empty.dim = launch.reqs[r].region->space().dim();
+        boxes[static_cast<size_t>(p)] = empty;
+      } else {
+        boxes[static_cast<size_t>(p)] = s.bounds();
+      }
+    }
   }
 
-  // Accesses per point, as dependence analysis sees them.
-  std::vector<std::vector<exec::RegionAccess>> accesses(
-      static_cast<size_t>(P));
+  // Accesses per point, as dependence analysis sees them; the privatization
+  // split is per requirement, so it is recorded once as index lists.
+  plan->accesses.resize(static_cast<size_t>(P));
   for (int p = 0; p < P; ++p) {
-    auto& acc = accesses[static_cast<size_t>(p)];
+    auto& acc = plan->accesses[static_cast<size_t>(p)];
     acc.reserve(R);
     for (size_t r = 0; r < R; ++r) {
       acc.push_back(exec::RegionAccess{
           launch.reqs[r].region->id(),
-          rec->subsets[static_cast<size_t>(p)][r],
-          to_mode(launch.reqs[r].priv), rec->privatized[r]});
+          plan->subsets[static_cast<size_t>(p)][r],
+          to_mode(launch.reqs[r].priv), plan->privatized[r]});
     }
   }
-
-  // Mint the point tasks and the retirement task.
-  std::vector<exec::TaskId> ids(static_cast<size_t>(P));
-  for (int p = 0; p < P; ++p) {
-    ids[static_cast<size_t>(p)] = ex_->create(
-        strprintf("%s[%d]", launch.name.c_str(), p), [this, rec, p] {
-          // Allocate this point's reduction scratches (zeroing a private
-          // buffer is per-point work; doing it here parallelizes it) and
-          // install the redirects for the body's duration. Each task only
-          // touches its own scratch slot; the retirement task reads the
-          // slots after every point completed (ordered by its edges).
-          std::vector<RegionBase::Redirect> rds;
-          for (size_t r = 0; r < rec->privatized.size(); ++r) {
-            if (!rec->privatized[r]) continue;
-            rec->scratch[r][static_cast<size_t>(p)] =
-                rec->launch.reqs[r].region->make_scratch();
-            rds.push_back(RegionBase::Redirect{
-                rec->launch.reqs[r].region->id(),
-                rec->scratch[r][static_cast<size_t>(p)].get()});
-          }
-          RegionBase::ScopedRedirects guard(rds.data(), rds.size());
-          TaskContext ctx(*this, rec->launch, p,
-                          rec->procs[static_cast<size_t>(p)],
-                          &rec->subsets[static_cast<size_t>(p)]);
-          rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
-        });
+  for (size_t r = 0; r < R; ++r) {
+    (plan->privatized[r] ? plan->folded_reqs : plan->direct_reqs).push_back(r);
   }
-  const exec::TaskId retire =
-      ex_->create(launch.name + ":retire", [this, rec] {
-        // Fold privatized reductions in color order, close their redirect
-        // epochs, then replay the simulated cost accounting.
-        for (size_t r = 0; r < rec->privatized.size(); ++r) {
-          if (!rec->privatized[r]) continue;
-          RegionBase& region = *rec->launch.reqs[r].region;
-          for (int p = 0; p < rec->launch.domain; ++p) {
-            // A point that failed before allocating (e.g. scratch
-            // bad_alloc, surfaced as a deferred error) leaves a null slot.
-            const auto& scratch = rec->scratch[r][static_cast<size_t>(p)];
-            if (scratch == nullptr) continue;
-            region.fold_scratch(scratch.get(),
-                                rec->subsets[static_cast<size_t>(p)][r]);
-          }
-          region.end_redirect_epoch();
-        }
-        account_launch(*rec);
-      });
 
-  // Cross-launch edges from the requirement history; intra-launch edges by
-  // pairwise privilege analysis in color order (WO/RW serialize per
-  // overlapping subset; RO/RO and privatized REDUCE/REDUCE commute).
-  for (int p = 0; p < P; ++p) {
-    for (exec::TaskId d : tracker_->deps_for(accesses[static_cast<size_t>(p)])) {
-      ex_->add_dep(ids[static_cast<size_t>(p)], d);
-    }
-    ex_->add_dep(retire, ids[static_cast<size_t>(p)]);
-  }
-  // Same-requirement conflicts exist only for non-RO requirements with
-  // overlapping, non-privatized point subsets; cross-requirement conflicts
-  // only when two requirements name the same region. Both are rare, so the
-  // pairwise point loop usually has nothing to test.
+  // Intra-launch conflict edges by pairwise privilege analysis in color
+  // order (WO/RW serialize per overlapping subset; RO/RO and privatized
+  // REDUCE/REDUCE commute). Same-requirement conflicts exist only for
+  // non-RO requirements with overlapping, non-privatized point subsets;
+  // cross-requirement conflicts only when two requirements name the same
+  // region. Both are rare, so the pairwise point loop usually has nothing
+  // to test.
   std::vector<size_t> same_req;
   for (size_t r = 0; r < R; ++r) {
-    if (req_overlapping[r] && !rec->privatized[r]) same_req.push_back(r);
+    if (plan->req_overlapping[r] && !plan->privatized[r]) {
+      same_req.push_back(r);
+    }
   }
   std::vector<std::pair<size_t, size_t>> cross_req;
   for (size_t r = 0; r < R; ++r) {
@@ -373,8 +368,8 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   }
   if (!same_req.empty() || !cross_req.empty()) {
     auto conflicts = [&](int p, size_t rp, int q, size_t rq) {
-      const auto& ap = accesses[static_cast<size_t>(p)][rp];
-      const auto& aq = accesses[static_cast<size_t>(q)][rq];
+      const auto& ap = plan->accesses[static_cast<size_t>(p)][rp];
+      const auto& aq = plan->accesses[static_cast<size_t>(q)][rq];
       return exec::modes_conflict(ap.mode, ap.privatized, aq.mode,
                                   aq.privatized) &&
              ap.subset.overlaps(aq.subset);
@@ -389,12 +384,144 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
           const auto& [r, s] = cross_req[k];
           conflict = conflicts(p, r, q, s) || conflicts(p, s, q, r);
         }
-        if (conflict) {
-          ex_->add_dep(ids[static_cast<size_t>(q)],
-                       ids[static_cast<size_t>(p)]);
-        }
+        if (conflict) plan->conflict_edges.push_back({p, q});
       }
     }
+  }
+
+  // Retirement replay script: the ordered pairwise-overlap combines of
+  // partitioned REDUCE requirements, captured in the exact iteration order
+  // the cold accounting scan used, so account_launch replays identically.
+  plan->reduce_pairs.resize(R);
+  for (size_t r = 0; r < R; ++r) {
+    if (launch.reqs[r].priv != Privilege::REDUCE || !plan->partitioned[r]) {
+      continue;
+    }
+    for (int q = 1; q < P; ++q) {
+      for (int p = 0; p < q; ++p) {
+        IndexSubset ov = plan->subsets[static_cast<size_t>(p)][r].intersect(
+            plan->subsets[static_cast<size_t>(q)][r]);
+        if (ov.empty()) continue;
+        plan->reduce_pairs[r].push_back(
+            LaunchPlan::ReducePair{p, q, std::move(ov)});
+      }
+    }
+  }
+  return plan;
+}
+
+exec::Future Runtime::execute(const IndexLaunch& launch) {
+  SPD_ASSERT(launch.domain >= 1, "empty launch domain");
+  SPD_ASSERT(launch.body, "launch without body");
+  const int P = launch.domain;
+  const size_t R = launch.reqs.size();
+
+  // Plan lookup: the launch's identity is its region ids, partition uids,
+  // privileges and domain shape. Repartitioning or swapping a region's
+  // backing storage mints new uids/ids, so stale plans can never be hit.
+  PlanKey key;
+  key.domain = P;
+  key.domain_shape = launch.domain_shape;
+  key.reqs.reserve(R);
+  for (const RegionReq& req : launch.reqs) {
+    key.reqs.emplace_back(req.region->id(),
+                          req.partition ? req.partition->uid() : 0,
+                          static_cast<int>(req.priv));
+  }
+  std::shared_ptr<const LaunchPlan> plan;
+  if (plan_memo_) {
+    if (auto it = plan_cache_.find(key); it != plan_cache_.end()) {
+      plan = it->second;
+      ++plan_hits_;
+    }
+  }
+  if (plan == nullptr) {
+    plan = build_plan(launch);
+    ++plan_misses_;
+    if (plan_memo_) {
+      // Backstop against unbounded growth from programs that churn through
+      // partitions; real programs hold a handful of live launch shapes.
+      if (plan_cache_.size() >= 256) plan_cache_.clear();
+      plan_cache_.emplace(std::move(key), plan);
+    }
+  }
+
+  auto rec = std::make_shared<LaunchRecord>();
+  rec->launch = launch;
+  rec->plan = plan;
+  rec->work.resize(static_cast<size_t>(P));
+  rec->scratch.resize(R);
+  for (size_t r = 0; r < R; ++r) {
+    // Subsets are captured in the plan; the borrowed partition pointer need
+    // not outlive the submission.
+    rec->launch.reqs[r].partition = nullptr;
+    if (plan->privatized[r]) {
+      rec->scratch[r].resize(static_cast<size_t>(P));
+      launch.reqs[r].region->begin_redirect_epoch();
+    }
+  }
+
+  // Mint the point tasks and the retirement task.
+  std::vector<exec::TaskId> ids(static_cast<size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    ids[static_cast<size_t>(p)] = ex_->create(
+        strprintf("%s[%d]", launch.name.c_str(), p), [this, rec, p] {
+          // Allocate this point's reduction scratches (zeroing a private
+          // buffer is per-point work; doing it here parallelizes it) and
+          // install the redirects for the body's duration. Each task only
+          // touches its own scratch slot; the retirement task reads the
+          // slots after every point completed (ordered by its edges).
+          const LaunchPlan& plan = *rec->plan;
+          std::vector<RegionBase::Redirect> rds;
+          for (size_t r = 0; r < plan.privatized.size(); ++r) {
+            if (!plan.privatized[r]) continue;
+            rec->scratch[r][static_cast<size_t>(p)] =
+                rec->launch.reqs[r].region->make_scratch(
+                    plan.scratch_box[r][static_cast<size_t>(p)]);
+            rds.push_back(RegionBase::Redirect{
+                rec->launch.reqs[r].region->id(),
+                rec->scratch[r][static_cast<size_t>(p)].get()});
+          }
+          RegionBase::ScopedRedirects guard(rds.data(), rds.size());
+          TaskContext ctx(*this, rec->launch, p,
+                          plan.procs[static_cast<size_t>(p)],
+                          &plan.subsets[static_cast<size_t>(p)]);
+          rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
+        });
+  }
+  const exec::TaskId retire =
+      ex_->create(launch.name + ":retire", [this, rec] {
+        // Fold privatized reductions in color order, close their redirect
+        // epochs, then replay the simulated cost accounting.
+        const LaunchPlan& plan = *rec->plan;
+        for (size_t r = 0; r < plan.privatized.size(); ++r) {
+          if (!plan.privatized[r]) continue;
+          RegionBase& region = *rec->launch.reqs[r].region;
+          for (int p = 0; p < rec->launch.domain; ++p) {
+            // A point that failed before allocating (e.g. scratch
+            // bad_alloc, surfaced as a deferred error) leaves a null slot.
+            const auto& scratch = rec->scratch[r][static_cast<size_t>(p)];
+            if (scratch == nullptr) continue;
+            region.fold_scratch(scratch.get(),
+                                plan.subsets[static_cast<size_t>(p)][r]);
+          }
+          region.end_redirect_epoch();
+        }
+        account_launch(*rec);
+      });
+
+  // Cross-launch edges from the requirement history (necessarily computed
+  // per execution — the history is live state); intra-launch edges replayed
+  // from the plan.
+  for (int p = 0; p < P; ++p) {
+    for (exec::TaskId d :
+         tracker_->deps_for(plan->accesses[static_cast<size_t>(p)])) {
+      ex_->add_dep(ids[static_cast<size_t>(p)], d);
+    }
+    ex_->add_dep(retire, ids[static_cast<size_t>(p)]);
+  }
+  for (const auto& [p, q] : plan->conflict_edges) {
+    ex_->add_dep(ids[static_cast<size_t>(q)], ids[static_cast<size_t>(p)]);
   }
   // The retire chain totally orders cost accounting in submission order —
   // what makes the SimReport bit-identical to the serial schedule.
@@ -405,15 +532,15 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   // produced the data, or on the retirement (fold) for privatized
   // reductions.
   for (int p = 0; p < P; ++p) {
-    auto& acc = accesses[static_cast<size_t>(p)];
-    std::vector<exec::RegionAccess> direct, folded;
-    for (size_t r = 0; r < R; ++r) {
-      (rec->privatized[r] ? folded : direct).push_back(std::move(acc[r]));
+    if (!plan->direct_reqs.empty()) {
+      tracker_->record(ids[static_cast<size_t>(p)],
+                       plan->accesses[static_cast<size_t>(p)],
+                       plan->direct_reqs);
     }
-    if (!direct.empty()) {
-      tracker_->record(ids[static_cast<size_t>(p)], direct);
+    if (!plan->folded_reqs.empty()) {
+      tracker_->record(retire, plan->accesses[static_cast<size_t>(p)],
+                       plan->folded_reqs);
     }
-    if (!folded.empty()) tracker_->record(retire, folded);
   }
 
   for (int p = 0; p < P; ++p) ex_->commit(ids[static_cast<size_t>(p)]);
@@ -447,6 +574,7 @@ void Runtime::barrier() {
 
 void Runtime::account_launch(LaunchRecord& rec) {
   const IndexLaunch& launch = rec.launch;
+  const LaunchPlan& plan = *rec.plan;
   struct PointResult {
     Proc proc;
     double completion = 0;
@@ -454,12 +582,12 @@ void Runtime::account_launch(LaunchRecord& rec) {
   std::vector<PointResult> points(static_cast<size_t>(launch.domain));
 
   for (int p = 0; p < launch.domain; ++p) {
-    const Proc proc = rec.procs[static_cast<size_t>(p)];
+    const Proc proc = plan.procs[static_cast<size_t>(p)];
     const Mem target = machine_.proc_mem(proc);
     double data_ready = 0;
     for (size_t r = 0; r < launch.reqs.size(); ++r) {
       const RegionReq& req = launch.reqs[r];
-      const IndexSubset& s = rec.subsets[static_cast<size_t>(p)][r];
+      const IndexSubset& s = plan.subsets[static_cast<size_t>(p)][r];
       switch (req.priv) {
         case Privilege::RO:
         case Privilege::RW:
@@ -489,7 +617,7 @@ void Runtime::account_launch(LaunchRecord& rec) {
     PlacementInfo& pl = placement(region);
     const double elem = static_cast<double>(region.elem_size());
     for (int p = 0; p < launch.domain; ++p) {
-      const IndexSubset& s = rec.subsets[static_cast<size_t>(p)][r];
+      const IndexSubset& s = plan.subsets[static_cast<size_t>(p)][r];
       if (s.empty()) continue;
       const Mem m = machine_.proc_mem(points[static_cast<size_t>(p)].proc);
       IndexSubset fresh = pl.valid.count(m) ? s.subtract(pl.valid[m]) : s;
@@ -502,27 +630,22 @@ void Runtime::account_launch(LaunchRecord& rec) {
       double& rdy = pl.ready[m];
       rdy = std::max(rdy, points[static_cast<size_t>(p)].completion);
     }
-    if (req.priv == Privilege::REDUCE && rec.partitioned[r]) {
-      // Partial results on overlapping subsets are combined at the
-      // lowest-colored owner: transfer + add for each pairwise overlap.
-      for (int q = 1; q < launch.domain; ++q) {
-        for (int p = 0; p < q; ++p) {
-          const IndexSubset ov =
-              rec.subsets[static_cast<size_t>(p)][r].intersect(
-                  rec.subsets[static_cast<size_t>(q)][r]);
-          if (ov.empty()) continue;
-          const Proc owner = points[static_cast<size_t>(p)].proc;
-          const Proc src = points[static_cast<size_t>(q)].proc;
-          const double bytes = static_cast<double>(ov.volume()) * elem;
-          const double t = net_.transfer(
-              machine_.proc_mem(src), machine_.proc_mem(owner), bytes,
-              points[static_cast<size_t>(q)].completion);
-          WorkEstimate combine;
-          combine.flops = static_cast<double>(ov.volume());
-          combine.bytes = 2 * bytes;
-          sim_.run_task(owner, combine, launch.leaf_threads, t);
-        }
-      }
+    // Partial results on overlapping subsets are combined at the
+    // lowest-colored owner: transfer + add for each pairwise overlap,
+    // replayed from the plan's precomputed script (same pairs, same order
+    // as the cold O(P^2) scan).
+    for (const auto& pair : plan.reduce_pairs[r]) {
+      const Proc owner = points[static_cast<size_t>(pair.p)].proc;
+      const Proc src = points[static_cast<size_t>(pair.q)].proc;
+      const double bytes =
+          static_cast<double>(pair.overlap.volume()) * elem;
+      const double t = net_.transfer(
+          machine_.proc_mem(src), machine_.proc_mem(owner), bytes,
+          points[static_cast<size_t>(pair.q)].completion);
+      WorkEstimate combine;
+      combine.flops = static_cast<double>(pair.overlap.volume());
+      combine.bytes = 2 * bytes;
+      sim_.run_task(owner, combine, launch.leaf_threads, t);
     }
   }
 }
@@ -567,6 +690,8 @@ SimReport Runtime::report() const {
   rep.imbalance = sim_.imbalance();
   rep.peak_sysmem = mems_.peak(MemKind::SYS);
   rep.peak_fbmem = mems_.peak(MemKind::FB);
+  rep.plan_hits = plan_hits_;
+  rep.plan_misses = plan_misses_;
   return rep;
 }
 

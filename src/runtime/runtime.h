@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "exec/dep_graph.h"
@@ -113,6 +114,11 @@ struct SimReport {
   double imbalance = 1.0;        // max/mean processor busy time
   double peak_sysmem = 0;
   double peak_fbmem = 0;
+  // LaunchPlan memo effectiveness over the runtime's lifetime (not zeroed
+  // by reset_timing — a cache hit-rate, not a clock). A hit means the
+  // enqueue skipped subset capture and every O(P^2) overlap scan.
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
 };
 
 class Runtime {
@@ -161,7 +167,24 @@ class Runtime {
   // are accounted in exact submission order when the launch retires.
   // Returns a Future for the launch's retirement; errors (e.g. simulated
   // OutOfMemoryError) surface at the next wait()/flush().
+  //
+  // Steady-state fast path: the launch analysis — per-point subset capture,
+  // the per-requirement O(P^2) overlap classification, privatization
+  // decisions, intra-launch conflict edges, the reduction-combine replay
+  // script, and scratch-buffer shapes — is memoized in an immutable
+  // LaunchPlan keyed by the launch's region ids, partition uids, privileges
+  // and domain shape. Re-executing the same launch (what Instance::run does
+  // every iteration) walks the cached plan; repartitioning or swapping a
+  // region's backing storage changes the key, so a fresh plan is built
+  // automatically. Warm and cold paths are bit-identical by construction:
+  // the plan stores the analysis *results*, never accounting state.
   exec::Future execute(const IndexLaunch& launch);
+
+  // LaunchPlan memo control: disabling forces every execute() onto the
+  // cold path (used by tests/benches to compare warm vs cold), clearing
+  // explicitly invalidates all cached plans.
+  void set_plan_memo(bool enabled) { plan_memo_ = enabled; }
+  void invalidate_plans() { plan_cache_.clear(); }
 
   // Enqueues a host-side callback ordered against launches through
   // whole-region accesses (e.g. zeroing an output between iterations). No
@@ -205,10 +228,27 @@ class Runtime {
     std::map<Mem, double> ready;
   };
 
+  // The memoized launch analysis (immutable once built; shared by every
+  // execution that hits it).
+  struct LaunchPlan;
+  // Identity of a launch for plan lookup.
+  struct PlanKey {
+    int domain = 1;
+    std::vector<int> domain_shape;
+    // (region id, partition uid or 0, privilege) per requirement.
+    std::vector<std::tuple<RegionId, uint64_t, int>> reqs;
+    bool operator<(const PlanKey& o) const {
+      return std::tie(domain, domain_shape, reqs) <
+             std::tie(o.domain, o.domain_shape, o.reqs);
+    }
+  };
   // Everything one deferred launch needs after submission: the captured
-  // launch (requirement subsets resolved), per-point work measurements, and
-  // reduction scratch buffers.
+  // launch (keeps regions + body alive), the plan, per-point work
+  // measurements, and reduction scratch buffers.
   struct LaunchRecord;
+
+  // Cold path: runs the full launch analysis.
+  std::shared_ptr<const LaunchPlan> build_plan(const IndexLaunch& launch);
 
   // Replays the launch's simulated cost accounting (fetches, task pricing,
   // write-back, reduction combines) — called from retirement tasks, which
@@ -234,6 +274,10 @@ class Runtime {
   Network net_;
   MemorySystem mems_;
   std::map<RegionId, PlacementInfo> placements_;
+  std::map<PlanKey, std::shared_ptr<const LaunchPlan>> plan_cache_;
+  bool plan_memo_ = true;
+  int64_t plan_hits_ = 0;
+  int64_t plan_misses_ = 0;
   std::shared_ptr<exec::WorkerPool> pool_;
   // Declared after all state the retirement tasks touch, so the destructor
   // drains in-flight tasks while that state is still alive. Mutable: const
