@@ -1,9 +1,11 @@
 // google-benchmark microbenchmarks for the leaf kernels: specialized kernels
 // vs the general co-iteration engine (the specialization gap compilation
-// buys at the leaves).
+// buys at the leaves), plus a CSR-vs-COO comparison on the steady-state
+// launch path (same schedule, different mode formats).
 #include <benchmark/benchmark.h>
 
-#include "compiler/kernel_select.h"
+#include "compiler/lower.h"
+#include "data/datasets.h"
 #include "data/generators.h"
 #include "kernels/assembly.h"
 #include "kernels/leaf_kernels.h"
@@ -17,10 +19,10 @@ struct SpmvFixture {
   IndexVar i{"i"}, j{"j"};
   Tensor a, B, c;
   Statement* stmt;
-  explicit SpmvFixture(int64_t nnz) {
+  explicit SpmvFixture(int64_t nnz, fmt::Format format = fmt::csr()) {
     fmt::Coo coo = data::powerlaw_matrix(nnz / 12, nnz / 12, nnz, 1.1, 7);
     a = Tensor("a", {coo.dims[0]}, fmt::dense_vector());
-    B = Tensor("B", coo.dims, fmt::csr());
+    B = Tensor("B", coo.dims, std::move(format));
     c = Tensor("c", {coo.dims[1]}, fmt::dense_vector());
     B.from_coo(std::move(coo));
     c.init_dense([](const auto&) { return 1.0; });
@@ -60,6 +62,46 @@ void BM_SpmvNz(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.B.storage().nnz());
 }
 BENCHMARK(BM_SpmvNz)->Arg(100000);
+
+// COO leaf: rows come from the root crd instead of a precomputed owner map.
+void BM_SpmvNzCoo(benchmark::State& state) {
+  SpmvFixture f(state.range(0), fmt::coo(2));
+  kern::Leaf leaf = kern::make_spmv_nz(f.a, f.B, f.c);
+  for (auto _ : state) {
+    f.a.zero();
+    benchmark::DoNotOptimize(leaf(kern::PieceBounds{}).flops);
+  }
+  state.SetItemsProcessed(state.iterations() * f.B.storage().nnz());
+}
+BENCHMARK(BM_SpmvNzCoo)->Arg(100000);
+
+// CSR vs COO through the whole steady-state launch path: identical
+// non-zero schedule, warm LaunchPlan (the loop asserts no further plan
+// misses), only the mode format differs.
+void BM_SpmvSteadyState(benchmark::State& state, fmt::Format format) {
+  SpmvFixture f(state.range(0), std::move(format));
+  IndexVar fu("f"), fo("fo"), fi("fi");
+  f.a.schedule()
+      .fuse(f.i, f.j, fu)
+      .divide_pos(fu, fo, fi, 8, "B")
+      .distribute(fo);
+  rt::Machine machine(data::paper_machine_config(8), rt::Grid(8),
+                      rt::ProcKind::CPU);
+  rt::Runtime runtime(machine, 1);
+  auto inst =
+      comp::CompiledKernel::compile(*f.stmt, machine).instantiate(runtime);
+  inst->run(1);  // warm the plan memo
+  const int64_t misses = runtime.report().plan_misses;
+  for (auto _ : state) {
+    inst->run(1);
+  }
+  if (runtime.report().plan_misses != misses) {
+    state.SkipWithError("steady-state iteration missed the plan memo");
+  }
+  state.SetItemsProcessed(state.iterations() * f.B.storage().nnz());
+}
+BENCHMARK_CAPTURE(BM_SpmvSteadyState, csr, fmt::csr())->Arg(100000);
+BENCHMARK_CAPTURE(BM_SpmvSteadyState, coo, fmt::coo(2))->Arg(100000);
 
 void BM_Spadd3Fused(benchmark::State& state) {
   IndexVar i("i"), j("j");

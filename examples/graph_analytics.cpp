@@ -19,8 +19,10 @@ namespace {
 struct Ranker {
   Tensor next, A, rank;
   Statement* stmt = nullptr;
-  std::unique_ptr<comp::Instance> instance;
+  // Declared before `instance`: ~Instance drains in-flight launches through
+  // its runtime, so the runtime must outlive it.
   std::unique_ptr<rt::Runtime> runtime;
+  std::unique_ptr<comp::Instance> instance;
 
   Ranker(const fmt::Coo& adjacency, bool nonzero_dist, const rt::Machine& M) {
     const Coord n = adjacency.dims[0];

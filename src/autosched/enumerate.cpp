@@ -107,12 +107,16 @@ std::vector<Candidate> enumerate_candidates(const Statement& stmt,
       const Tensor& T = stmt.tensor(a.tensor);
       const fmt::Format& f = T.format();
       if (f.all_dense()) continue;
-      // Position-space lowering drives a Dense top level and divides the
-      // positions of a Compressed split level.
-      if (f.mode(0) != fmt::ModeFormat::Dense) continue;
+      // Position-space lowering drives a Dense or Compressed top level and
+      // divides the positions of a stored (Compressed or Singleton) split
+      // level. A Singleton chain shares positions with its parent, so
+      // splitting anywhere inside the chain is the same partition:
+      // enumerate only the split at the chain's end (one fused splittable
+      // unit — exactly the legal divide_pos for COO/CSF operands).
       const int64_t nnz = T.has_storage() ? T.storage().nnz() : 0;
       for (int depth = 2; depth <= f.order(); ++depth) {
-        if (f.mode(depth - 1) != fmt::ModeFormat::Compressed) continue;
+        if (!f.mode(depth - 1).has_crd()) continue;
+        if (depth < f.order() && f.mode(depth).is_singleton()) continue;
         for (const auto& unit : units) {
           for (int p : piece_counts) {
             Recipe r;

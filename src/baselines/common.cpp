@@ -101,7 +101,7 @@ std::vector<int64_t> row_block_nnz(const fmt::TensorStorage& B, int pieces) {
   std::vector<int64_t> per_row(static_cast<size_t>(rows), 0);
   // Count stored values per top-level coordinate via the level-1 pos array
   // (level 0 is Dense in every rowable format).
-  SPD_ASSERT(B.level(0).kind == fmt::ModeFormat::Dense,
+  SPD_ASSERT(B.level(0).kind.is_dense(),
              "row_block_nnz requires a Dense row level");
   // Use vals_part-equivalent: count leaves under each row by walking.
   B.for_each([&](const std::array<rt::Coord, rt::kMaxDim>& c, double) {

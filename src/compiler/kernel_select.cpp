@@ -12,18 +12,29 @@ using tin::Access;
 using tin::IndexVar;
 
 bool is_dc(const Tensor& t) {
+  // Exactly CSR: a Dense row level over a unique Compressed column level.
+  // Non-unique or Singleton levels fail the descriptor equality and route
+  // to the general co-iteration engine.
   return t.format().modes() ==
-             std::vector<fmt::ModeFormat>{fmt::ModeFormat::Dense,
-                                          fmt::ModeFormat::Compressed} &&
+             std::vector<fmt::ModeFormat>{fmt::ModeFormat::Dense(),
+                                          fmt::ModeFormat::Compressed()} &&
          t.format().ordering() == std::vector<int>{0, 1};
+}
+
+// COO matrix: Compressed(non-unique) root + Singleton column chain.
+bool is_coo2(const Tensor& t) {
+  return t.format() == fmt::coo(2);
 }
 
 bool is_sparse3_rowable(const Tensor& t) {
   // {Dense, Compressed, Compressed} or {Dense, Dense, Compressed}, identity
-  // ordering; both have a Dense row level the row kernels iterate.
+  // ordering; both have a Dense row level the row kernels iterate. The
+  // middle and leaf levels must be unique and non-Singleton (the row
+  // kernels walk pos segments).
   const auto& m = t.format().modes();
-  if (m.size() != 3 || m[0] != fmt::ModeFormat::Dense ||
-      m[2] != fmt::ModeFormat::Compressed) {
+  if (m.size() != 3 || !m[0].is_dense() ||
+      !(m[2].is_compressed() && m[2].unique()) || m[1].is_singleton() ||
+      !m[1].unique()) {
     return false;
   }
   return t.format().ordering() == std::vector<int>{0, 1, 2};
@@ -82,10 +93,17 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
   };
   // The specialized _nz leaves interpret the piece's position range as
   // positions of the split tensor's last level; a mid-tree split must use
-  // the general engine (which honors pos_level).
+  // the general engine (which honors pos_level). Singleton levels are
+  // position-split-transparent: a split above a trailing Singleton chain
+  // shares the last level's position space 1:1, so it still counts as
+  // "last" (COO chains split anywhere are the same split).
   auto nz_split_is_last = [&](const Access* B) {
-    return split_level < 0 ||
-           split_level == stmt.tensor(B->tensor).format().order() - 1;
+    if (split_level < 0) return true;
+    const fmt::Format& f = stmt.tensor(B->tensor).format();
+    for (int l = split_level + 1; l < f.order(); ++l) {
+      if (!f.mode(l).is_singleton()) return false;
+    }
+    return true;
   };
 
   std::vector<tin::Expr> terms;
@@ -121,11 +139,13 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
   if (terms.size() != 1) return coiter_fallback();
   const std::vector<Access> accs = tin::expr_accesses(terms[0]);
 
-  // --- SpMV: a(i) = B(i,j) * c(j).
+  // --- SpMV: a(i) = B(i,j) * c(j). B may be CSR or COO; the nz kernel
+  //     handles both layouts (COO reads rows from the root crd).
   if (asg.lhs.vars.size() == 1 && accs.size() == 2 && dense(out)) {
     const IndexVar i = asg.lhs.vars[0];
     const Access* B = find_access(accs, 2, [&](const Access& a) {
-      return a.vars[0] == i && is_dc(stmt.tensor(a.tensor));
+      return a.vars[0] == i && (is_dc(stmt.tensor(a.tensor)) ||
+                                is_coo2(stmt.tensor(a.tensor)));
     });
     if (B != nullptr) {
       const IndexVar j = B->vars[1];
@@ -134,14 +154,35 @@ SelectedLeaf select_leaf(const Statement& stmt, bool position_space,
       });
       if (c != nullptr) {
         if (position_space) {
-          if (!nz_split_is_last(B) || multi_axis) return coiter_fallback();
-          return SelectedLeaf{kern::make_spmv_nz(out, stmt.tensor(B->tensor),
-                                           stmt.tensor(c->tensor)),
-                              "spmv_nz"};
+          // A non-zero x universe grid clamps the column variable inside
+          // the kernel instead of falling back to general co-iteration.
+          if (!inner_axes_ok(j)) return coiter_fallback();
+          const auto col_clamp = multi_axis
+                                     ? std::optional<uint32_t>(j.id())
+                                     : std::nullopt;
+          if (!nz_split_is_last(B)) {
+            // Mid-tree split: for CSR the only mid-tree level is the Dense
+            // row level (level 0), whose positions the pos_level-aware
+            // kernel iterates as a row range.
+            if (!is_dc(stmt.tensor(B->tensor)) || split_level != 0) {
+              return coiter_fallback();
+            }
+            return SelectedLeaf{
+                kern::make_spmv_nz(out, stmt.tensor(B->tensor),
+                                   stmt.tensor(c->tensor), col_clamp,
+                                   /*pos_level=*/0),
+                "spmv_nz"};
+          }
+          return SelectedLeaf{
+              kern::make_spmv_nz(out, stmt.tensor(B->tensor),
+                                 stmt.tensor(c->tensor), col_clamp),
+              "spmv_nz"};
         }
-        // spmv_row cannot clamp the reduction variable j; a grid
-        // distribution over (i, j) uses the general engine.
-        if (multi_axis) return coiter_fallback();
+        // spmv_row cannot clamp the reduction variable j, and needs a Dense
+        // row level; grids and COO operands use the general engine.
+        if (multi_axis || !is_dc(stmt.tensor(B->tensor))) {
+          return coiter_fallback();
+        }
         return SelectedLeaf{kern::make_spmv_row(out, stmt.tensor(B->tensor),
                                           stmt.tensor(c->tensor)),
                             "spmv_row"};

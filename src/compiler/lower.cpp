@@ -265,9 +265,10 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
         rt::RegionReq{st.vals(), own(tp.vals_part), vals_priv});
     for (int l = 0; l < st.num_levels(); ++l) {
       const auto& level = st.level(l);
-      if (level.kind != ModeFormat::Compressed) continue;
+      if (!level.kind.has_crd()) continue;
       launch.reqs.push_back(rt::RegionReq{
           level.crd, own(tp.level_parts[static_cast<size_t>(l)]), meta_priv});
+      if (!level.kind.has_pos()) continue;  // Singleton: crd only
       if (l == 0) {
         launch.reqs.push_back(rt::RegionReq{level.pos, nullptr, meta_priv});
       } else {
@@ -286,9 +287,14 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
     launch.reqs.push_back(rt::RegionReq{st.vals(), nullptr, priv});
     for (int l = 0; l < st.num_levels(); ++l) {
       const auto& level = st.level(l);
-      if (level.kind != ModeFormat::Compressed) continue;
-      launch.reqs.push_back(rt::RegionReq{level.crd, nullptr, Privilege::RO});
-      launch.reqs.push_back(rt::RegionReq{level.pos, nullptr, Privilege::RO});
+      if (level.kind.has_crd()) {
+        launch.reqs.push_back(
+            rt::RegionReq{level.crd, nullptr, Privilege::RO});
+      }
+      if (level.kind.has_pos()) {
+        launch.reqs.push_back(
+            rt::RegionReq{level.pos, nullptr, Privilege::RO});
+      }
     }
   };
 
@@ -470,7 +476,7 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
             if (sdim < 0) continue;
             const int slevel = s.format().level_of_dim(sdim);
             const fmt::LevelStorage& sl = s.storage().level(slevel);
-            if (sl.kind != ModeFormat::Compressed) continue;
+            if (!sl.kind.has_crd()) continue;
             Partition p = needed_coords_partition(
                 sl, tp.level_parts[static_cast<size_t>(slevel)],
                 st.vals()->space(), pieces_);
@@ -517,16 +523,27 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
         trace, split_tensor_, split_level_, sl, bounds);
     TensorPartition ttp =
         fmt::partition_coordinate_tree(trace, tst, split_level_, init);
-    // Keep a handle on the split tensor's top-level (possibly overlapping)
-    // partition: it derives the partitions of every other tensor (Figure 9a,
-    // partitionRemainingCoordinateTrees).
-    const Partition top = ttp.level_parts[0];
     add_sparse_reqs(tst, ttp, Privilege::RO, Privilege::RO);
 
     const IndexVar v0 = fused_sources_[0];
-    SPD_CHECK(tst.level(0).kind == ModeFormat::Dense, ScheduleError,
-              "position-space distribution requires a Dense top level on "
-                  << split_tensor_);
+    // The split tensor's top-level (possibly overlapping) partition derives
+    // the partitions of every other tensor (Figure 9a,
+    // partitionRemainingCoordinateTrees) — expressed over v0's *coordinate*
+    // space. A Dense top level's positions are its coordinates; a
+    // Compressed top (COO, DCSR) derives the exact coordinate sets each
+    // piece stores from the root crd.
+    const Coord v0_extent = var_extent(stmt, v0);
+    Partition top;
+    if (tst.level(0).kind.is_dense()) {
+      top = rt::copy_partition(ttp.level_parts[0],
+                               rt::IndexSpace(v0_extent));
+    } else {
+      top = needed_coords_partition(tst.level(0), ttp.level_parts[0],
+                                    rt::IndexSpace(v0_extent), pieces_);
+      trace.append(PlanOpKind::Image,
+                   strprintf("%s_top_coords = neededCoordinates(%s1_crd)",
+                             split_tensor_.c_str(), split_tensor_.c_str()));
+    }
     for (const auto& [name, tensor] : stmt.bindings) {
       if (name == split_tensor_) continue;
       const bool is_output = name == stmt.assignment.lhs.tensor;
@@ -621,7 +638,7 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
           tensor.format().order() == 1) {
         const IndexVar inner = fused_sources_.back();
         if (dim_of_var(stmt, name, inner) == 0 &&
-            tst.level(split_level_).kind == ModeFormat::Compressed) {
+            tst.level(split_level_).kind.has_crd()) {
           Partition p = needed_coords_partition(
               tst.level(split_level_),
               ttp.level_parts[static_cast<size_t>(split_level_)],

@@ -1,7 +1,14 @@
 // The format language (paper §II-B): per-dimension level formats and mode
-// orderings, exactly as in TACO. A k-dimensional tensor is stored as k
-// levels, each Dense or Compressed; CSR is {Dense, Compressed} with identity
-// ordering, CSC is {Dense, Compressed} with ordering {1, 0} (Figure 3).
+// orderings. A k-dimensional tensor is stored as k levels, each described by
+// a property-driven ModeFormat descriptor (Chou et al., "Format Abstraction
+// for Sparse Tensor Algebra Compilers"): a level *kind* (Dense, Compressed,
+// Singleton) plus capability flags (unique/full/ordered/branchless/compact)
+// the compiler consults instead of switching on a closed enum.
+//
+// CSR is {Dense, Compressed} with identity ordering; CSC is the same modes
+// with ordering {1, 0} (Figure 3); DCSR is {Compressed, Compressed}; COO is
+// a Compressed(non-unique) root followed by a Singleton chain — one stored
+// coordinate per position, positions shared 1:1 with the parent level.
 #pragma once
 
 #include <cstdint>
@@ -12,9 +19,70 @@
 
 namespace spdistal::fmt {
 
-enum class ModeFormat { Dense, Compressed };
+enum class LevelKind : uint8_t { Dense, Compressed, Singleton };
 
-const char* mode_format_name(ModeFormat mf);
+const char* level_kind_name(LevelKind k);
+
+// Per-level descriptor: kind + properties. Value type, cheap to copy.
+//
+// Properties (per Chou et al. Table 1):
+//   * full:       every coordinate of the dimension appears (Dense only);
+//   * unique:     no duplicate coordinates below one parent position — a
+//     Compressed(unique=false) level stores one position per stored entry
+//     (the root of a COO chain), so the same coordinate may repeat;
+//   * ordered:    coordinates appear in sorted order (always true here —
+//     pack() sorts);
+//   * branchless: positions map 1:1 onto the parent level's positions with
+//     no pos indirection (Singleton);
+//   * compact:    no unused positions between stored entries (non-Dense).
+class ModeFormat {
+ public:
+  constexpr ModeFormat() = default;  // Dense
+
+  static constexpr ModeFormat Dense() {
+    return ModeFormat(LevelKind::Dense, /*unique=*/true);
+  }
+  static constexpr ModeFormat Compressed(bool unique = true) {
+    return ModeFormat(LevelKind::Compressed, unique);
+  }
+  static constexpr ModeFormat Singleton(bool unique = true) {
+    return ModeFormat(LevelKind::Singleton, unique);
+  }
+
+  constexpr LevelKind kind() const { return kind_; }
+  constexpr bool is_dense() const { return kind_ == LevelKind::Dense; }
+  constexpr bool is_compressed() const {
+    return kind_ == LevelKind::Compressed;
+  }
+  constexpr bool is_singleton() const {
+    return kind_ == LevelKind::Singleton;
+  }
+
+  // --- properties -------------------------------------------------------------
+  constexpr bool full() const { return kind_ == LevelKind::Dense; }
+  constexpr bool unique() const { return unique_; }
+  constexpr bool ordered() const { return true; }
+  constexpr bool branchless() const { return kind_ == LevelKind::Singleton; }
+  constexpr bool compact() const { return kind_ != LevelKind::Dense; }
+
+  // --- storage capabilities ---------------------------------------------------
+  // Which regions the level materializes: Dense stores nothing, Compressed
+  // stores pos + crd, Singleton stores crd only (positions are the parent's).
+  constexpr bool has_pos() const { return kind_ == LevelKind::Compressed; }
+  constexpr bool has_crd() const { return kind_ != LevelKind::Dense; }
+
+  bool operator==(const ModeFormat&) const = default;
+
+  // "Dense", "Compressed", "Compressed!u" (non-unique), "Singleton", ...
+  std::string str() const;
+
+ private:
+  constexpr ModeFormat(LevelKind kind, bool unique)
+      : kind_(kind), unique_(unique) {}
+
+  LevelKind kind_ = LevelKind::Dense;
+  bool unique_ = true;
+};
 
 class Format {
  public:
@@ -44,6 +112,8 @@ class Format {
   bool operator==(const Format&) const = default;
 
  private:
+  void validate() const;
+
   std::vector<ModeFormat> modes_;
   std::vector<int> ordering_;
 };
@@ -60,5 +130,9 @@ Format csf3();
 // "patents" format: {Dense, Dense, Compressed}.
 Format ddc3();
 Format dense3();
+// COO of the given order: a Compressed(non-unique) root level followed by a
+// Singleton chain (only the last level's coordinates are unique). coo(1)
+// degenerates to a sparse vector {Compressed}.
+Format coo(int order);
 
 }  // namespace spdistal::fmt

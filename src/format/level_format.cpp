@@ -224,13 +224,108 @@ class CompressedLevelFuncs final : public LevelFuncs {
   }
 };
 
+// Singleton: one stored coordinate per position, positions shared 1:1 with
+// the parent level. Derived partitions therefore propagate the parent's (or
+// child's) position partition unchanged — a whole Singleton chain moves as
+// one unit under position splits, which is what makes COO's fused non-zero
+// distribution legal.
+class SingletonLevelFuncs final : public LevelFuncs {
+ public:
+  LevelPartitions universe_partition(
+      comp::PlanTrace& trace, const std::string& tensor, int level_idx,
+      const LevelStorage& level,
+      const std::vector<rt::Rect1>& coord_bounds) const override {
+    trace.append(PlanOpKind::MakeUniverseColoring,
+                 strprintf("Coloring %s_crd_coloring = "
+                           "universeBounds(pieces=%zu)",
+                           lvl(tensor, level_idx).c_str(),
+                           coord_bounds.size()));
+    Partition p_crd =
+        rt::partition_by_value_ranges(*level.crd, coord_bounds);
+    trace.append(PlanOpKind::PartitionByValueRanges,
+                 strprintf("%s_crd_part = partitionByValueRanges(%s_crd_"
+                           "coloring, %s.crd)",
+                           lvl(tensor, level_idx).c_str(),
+                           lvl(tensor, level_idx).c_str(),
+                           lvl(tensor, level_idx).c_str()));
+    // Positions are the parent's: the parent-facing partition is a copy.
+    Partition p_pos = rt::copy_partition(
+        p_crd, IndexSpace(std::max<Coord>(level.parent_positions, 1)));
+    trace.append(PlanOpKind::CopyPartition,
+                 strprintf("%s_pos_part = copy(%s_crd_part)  // singleton",
+                           lvl(tensor, level_idx).c_str(),
+                           lvl(tensor, level_idx).c_str()));
+    return LevelPartitions{std::move(p_pos), std::move(p_crd)};
+  }
+
+  LevelPartitions nonzero_partition(
+      comp::PlanTrace& trace, const std::string& tensor, int level_idx,
+      const LevelStorage& level,
+      const std::vector<rt::Rect1>& pos_bounds) const override {
+    trace.append(PlanOpKind::MakeNonZeroColoring,
+                 strprintf("Coloring %s_crd_coloring = nonZeroBounds("
+                           "pieces=%zu)",
+                           lvl(tensor, level_idx).c_str(), pos_bounds.size()));
+    std::vector<RectN> bounds;
+    bounds.reserve(pos_bounds.size());
+    for (const Rect1& b : pos_bounds) bounds.push_back(RectN(b));
+    Partition p_crd = rt::partition_by_bounds(
+        IndexSpace(std::max<Coord>(level.positions, 1)), bounds);
+    trace.append(PlanOpKind::PartitionByBounds,
+                 strprintf("%s_crd_part = partitionByBounds(%s_crd_coloring, "
+                           "%s.crd)",
+                           lvl(tensor, level_idx).c_str(),
+                           lvl(tensor, level_idx).c_str(),
+                           lvl(tensor, level_idx).c_str()));
+    Partition p_pos = rt::copy_partition(
+        p_crd, IndexSpace(std::max<Coord>(level.parent_positions, 1)));
+    trace.append(PlanOpKind::CopyPartition,
+                 strprintf("%s_pos_part = copy(%s_crd_part)  // singleton",
+                           lvl(tensor, level_idx).c_str(),
+                           lvl(tensor, level_idx).c_str()));
+    return LevelPartitions{std::move(p_pos), std::move(p_crd)};
+  }
+
+  Partition partition_from_parent(comp::PlanTrace& trace,
+                                  const std::string& tensor, int level_idx,
+                                  const LevelStorage& level,
+                                  const rt::Partition& parent) const override {
+    trace.append(PlanOpKind::CopyPartition,
+                 strprintf("%s_crd_part = copy(parentPart)  // singleton "
+                           "passthrough",
+                           lvl(tensor, level_idx).c_str()));
+    return rt::copy_partition(
+        parent, IndexSpace(std::max<Coord>(level.positions, 1)));
+  }
+
+  Partition partition_from_child(comp::PlanTrace& trace,
+                                 const std::string& tensor, int level_idx,
+                                 const LevelStorage& level,
+                                 const rt::Partition& child) const override {
+    trace.append(PlanOpKind::CopyPartition,
+                 strprintf("%sParent_part = copy(childPart)  // singleton "
+                           "passthrough",
+                           lvl(tensor, level_idx).c_str()));
+    return rt::copy_partition(
+        child, IndexSpace(std::max<Coord>(level.parent_positions, 1)));
+  }
+};
+
 }  // namespace
 
 const LevelFuncs& LevelFuncs::get(ModeFormat mf) {
   static const DenseLevelFuncs dense;
   static const CompressedLevelFuncs compressed;
-  if (mf == ModeFormat::Dense) return dense;
-  return compressed;
+  static const SingletonLevelFuncs singleton;
+  switch (mf.kind()) {
+    case LevelKind::Dense:
+      return dense;
+    case LevelKind::Compressed:
+      return compressed;
+    case LevelKind::Singleton:
+      return singleton;
+  }
+  return dense;
 }
 
 int64_t TensorPartition::color_bytes(const TensorStorage& storage,
@@ -239,11 +334,14 @@ int64_t TensorPartition::color_bytes(const TensorStorage& storage,
                   static_cast<int64_t>(sizeof(double));
   for (int l = 0; l < storage.num_levels(); ++l) {
     const LevelStorage& level = storage.level(l);
-    if (level.kind == ModeFormat::Compressed) {
-      // crd bytes for this level's positions; pos bytes follow the parent
-      // level's partition which is level_parts[l-1] (or whole for l==0).
+    if (level.kind.has_crd()) {
+      // crd bytes for this level's positions.
       bytes += level_parts[static_cast<size_t>(l)].subset(color).volume() *
                static_cast<int64_t>(sizeof(int32_t));
+    }
+    if (level.kind.has_pos()) {
+      // pos bytes follow the parent level's partition, which is
+      // level_parts[l-1] (or whole for l==0).
       const int64_t pos_entries =
           l == 0 ? level.parent_positions
                  : level_parts[static_cast<size_t>(l - 1)].subset(color)

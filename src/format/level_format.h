@@ -15,6 +15,10 @@
 //   * a Compressed level's pos region is indexed by the parent level's
 //     positions, so its preimage-derived P_pos is directly a partition of
 //     the parent's position space;
+//   * a Singleton level's positions ARE the parent level's positions
+//     (crd-only storage), so both derived partitions are copies — a
+//     Singleton chain propagates a position partition unchanged in either
+//     direction;
 //   * parent_facing results partition the PARENT level's position space;
 //     child_facing results partition THIS level's position space (which is
 //     what the child level's pos region is indexed by).

@@ -1,8 +1,10 @@
 // COO -> level storage packing: a CSF-style recursive grouping pass. The
 // coordinate list is sorted in storage order; each level then splits the
 // current groups (contiguous ranges of the sorted list sharing a coordinate
-// prefix) either by all coordinate values (Dense) or by the distinct values
-// present (Compressed, emitting pos/crd).
+// prefix) by all coordinate values (Dense), by the distinct values present
+// (Compressed unique, emitting pos/crd), by every entry individually
+// (Compressed non-unique — the COO root, one position per stored entry), or
+// not at all (Singleton — crd only, positions shared 1:1 with the parent).
 #include "format/storage.h"
 
 namespace spdistal::fmt {
@@ -44,7 +46,7 @@ TensorStorage pack(const std::string& name, const Format& format,
     level.extent = extent;
     level.parent_positions = static_cast<Coord>(groups.size());
 
-    if (level.kind == ModeFormat::Dense) {
+    if (level.kind.is_dense()) {
       std::vector<Range> next;
       next.reserve(groups.size() * static_cast<size_t>(extent));
       for (const Range& g : groups) {
@@ -61,6 +63,54 @@ TensorStorage pack(const std::string& name, const Format& format,
         SPD_ASSERT(at == g.end, "pack: unsorted coordinates at level " << l);
       }
       level.positions = level.parent_positions * extent;
+      groups = std::move(next);
+    } else if (level.kind.is_singleton()) {
+      // crd only; one coordinate per parent position. A Compressed
+      // non-unique or Singleton parent always yields one-entry groups; a
+      // Compressed unique parent only does when the data has at most one
+      // child per coordinate — checked below, since it is data-dependent.
+      level.positions = level.parent_positions;
+      level.crd = rt::make_region<int32_t>(
+          rt::IndexSpace(std::max<Coord>(level.positions, 1)),
+          name + ".crd" + std::to_string(l + 1));
+      for (size_t p = 0; p < groups.size(); ++p) {
+        const Range& g = groups[p];
+        SPD_CHECK(g.end - g.begin == 1, NotationError,
+                  "pack: Singleton level " << l + 1 << " of " << name
+                      << " requires exactly one entry per parent position "
+                         "(got " << g.end - g.begin
+                      << "); use a Compressed parent that enumerates "
+                         "entries (e.g. a COO root)");
+        (*level.crd)[static_cast<Coord>(p)] = static_cast<int32_t>(
+            coo.coords[static_cast<size_t>(g.begin)][static_cast<size_t>(dim)]);
+      }
+      // Groups pass through unchanged: the chain shares positions.
+    } else if (!level.kind.unique()) {
+      // Compressed non-unique (COO root): one position per stored entry;
+      // coordinates repeat within a parent segment.
+      level.pos = rt::make_region<rt::PosRange>(
+          rt::IndexSpace(level.parent_positions), name + ".pos" +
+                                                      std::to_string(l + 1));
+      std::vector<int32_t> crds;
+      std::vector<Range> next;
+      for (size_t p = 0; p < groups.size(); ++p) {
+        const Range& g = groups[p];
+        const Coord seg_begin = static_cast<Coord>(crds.size());
+        for (int64_t at = g.begin; at < g.end; ++at) {
+          crds.push_back(static_cast<int32_t>(
+              coo.coords[static_cast<size_t>(at)][static_cast<size_t>(dim)]));
+          next.push_back(Range{at, at + 1});
+        }
+        (*level.pos)[static_cast<Coord>(p)] =
+            rt::PosRange{seg_begin, static_cast<Coord>(crds.size()) - 1};
+      }
+      level.positions = static_cast<Coord>(crds.size());
+      level.crd = rt::make_region<int32_t>(
+          rt::IndexSpace(std::max<Coord>(level.positions, 1)),
+          name + ".crd" + std::to_string(l + 1));
+      for (size_t i = 0; i < crds.size(); ++i) {
+        (*level.crd)[static_cast<Coord>(i)] = crds[i];
+      }
       groups = std::move(next);
     } else {
       level.pos = rt::make_region<rt::PosRange>(

@@ -68,11 +68,15 @@ void walk(const TensorStorage& st, int l, Coord parent_pos,
     return;
   }
   const LevelStorage& level = st.level(l);
-  if (level.kind == ModeFormat::Dense) {
+  if (level.kind.is_dense()) {
     for (Coord c = 0; c < level.extent; ++c) {
       coords[static_cast<size_t>(level.dim)] = c;
       walk(st, l + 1, parent_pos * level.extent + c, coords, fn);
     }
+  } else if (level.kind.is_singleton()) {
+    // One coordinate per position; the position is the parent's.
+    coords[static_cast<size_t>(level.dim)] = (*level.crd)[parent_pos];
+    walk(st, l + 1, parent_pos, coords, fn);
   } else {
     const rt::PosRange pr = (*level.pos)[parent_pos];
     for (Coord q = pr.lo; q <= pr.hi; ++q) {

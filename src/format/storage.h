@@ -4,7 +4,10 @@
 // nothing (their coordinates are implicit in an index space); Compressed
 // levels store a crd region of non-zero coordinates and a pos region of
 // PosRange entries giving, for each parent position, the inclusive range of
-// crd positions holding its children — Figure 7's "SpDISTAL CSR".
+// crd positions holding its children — Figure 7's "SpDISTAL CSR". Singleton
+// levels store a crd region only: position q holds exactly one coordinate,
+// and the position space is shared 1:1 with the parent level's (a COO chain
+// below a Compressed(non-unique) root).
 //
 // Level position spaces chain: level d's entries are indexed 0..P_d-1, and
 // the pos region of a Compressed level d is indexed by the *parent's*
@@ -45,15 +48,17 @@ struct Coo {
 
 // One stored level of the coordinate tree.
 struct LevelStorage {
-  ModeFormat kind = ModeFormat::Dense;
+  ModeFormat kind = ModeFormat::Dense();
   // Logical dimension this level stores and its extent.
   int dim = 0;
   Coord extent = 0;
-  // Number of entries (positions) at this level.
+  // Number of entries (positions) at this level. For Singleton levels this
+  // always equals parent_positions (the chain shares positions).
   Coord positions = 0;
   // Number of positions at the parent level (1 for the root).
   Coord parent_positions = 1;
-  // Compressed only: pos indexed by parent positions, crd by positions.
+  // pos (Compressed only) indexed by parent positions; crd (Compressed and
+  // Singleton) by this level's positions.
   rt::RegionRef<rt::PosRange> pos;
   rt::RegionRef<int32_t> crd;
 };

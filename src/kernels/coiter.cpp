@@ -35,25 +35,90 @@ Coord find_in_segment(const rt::RegionAccessor<int32_t>& crd, rt::PosRange seg,
 
 }  // namespace
 
-Coord locate_position(const TensorStorage& st,
-                      const std::array<Coord, rt::kMaxDim>& coords) {
-  Coord parent = 0;
-  for (int l = 0; l < st.num_levels(); ++l) {
-    const LevelStorage& level = st.level(l);
-    const Coord c = coords[static_cast<size_t>(level.dim)];
-    if (level.kind == ModeFormat::Dense) {
-      parent = parent * level.extent + c;
-    } else {
-      const rt::RegionAccessor<rt::PosRange> pos(*level.pos);
-      const rt::PosRange seg = pos[parent];
-      if (seg.empty()) return -1;
-      const Coord q = find_in_segment(rt::RegionAccessor<int32_t>(*level.crd),
-                                      seg, c);
-      if (q < 0) return -1;
-      parent = q;
+namespace {
+
+// Generic coordinate-tree locate over pluggable pos/crd lookups (shared by
+// the cold free function below and the engine's hoisted-accessor hot path):
+// descends Dense and Singleton levels directly, binary-searches Compressed
+// segments, and backtracks over a non-unique level's duplicate run (the
+// deeper Singleton coordinates disambiguate).
+template <typename PosAt, typename CrdAt>
+Coord locate_walk(const TensorStorage& st, int l, Coord parent,
+                  const std::array<Coord, rt::kMaxDim>& coords,
+                  const PosAt& pos_at, const CrdAt& crd_at) {
+  if (l == st.num_levels()) return parent;
+  const LevelStorage& level = st.level(l);
+  const Coord c = coords[static_cast<size_t>(level.dim)];
+  if (level.kind.is_dense()) {
+    return locate_walk(st, l + 1, parent * level.extent + c, coords, pos_at,
+                       crd_at);
+  }
+  if (level.kind.is_singleton()) {
+    // One coordinate per position; the position is the parent's.
+    if (crd_at(l, parent) != c) return -1;
+    return locate_walk(st, l + 1, parent, coords, pos_at, crd_at);
+  }
+  const rt::PosRange seg = pos_at(l, parent);
+  if (seg.empty()) return -1;
+  Coord q = -1;
+  {
+    Coord lo = seg.lo;
+    Coord hi = seg.hi;
+    while (lo <= hi) {
+      const Coord mid = lo + (hi - lo) / 2;
+      const Coord v = crd_at(l, mid);
+      if (v == c) {
+        q = mid;
+        break;
+      }
+      if (v < c) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
     }
   }
-  return parent;
+  if (q < 0) return -1;
+  if (level.kind.unique()) {
+    return locate_walk(st, l + 1, q, coords, pos_at, crd_at);
+  }
+  Coord lo = q;
+  while (lo > seg.lo && crd_at(l, lo - 1) == c) --lo;
+  Coord hi = q;
+  while (hi < seg.hi && crd_at(l, hi + 1) == c) ++hi;
+  for (Coord p = lo; p <= hi; ++p) {
+    const Coord r = locate_walk(st, l + 1, p, coords, pos_at, crd_at);
+    if (r >= 0) return r;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Coord locate_position(const TensorStorage& st,
+                      const std::array<Coord, rt::kMaxDim>& coords) {
+  // Accessors resolve the reduction-redirect once per level up front, so
+  // the walk's binary-search probes index raw pointers (the kernel ABI
+  // contract; spttv_nz calls this once per fiber).
+  std::array<rt::RegionAccessor<rt::PosRange>, rt::kMaxDim> lpos;
+  std::array<rt::RegionAccessor<int32_t>, rt::kMaxDim> lcrd;
+  for (int l = 0; l < st.num_levels(); ++l) {
+    const LevelStorage& level = st.level(l);
+    if (level.kind.has_pos()) {
+      lpos[static_cast<size_t>(l)] =
+          rt::RegionAccessor<rt::PosRange>(*level.pos);
+    }
+    if (level.kind.has_crd()) {
+      lcrd[static_cast<size_t>(l)] = rt::RegionAccessor<int32_t>(*level.crd);
+    }
+  }
+  const auto pos_at = [&](int l, Coord p) {
+    return lpos[static_cast<size_t>(l)][p];
+  };
+  const auto crd_at = [&](int l, Coord q) {
+    return Coord{lcrd[static_cast<size_t>(l)][q]};
+  };
+  return locate_walk(st, 0, 0, coords, pos_at, crd_at);
 }
 
 CoiterEngine::CoiterEngine(const Statement& stmt,
@@ -148,8 +213,10 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
             const LevelStorage& level = a.st->level(l);
             a.lpos.emplace_back();
             a.lcrd.emplace_back();
-            if (level.kind == ModeFormat::Compressed) {
+            if (level.kind.has_pos()) {
               a.lpos.back() = rt::RegionAccessor<rt::PosRange>(*level.pos);
+            }
+            if (level.kind.has_crd()) {
               a.lcrd.back() = rt::RegionAccessor<int32_t>(*level.crd);
             }
           }
@@ -210,31 +277,25 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       const LevelStorage& level = out_st.level(l);
       out_lpos.emplace_back();
       out_lcrd.emplace_back();
-      if (level.kind == ModeFormat::Compressed) {
+      if (level.kind.has_pos()) {
         out_lpos.back() = rt::RegionAccessor<rt::PosRange>(*level.pos);
+      }
+      if (level.kind.has_crd()) {
         out_lcrd.back() = rt::RegionAccessor<int32_t>(*level.crd);
       }
     }
   }
-  // locate_position over the hoisted output tables.
+  // locate_position over the hoisted output tables (same walk as the free
+  // function, reading the per-term accessors).
   auto locate_out =
       [&](const std::array<Coord, rt::kMaxDim>& coords) -> Coord {
-    Coord parent = 0;
-    for (int l = 0; l < out_st.num_levels(); ++l) {
-      const LevelStorage& level = out_st.level(l);
-      const Coord c = coords[static_cast<size_t>(level.dim)];
-      if (level.kind == ModeFormat::Dense) {
-        parent = parent * level.extent + c;
-      } else {
-        const rt::PosRange seg = out_lpos[static_cast<size_t>(l)][parent];
-        if (seg.empty()) return -1;
-        const Coord q =
-            find_in_segment(out_lcrd[static_cast<size_t>(l)], seg, c);
-        if (q < 0) return -1;
-        parent = q;
-      }
-    }
-    return parent;
+    const auto pos_at = [&](int l, Coord p) {
+      return out_lpos[static_cast<size_t>(l)][p];
+    };
+    const auto crd_at = [&](int l, Coord q) {
+      return Coord{out_lcrd[static_cast<size_t>(l)][q]};
+    };
+    return locate_walk(out_st, 0, 0, coords, pos_at, crd_at);
   };
   auto emit = [&]() {
     double v = coeff;
@@ -299,9 +360,22 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       const LevelStorage& level =
           accs[a].st->level(cur[a].depth);
       const Coord c = env[order_pos];
-      if (level.kind == ModeFormat::Dense) {
+      if (level.kind.is_dense()) {
         cur[a].parent = cur[a].parent * level.extent + c;
+      } else if (level.kind.is_singleton()) {
+        // Coordinate-per-position: the cursor's position carries over; the
+        // stored coordinate either matches or this branch is dead.
+        const size_t depth = static_cast<size_t>(cur[a].depth);
+        work.stream(1, 4.0);
+        if (Coord{accs[a].lcrd[depth][cur[a].parent]} != c) return false;
       } else {
+        // Probing a non-unique Compressed level by binary search would pick
+        // an arbitrary duplicate; such levels must drive their variable.
+        SPD_CHECK(level.kind.unique(), ScheduleError,
+                  "cannot probe the non-unique level of "
+                      << accs[a].st->name()
+                      << "; its variable must be driven by this tensor "
+                         "(reorder loops or change the format)");
         const size_t depth = static_cast<size_t>(cur[a].depth);
         const rt::PosRange seg = accs[a].lpos[depth][cur[a].parent];
         work.segment();
@@ -325,15 +399,24 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
     const IndexVar& v = order_[k];
     // If no access (and not the output) uses v, it contributes a factor of
     // extent via plain iteration; usually every var is used.
-    // Find a sparse driver whose next level is v.
+    // Find a sparse driver whose next level stores v (Compressed or
+    // Singleton). A non-unique level cannot be probed, so it takes priority
+    // as the driver; two non-unique levels on one variable cannot co-iterate.
     int driver = -1;
+    bool driver_nonunique = false;
     for (size_t a = 0; a < accs.size(); ++a) {
       if (accs[a].all_dense) continue;
       if (cur[a].depth < static_cast<int>(accs[a].level_var_ids.size()) &&
           accs[a].level_var_ids[static_cast<size_t>(cur[a].depth)] == v.id() &&
-          accs[a].st->level(cur[a].depth).kind == ModeFormat::Compressed) {
-        driver = static_cast<int>(a);
-        break;
+          accs[a].st->level(cur[a].depth).kind.has_crd()) {
+        const bool nu = !accs[a].st->level(cur[a].depth).kind.unique();
+        SPD_CHECK(!(nu && driver_nonunique), ScheduleError,
+                  "cannot co-iterate two non-unique levels over "
+                      << v.name());
+        if (driver < 0 || (nu && !driver_nonunique)) {
+          driver = static_cast<int>(a);
+          driver_nonunique = nu;
+        }
       }
     }
     // Piece restriction: the legacy outermost-variable bound plus any
@@ -358,13 +441,8 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       const auto& d = accs[static_cast<size_t>(driver)];
       const size_t ddepth =
           static_cast<size_t>(cur[static_cast<size_t>(driver)].depth);
-      const rt::PosRange seg =
-          d.lpos[ddepth][cur[static_cast<size_t>(driver)].parent];
-      work.segment();
-      for (Coord q = seg.lo; q <= seg.hi; ++q) {
-        const Coord c = d.lcrd[ddepth][q];
-        work.stream(1, 4.0);
-        if (restrict0 && (c < rlo || c > rhi)) continue;
+      const LevelStorage& dl = d.st->level(static_cast<int>(ddepth));
+      auto visit = [&](Coord q, Coord c) {
         env[k] = c;
         cur = saved;
         cur[static_cast<size_t>(driver)].parent = q;
@@ -375,6 +453,24 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
           alive = descend(a, k + 1);
         }
         if (alive) iterate(k + 1);
+      };
+      if (dl.kind.is_singleton()) {
+        // Coordinate-per-position: the level yields exactly one coordinate
+        // for the current position, shared with the parent.
+        const Coord q = saved[static_cast<size_t>(driver)].parent;
+        const Coord c = d.lcrd[ddepth][q];
+        work.stream(1, 4.0);
+        if (!restrict0 || (c >= rlo && c <= rhi)) visit(q, c);
+      } else {
+        const rt::PosRange seg =
+            d.lpos[ddepth][saved[static_cast<size_t>(driver)].parent];
+        work.segment();
+        for (Coord q = seg.lo; q <= seg.hi; ++q) {
+          const Coord c = d.lcrd[ddepth][q];
+          work.stream(1, 4.0);
+          if (restrict0 && (c < rlo || c > rhi)) continue;
+          visit(q, c);
+        }
       }
       cur = saved;
       return;
@@ -426,11 +522,12 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
   }
 
   // Owner maps: owner[l][q] = parent position of q at level l (Compressed
-  // levels only; Dense parents are q / extent).
+  // levels only; Dense parents are q / extent, Singleton positions are the
+  // parent's own).
   std::vector<std::vector<Coord>> owner(static_cast<size_t>(L + 1));
   for (int l = 0; l <= L; ++l) {
     const LevelStorage& level = sa.st->level(l);
-    if (level.kind != ModeFormat::Compressed) continue;
+    if (!level.kind.has_pos()) continue;
     owner[static_cast<size_t>(l)].assign(
         static_cast<size_t>(level.positions), 0);
     for (Coord p = 0; p < level.parent_positions; ++p) {
@@ -450,21 +547,31 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       const LevelStorage& level = sa.st->level(l);
       const Coord p = pos_at[static_cast<size_t>(l)];
       pos_at[static_cast<size_t>(l - 1)] =
-          level.kind == ModeFormat::Compressed
+          level.kind.is_compressed()
               ? owner[static_cast<size_t>(l)][static_cast<size_t>(p)]
-              : p / level.extent;
+              : level.kind.is_singleton() ? p
+                                          : p / level.extent;
     }
-    // Coordinates per fused level.
+    // Coordinates per fused level, clamped mid-chain against any var-keyed
+    // piece bounds (inner universe axes of a grid may restrict a fused
+    // variable's coordinates).
     bool ok = true;
     for (int l = 0; l <= L && ok; ++l) {
       const LevelStorage& level = sa.st->level(l);
       const Coord p = pos_at[static_cast<size_t>(l)];
-      const Coord c = level.kind == ModeFormat::Compressed
+      const Coord c = level.kind.has_crd()
                           ? Coord{sa.lcrd[static_cast<size_t>(l)][p]}
                           : p % level.extent;
       env[static_cast<size_t>(l)] = c;
+      for (const auto& [vid, r] : piece.var_coords) {
+        if (vid == order_[static_cast<size_t>(l)].id() &&
+            (c < r.lo || c > r.hi)) {
+          ok = false;
+        }
+      }
     }
     work.stream(L + 1, 8.0);
+    if (!ok) continue;
     cur = init;
     cur[static_cast<size_t>(split)].depth = L + 1;
     cur[static_cast<size_t>(split)].parent = q;

@@ -21,7 +21,7 @@ Leaf make_spmttkrp_row(Tensor A, Tensor B, Tensor C, Tensor D) {
     const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     rt::RegionAccessor<rt::PosRange> l1pos;
     rt::RegionAccessor<int32_t> l1crd;
-    if (l1.kind == ModeFormat::Compressed) {
+    if (l1.kind.is_compressed()) {
       l1pos = rt::RegionAccessor<rt::PosRange>(*l1.pos);
       l1crd = rt::RegionAccessor<int32_t>(*l1.crd);
     }
@@ -43,7 +43,7 @@ Leaf make_spmttkrp_row(Tensor A, Tensor B, Tensor C, Tensor D) {
           work.fma_dense_cached(2 * L);
         }
       };
-      if (l1.kind == ModeFormat::Compressed) {
+      if (l1.kind.is_compressed()) {
         const rt::PosRange seg = l1pos[i];
         work.segment();
         for (Coord q1 = seg.lo; q1 <= seg.hi; ++q1) {

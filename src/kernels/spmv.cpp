@@ -33,11 +33,62 @@ Leaf make_spmv_row(Tensor a, Tensor B, Tensor c) {
   };
 }
 
-Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c) {
-  // Precompute the owning row of every non-zero position once (the runtime
-  // analysis the generated code amortizes across iterations).
+Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c,
+                  std::optional<uint32_t> col_var, int pos_level) {
+  // Mid-tree split: the piece's positions are level-0 (row) positions of a
+  // CSR matrix. Iterate that row range with the specialized row loop,
+  // clamping stored columns to any piece bound instead of falling back to
+  // general co-iteration.
+  if (pos_level == 0 && !B.storage().level(0).kind.has_crd()) {
+    return [a, B, c, col_var](const PieceBounds& piece) mutable
+               -> rt::WorkEstimate {
+      WorkCounter work;
+      const auto& Bl = B.storage().level(1);
+      const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos);
+      const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+      const rt::RegionAccessor<double> bv(*B.storage().vals());
+      const rt::RegionAccessor<double> cv(*c.storage().vals());
+      const rt::RegionAccessor<double> av(*a.storage().vals());
+      const rt::Rect1 rows = piece.dist_pos.value_or(
+          rt::Rect1{0, B.dims()[0] - 1});
+      const rt::Rect1 cols =
+          col_var.has_value()
+              ? piece.var_bound(*col_var, rt::Rect1{0, B.dims()[1] - 1})
+              : rt::Rect1{0, B.dims()[1] - 1};
+      const bool clamp = col_var.has_value();
+      for (Coord i = rows.lo; i <= rows.hi; ++i) {
+        const rt::PosRange seg = pos[i];
+        work.segment();
+        double sum = 0;
+        int64_t computed = 0;
+        for (Coord q = seg.lo; q <= seg.hi; ++q) {
+          const Coord j = crd[q];
+          if (clamp && (j < cols.lo || j > cols.hi)) continue;
+          sum += bv[q] * cv[j];
+          ++computed;
+        }
+        // Clamped-out entries only stream their crd during the scan.
+        work.fma_sparse(computed);
+        if (clamp) work.stream(seg.size() - computed, 4.0);
+        av[i] += sum;
+        work.stream(1);
+      }
+      return work.done();
+    };
+  }
+  // B is CSR ({Dense, Compressed}) or COO ({Compressed!u, Singleton}). For
+  // CSR, precompute the owning row of every non-zero position once (the
+  // runtime analysis the generated code amortizes across iterations); COO
+  // stores the row per position in the root crd already. Other two-level
+  // layouts (e.g. DCSR, whose root crd is NOT position-aligned with the
+  // leaf level) must not reach this kernel.
+  const bool coo = B.storage().level(0).kind.has_crd();
+  SPD_ASSERT(B.storage().level(1).kind.is_singleton() ||
+                 B.storage().level(0).kind.is_dense(),
+             "make_spmv_nz requires CSR or COO storage, got "
+                 << B.storage().str());
   auto row_of = std::make_shared<std::vector<Coord>>();
-  {
+  if (!coo) {
     const auto& Bl = B.storage().level(1);
     row_of->assign(static_cast<size_t>(Bl.positions), 0);
     for (Coord i = 0; i < Bl.parent_positions; ++i) {
@@ -47,21 +98,38 @@ Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c) {
       }
     }
   }
-  return [a, B, c, row_of](const PieceBounds& piece) mutable
+  return [a, B, c, row_of, coo, col_var](const PieceBounds& piece) mutable
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
     const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+    rt::RegionAccessor<int32_t> row_crd;
+    if (coo) row_crd = rt::RegionAccessor<int32_t>(*B.storage().level(0).crd);
     const rt::RegionAccessor<double> bv(*B.storage().vals());
     const rt::RegionAccessor<double> cv(*c.storage().vals());
     const rt::RegionAccessor<double> av(*a.storage().vals());
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, Bl.positions - 1});
+    // Inner universe axis of a non-zero x universe grid: clamp stored
+    // columns to the piece's block instead of general co-iteration.
+    const rt::Rect1 cols =
+        col_var.has_value()
+            ? piece.var_bound(*col_var, rt::Rect1{0, B.dims()[1] - 1})
+            : rt::Rect1{0, B.dims()[1] - 1};
+    const bool clamp = col_var.has_value();
+    int64_t computed = 0;
     for (Coord q = range.lo; q <= range.hi; ++q) {
-      av[(*row_of)[static_cast<size_t>(q)]] += bv[q] * cv[crd[q]];
+      const Coord j = crd[q];
+      if (clamp && (j < cols.lo || j > cols.hi)) continue;
+      const Coord i = coo ? Coord{row_crd[q]}
+                          : (*row_of)[static_cast<size_t>(q)];
+      av[i] += bv[q] * cv[j];
+      ++computed;
     }
-    work.fma_sparse(range.size());
-    work.stream(range.size(), 12.0);  // row lookup + output scatter
+    work.fma_sparse(computed);
+    work.stream(computed, 12.0);  // row lookup + output scatter
+    // Clamped-out entries only stream their crd during the scan.
+    if (clamp) work.stream(range.size() - computed, 4.0);
     return work.done();
   };
 }

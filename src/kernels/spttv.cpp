@@ -13,7 +13,7 @@ std::shared_ptr<std::vector<std::vector<Coord>>> build_owner_maps(
       static_cast<size_t>(levels));
   for (int l = 0; l < levels; ++l) {
     const auto& level = B.storage().level(l);
-    if (level.kind != ModeFormat::Compressed) continue;
+    if (!level.kind.has_pos()) continue;
     auto& o = (*owners)[static_cast<size_t>(l)];
     o.assign(static_cast<size_t>(level.positions), 0);
     for (Coord p = 0; p < level.parent_positions; ++p) {
@@ -44,7 +44,7 @@ Leaf make_spttv_row(Tensor A, Tensor B, Tensor c) {
     const rt::RegionAccessor<double> avals(*A.storage().vals());
     rt::RegionAccessor<rt::PosRange> l1pos;
     rt::RegionAccessor<int32_t> l1crd;
-    if (l1.kind == ModeFormat::Compressed) {
+    if (l1.kind.is_compressed()) {
       l1pos = rt::RegionAccessor<rt::PosRange>(*l1.pos);
       l1crd = rt::RegionAccessor<int32_t>(*l1.crd);
     }
@@ -68,7 +68,7 @@ Leaf make_spttv_row(Tensor A, Tensor B, Tensor c) {
         ++out;
         work.stream(1, 16.0);
       };
-      if (l1.kind == ModeFormat::Compressed) {
+      if (l1.kind.is_compressed()) {
         const rt::PosRange seg = l1pos[i];
         for (Coord q1 = seg.lo; q1 <= seg.hi; ++q1) {
           fiber(l1crd[q1], q1);
@@ -104,7 +104,7 @@ Leaf make_spttv_nz(Tensor A, Tensor B, Tensor c) {
       if (q1 != cur_fiber) {
         cur_fiber = q1;
         Coord i, j;
-        if (l1.kind == ModeFormat::Compressed) {
+        if (l1.kind.is_compressed()) {
           i = (*owners)[1][static_cast<size_t>(q1)];
           j = (*l1.crd)[q1];
         } else {
@@ -140,7 +140,7 @@ Leaf make_spmttkrp_nz(Tensor A, Tensor B, Tensor C, Tensor D) {
     for (Coord q2 = range.lo; q2 <= range.hi; ++q2) {
       const Coord q1 = (*owners)[2][static_cast<size_t>(q2)];
       Coord i, j;
-      if (l1.kind == ModeFormat::Compressed) {
+      if (l1.kind.is_compressed()) {
         i = (*owners)[1][static_cast<size_t>(q1)];
         j = (*l1.crd)[q1];
       } else {

@@ -431,7 +431,9 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   std::shared_ptr<const LaunchPlan> plan;
   if (plan_memo_) {
     if (auto it = plan_cache_.find(key); it != plan_cache_.end()) {
-      plan = it->second;
+      // Refresh recency: a hit moves the entry to the front of the LRU.
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+      plan = it->second->plan;
       ++plan_hits_;
     }
   }
@@ -439,10 +441,16 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
     plan = build_plan(launch);
     ++plan_misses_;
     if (plan_memo_) {
-      // Backstop against unbounded growth from programs that churn through
-      // partitions; real programs hold a handful of live launch shapes.
-      if (plan_cache_.size() >= 256) plan_cache_.clear();
-      plan_cache_.emplace(std::move(key), plan);
+      // Capacity bound against programs that churn through partitions:
+      // evict only the least-recently-used plan, so the handful of live
+      // launch shapes a real program cycles through always stay warm.
+      if (plan_cache_.size() >= kPlanCacheCapacity) {
+        plan_cache_.erase(plan_lru_.back().key);
+        plan_lru_.pop_back();
+        ++plan_evictions_;
+      }
+      plan_lru_.push_front(PlanEntry{key, plan});
+      plan_cache_.emplace(std::move(key), plan_lru_.begin());
     }
   }
 
@@ -692,6 +700,7 @@ SimReport Runtime::report() const {
   rep.peak_fbmem = mems_.peak(MemKind::FB);
   rep.plan_hits = plan_hits_;
   rep.plan_misses = plan_misses_;
+  rep.plan_evictions = plan_evictions_;
   return rep;
 }
 

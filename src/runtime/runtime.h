@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -116,9 +117,11 @@ struct SimReport {
   double peak_fbmem = 0;
   // LaunchPlan memo effectiveness over the runtime's lifetime (not zeroed
   // by reset_timing — a cache hit-rate, not a clock). A hit means the
-  // enqueue skipped subset capture and every O(P^2) overlap scan.
+  // enqueue skipped subset capture and every O(P^2) overlap scan; an
+  // eviction means the LRU cache was full and dropped its coldest plan.
   int64_t plan_hits = 0;
   int64_t plan_misses = 0;
+  int64_t plan_evictions = 0;
 };
 
 class Runtime {
@@ -184,7 +187,10 @@ class Runtime {
   // cold path (used by tests/benches to compare warm vs cold), clearing
   // explicitly invalidates all cached plans.
   void set_plan_memo(bool enabled) { plan_memo_ = enabled; }
-  void invalidate_plans() { plan_cache_.clear(); }
+  void invalidate_plans() {
+    plan_cache_.clear();
+    plan_lru_.clear();
+  }
 
   // Enqueues a host-side callback ordered against launches through
   // whole-region accesses (e.g. zeroing an output between iterations). No
@@ -269,15 +275,26 @@ class Runtime {
     return placements_[region.id()];  // creates lazily for foreign regions
   }
 
+  // LRU-ordered plan store: most-recently-used entries at the front, the
+  // index map points into the list. Capacity-bounded with true LRU
+  // eviction (only the coldest plan is dropped, never the whole cache).
+  struct PlanEntry {
+    PlanKey key;
+    std::shared_ptr<const LaunchPlan> plan;
+  };
+  static constexpr size_t kPlanCacheCapacity = 256;
+
   Machine machine_;
   Simulator sim_;
   Network net_;
   MemorySystem mems_;
   std::map<RegionId, PlacementInfo> placements_;
-  std::map<PlanKey, std::shared_ptr<const LaunchPlan>> plan_cache_;
+  std::list<PlanEntry> plan_lru_;
+  std::map<PlanKey, std::list<PlanEntry>::iterator> plan_cache_;
   bool plan_memo_ = true;
   int64_t plan_hits_ = 0;
   int64_t plan_misses_ = 0;
+  int64_t plan_evictions_ = 0;
   std::shared_ptr<exec::WorkerPool> pool_;
   // Declared after all state the retirement tasks touch, so the destructor
   // drains in-flight tasks while that state is still alive. Mutable: const

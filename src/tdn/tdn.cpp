@@ -342,20 +342,19 @@ void distribute_tensor(comp::PlanTrace& trace, rt::Runtime& runtime,
     runtime.replicate_sys(*storage.vals());
     for (int l = 0; l < storage.num_levels(); ++l) {
       const auto& level = storage.level(l);
-      if (level.kind == ModeFormat::Compressed) {
-        runtime.replicate_sys(*level.pos);
-        runtime.replicate_sys(*level.crd);
-      }
+      if (level.kind.has_pos()) runtime.replicate_sys(*level.pos);
+      if (level.kind.has_crd()) runtime.replicate_sys(*level.crd);
     }
     return;
   }
   runtime.set_placement(*storage.vals(), m.partition.vals_part, m.mems);
   for (int l = 0; l < storage.num_levels(); ++l) {
     const auto& level = storage.level(l);
-    if (level.kind != ModeFormat::Compressed) continue;
+    if (!level.kind.has_crd()) continue;
     runtime.set_placement(*level.crd,
                           m.partition.level_parts[static_cast<size_t>(l)],
                           m.mems);
+    if (!level.kind.has_pos()) continue;  // Singleton: crd only
     if (l == 0) {
       // pos of the top level is indexed by the single root position.
       runtime.replicate_sys(*level.pos);

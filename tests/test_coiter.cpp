@@ -36,6 +36,96 @@ TEST(LocatePosition, FindsAndMisses) {
   EXPECT_EQ(locate_position(B.storage(), {2, 3}), -1);
 }
 
+TEST(LocatePosition, WalksSingletonChains) {
+  Tensor B("B", {4, 4}, fmt::coo(2));
+  B.from_coo(small_csr_coo());
+  // COO positions enumerate entries in sorted order.
+  EXPECT_EQ(locate_position(B.storage(), {0, 0}), 0);
+  EXPECT_EQ(locate_position(B.storage(), {0, 3}), 2);
+  EXPECT_EQ(locate_position(B.storage(), {3, 3}), 7);
+  EXPECT_EQ(locate_position(B.storage(), {0, 2}), -1);
+  EXPECT_EQ(locate_position(B.storage(), {2, 3}), -1);
+}
+
+TEST(Coiter, CooSpmvMatchesReference) {
+  IndexVar i("i"), j("j");
+  Tensor a("a", {4}, fmt::dense_vector());
+  Tensor B("B", {4, 4}, fmt::coo(2));
+  Tensor c("c", {4}, fmt::dense_vector());
+  B.from_coo(small_csr_coo());
+  c.init_dense([](const auto& x) { return static_cast<double>(x[0] + 1); });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  CoiterEngine eng(stmt);
+  a.zero();
+  eng.run();
+  EXPECT_LE(ref::max_abs_diff(a, ref::eval(stmt)), 1e-12);
+  // Value iteration restricted to rows 0-1 + rows 2-3 also completes.
+  a.zero();
+  for (Coord lo : {0, 2}) {
+    PieceBounds piece;
+    piece.dist_coords = rt::Rect1{lo, lo + 1};
+    eng.run(piece);
+  }
+  EXPECT_LE(ref::max_abs_diff(a, ref::eval(stmt)), 1e-12);
+}
+
+TEST(Coiter, Coo3SpttvPositionSpaceWithMidChainClamp) {
+  IndexVar i("i"), j("j"), k("k");
+  fmt::Coo coo = data::uniform_3tensor(8, 6, 10, 60, 21);
+  Tensor A("A", {8, 6}, fmt::csr());
+  Tensor B("B", {8, 6, 10}, fmt::coo(3));
+  Tensor c("c", {10}, fmt::dense_vector());
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto& x) { return 1.0 + 0.5 * (x[0] % 3); });
+  Statement& stmt = (A(i, j) = B(i, j, k) * c(k));
+  assemble_output(stmt);
+  CoiterEngine eng(stmt, {i, j, k});
+  const fmt::TensorStorage& bs = B.storage();
+  const Coord nnz = bs.level(2).positions;
+  // Position-space over the fused Singleton chain, two nz pieces.
+  A.zero();
+  for (Coord lo = 0; lo < nnz; lo += (nnz + 1) / 2) {
+    PieceBounds piece;
+    piece.dist_pos =
+        rt::Rect1{lo, std::min<Coord>(lo + (nnz + 1) / 2 - 1, nnz - 1)};
+    piece.pos_tensor = "B";
+    piece.pos_level = 2;
+    eng.run(piece);
+  }
+  const ref::DenseTensor expect = ref::eval(stmt);
+  EXPECT_LE(ref::max_abs_diff(A, expect), 1e-12);
+  // Mid-chain clamping: full position range, but each piece clamps the
+  // fused variable j to half its coordinate range; the pieces tile the
+  // computation exactly.
+  A.zero();
+  for (Coord lo : {0, 3}) {
+    PieceBounds piece;
+    piece.dist_pos = rt::Rect1{0, nnz - 1};
+    piece.pos_tensor = "B";
+    piece.pos_level = 2;
+    piece.var_coords.push_back({j.id(), rt::Rect1{lo, lo + 2}});
+    eng.run(piece);
+  }
+  EXPECT_LE(ref::max_abs_diff(A, expect), 1e-12);
+}
+
+TEST(Coiter, TwoNonUniqueOperandsRejected) {
+  // Two COO operands sharing the iteration variables cannot co-iterate:
+  // one non-unique level would have to be probed.
+  IndexVar i("i"), j("j");
+  Tensor a("a", {4}, fmt::dense_vector());
+  Tensor B("B", {4, 4}, fmt::coo(2));
+  Tensor C("C", {4, 4}, fmt::coo(2));
+  Tensor c("c", {4}, fmt::dense_vector());
+  B.from_coo(small_csr_coo());
+  C.from_coo(small_csr_coo());
+  c.init_dense([](const auto&) { return 1.0; });
+  Statement& stmt = (a(i) = B(i, j) * C(i, j) * c(j));
+  CoiterEngine eng(stmt);
+  a.zero();
+  EXPECT_THROW(eng.run(), ScheduleError);
+}
+
 TEST(Coiter, SpmvMatchesReference) {
   IndexVar i("i"), j("j");
   Tensor a("a", {4}, fmt::dense_vector());
@@ -192,7 +282,7 @@ TEST(Assembly, RejectsUncoveredOutputVar) {
   Tensor b("b", {4}, fmt::dcsr().order() == 1 ? fmt::dense_vector()
                                               : fmt::dense_vector());
   Tensor s("s", {4},
-           fmt::Format({fmt::ModeFormat::Compressed}));
+           fmt::Format({fmt::ModeFormat::Compressed()}));
   fmt::Coo coo;
   coo.dims = {4};
   coo.push({1}, 2.0);

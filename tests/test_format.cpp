@@ -32,12 +32,80 @@ TEST(Format, CommonFormats) {
   EXPECT_EQ(csc().level_of_dim(1), 0);
   EXPECT_TRUE(dense_matrix().all_dense());
   EXPECT_FALSE(csr().all_dense());
+  EXPECT_EQ(coo(2).str(), "{Compressed!u(d1), Singleton(d2)}");
+  EXPECT_EQ(coo(3).str(),
+            "{Compressed!u(d1), Singleton!u(d2), Singleton(d3)}");
 }
 
-TEST(Format, RejectsBadOrdering) {
-  EXPECT_THROW(Format({ModeFormat::Dense, ModeFormat::Dense}, {0, 0}),
+TEST(Format, DescriptorProperties) {
+  const ModeFormat d = ModeFormat::Dense();
+  const ModeFormat c = ModeFormat::Compressed();
+  const ModeFormat cn = ModeFormat::Compressed(/*unique=*/false);
+  const ModeFormat s = ModeFormat::Singleton();
+  EXPECT_TRUE(d.full());
+  EXPECT_FALSE(c.full());
+  EXPECT_TRUE(c.unique());
+  EXPECT_FALSE(cn.unique());
+  EXPECT_TRUE(s.branchless());
+  EXPECT_FALSE(c.branchless());
+  EXPECT_TRUE(c.compact());
+  EXPECT_FALSE(d.compact());
+  // Storage capabilities drive the generic pos/crd handling everywhere.
+  EXPECT_TRUE(c.has_pos());
+  EXPECT_TRUE(c.has_crd());
+  EXPECT_FALSE(s.has_pos());
+  EXPECT_TRUE(s.has_crd());
+  EXPECT_FALSE(d.has_crd());
+  // The unique flag participates in identity (kernel legality depends on
+  // it), so Compressed != Compressed!u.
+  EXPECT_FALSE(c == cn);
+  EXPECT_EQ(c, ModeFormat::Compressed(true));
+}
+
+TEST(Format, RejectsWrongArityOrdering) {
+  EXPECT_THROW(Format({ModeFormat::Dense()}, {0, 1}), NotationError);
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Dense()}, {0}),
                NotationError);
-  EXPECT_THROW(Format({ModeFormat::Dense}, {0, 1}), NotationError);
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Dense()}, {}),
+               NotationError);
+}
+
+TEST(Format, RejectsOutOfRangeOrdering) {
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Dense()}, {0, 2}),
+               NotationError);
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Dense()}, {-1, 0}),
+               NotationError);
+}
+
+TEST(Format, RejectsDuplicateOrdering) {
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Dense()}, {0, 0}),
+               NotationError);
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Dense(),
+                       ModeFormat::Dense()},
+                      {2, 1, 2}),
+               NotationError);
+}
+
+TEST(Format, RejectsIllegalSingletonPlacement) {
+  // Singleton cannot be the root level: its positions are the parent's.
+  EXPECT_THROW(Format({ModeFormat::Singleton()}), NotationError);
+  EXPECT_THROW(Format({ModeFormat::Singleton(), ModeFormat::Compressed()}),
+               NotationError);
+  // Singleton after Dense has no entry-enumerating parent.
+  EXPECT_THROW(Format({ModeFormat::Dense(), ModeFormat::Singleton()}),
+               NotationError);
+}
+
+TEST(Format, RejectsIllegalNonUniqueChains) {
+  // Levels below a non-unique level must be Singletons.
+  EXPECT_THROW(Format({ModeFormat::Compressed(false),
+                       ModeFormat::Compressed()}),
+               NotationError);
+  // The last level must be unique.
+  EXPECT_THROW(Format({ModeFormat::Compressed(false)}), NotationError);
+  EXPECT_THROW(Format({ModeFormat::Compressed(false),
+                       ModeFormat::Singleton(false)}),
+               NotationError);
 }
 
 TEST(Coo, SortAndCombineSumsDuplicates) {
@@ -57,7 +125,7 @@ TEST(Pack, CsrMatchesFigure3) {
   TensorStorage st = pack("B", csr(), {4, 4}, paper_coo());
   EXPECT_EQ(st.nnz(), 8);
   const LevelStorage& l2 = st.level(1);
-  ASSERT_EQ(l2.kind, ModeFormat::Compressed);
+  ASSERT_TRUE(l2.kind.is_compressed());
   ASSERT_EQ(l2.parent_positions, 4);
   // pos = {0,2},{3,4},{5,5},{6,7} (inclusive PosRange encoding).
   EXPECT_EQ((*l2.pos)[0], (PosRange{0, 2}));
@@ -126,6 +194,120 @@ TEST(Pack, Csf3AndDdc3) {
   EXPECT_TRUE(storage_equals(a, b));
 }
 
+// COO stores the paper matrix as a Compressed(non-unique) row root (one
+// position per entry, duplicate row coordinates) over a Singleton column
+// chain (crd only, positions shared with the root).
+TEST(Pack, Coo2MatchesFigure3) {
+  TensorStorage st = pack("B", coo(2), {4, 4}, paper_coo());
+  EXPECT_EQ(st.nnz(), 8);
+  const LevelStorage& l1 = st.level(0);
+  const LevelStorage& l2 = st.level(1);
+  ASSERT_TRUE(l1.kind.is_compressed());
+  EXPECT_FALSE(l1.kind.unique());
+  ASSERT_TRUE(l2.kind.is_singleton());
+  EXPECT_EQ(l1.positions, 8);
+  EXPECT_EQ(l2.positions, 8);  // shared 1:1 with the root
+  EXPECT_FALSE(l2.pos);        // crd only
+  // Root pos: one segment covering every entry.
+  EXPECT_EQ((*l1.pos)[0], (PosRange{0, 7}));
+  const int32_t rows[8] = {0, 0, 0, 1, 1, 2, 3, 3};
+  const int32_t cols[8] = {0, 1, 3, 1, 3, 0, 0, 3};
+  for (Coord q = 0; q < 8; ++q) {
+    EXPECT_EQ((*l1.crd)[q], rows[q]);
+    EXPECT_EQ((*l2.crd)[q], cols[q]);
+    EXPECT_DOUBLE_EQ((*st.vals())[q], static_cast<double>(q + 1));
+  }
+}
+
+TEST(Pack, Coo3) {
+  Coo c;
+  c.dims = {3, 4, 5};
+  c.push({0, 1, 2}, 1.0);
+  c.push({0, 1, 4}, 2.0);
+  c.push({2, 3, 0}, 3.0);
+  TensorStorage st = pack("T", coo(3), {3, 4, 5}, c);
+  ASSERT_TRUE(st.level(1).kind.is_singleton());
+  EXPECT_FALSE(st.level(1).kind.unique());
+  ASSERT_TRUE(st.level(2).kind.is_singleton());
+  EXPECT_EQ(st.level(0).positions, 3);
+  EXPECT_EQ(st.level(1).positions, 3);
+  EXPECT_EQ(st.level(2).positions, 3);
+  EXPECT_EQ((*st.level(1).crd)[0], 1);
+  EXPECT_EQ((*st.level(2).crd)[1], 4);
+  // Structural equality with CSF packing of the same data.
+  EXPECT_TRUE(storage_equals(st, pack("S", csf3(), {3, 4, 5}, c)));
+}
+
+TEST(Pack, SingletonUnderUniqueCompressedRequiresOneChild) {
+  // {Compressed, Singleton} is a legal *format*, but packing data with two
+  // children under one root coordinate cannot satisfy the 1:1 chain.
+  Coo ok;
+  ok.dims = {10, 10};
+  ok.push({3, 7}, 1.0);
+  ok.push({5, 2}, 2.0);
+  TensorStorage st = pack(
+      "S", Format({ModeFormat::Compressed(), ModeFormat::Singleton()}),
+      {10, 10}, ok);
+  EXPECT_EQ(st.level(1).positions, 2);
+  Coo bad = ok;
+  bad.push({3, 9}, 3.0);  // second entry under row 3
+  EXPECT_THROW(
+      pack("S", Format({ModeFormat::Compressed(), ModeFormat::Singleton()}),
+           {10, 10}, std::move(bad)),
+      NotationError);
+}
+
+// Round-trip Coo <-> {COO, CSR, DCSR, CSF}: values and coordinates are
+// bit-exact after a canonical sort, for matrices and 3-tensors.
+TEST(Pack, RoundTripAllFormats) {
+  Rng rng(1234577);
+  Coo m;
+  m.dims = {30, 40};
+  for (int i = 0; i < 120; ++i) {
+    m.push({rng.next_range(0, 29), rng.next_range(0, 39)},
+           rng.next_double(-2, 2));
+  }
+  Coo canon_m = m;
+  canon_m.sort_and_combine({0, 1});
+  for (const Format& f : {coo(2), csr(), dcsr()}) {
+    TensorStorage st = pack("X", f, m.dims, m);
+    Coo back = st.to_coo();
+    back.sort_and_combine({0, 1});
+    ASSERT_EQ(back.nnz(), canon_m.nnz()) << f.str();
+    for (int64_t q = 0; q < back.nnz(); ++q) {
+      EXPECT_EQ(back.coords[static_cast<size_t>(q)],
+                canon_m.coords[static_cast<size_t>(q)])
+          << f.str();
+      EXPECT_EQ(back.vals[static_cast<size_t>(q)],
+                canon_m.vals[static_cast<size_t>(q)])
+          << f.str();
+    }
+  }
+  Coo t;
+  t.dims = {12, 9, 15};
+  for (int i = 0; i < 150; ++i) {
+    t.push({rng.next_range(0, 11), rng.next_range(0, 8),
+            rng.next_range(0, 14)},
+           rng.next_double(-2, 2));
+  }
+  Coo canon_t = t;
+  canon_t.sort_and_combine({0, 1, 2});
+  for (const Format& f : {coo(3), csf3()}) {
+    TensorStorage st = pack("Y", f, t.dims, t);
+    Coo back = st.to_coo();
+    back.sort_and_combine({0, 1, 2});
+    ASSERT_EQ(back.nnz(), canon_t.nnz()) << f.str();
+    for (int64_t q = 0; q < back.nnz(); ++q) {
+      EXPECT_EQ(back.coords[static_cast<size_t>(q)],
+                canon_t.coords[static_cast<size_t>(q)])
+          << f.str();
+      EXPECT_EQ(back.vals[static_cast<size_t>(q)],
+                canon_t.vals[static_cast<size_t>(q)])
+          << f.str();
+    }
+  }
+}
+
 TEST(Pack, RejectsOutOfBounds) {
   Coo coo;
   coo.dims = {2, 2};
@@ -172,9 +354,11 @@ TEST_P(FormatRoundTripProperty, AllFormatsAgree) {
   TensorStorage b = pack("B", csc(), {n, m}, coo);
   TensorStorage c = pack("C", dcsr(), {n, m}, coo);
   TensorStorage d = pack("D", dense_matrix(), {n, m}, coo);
+  TensorStorage e = pack("E", fmt::coo(2), {n, m}, coo);
   EXPECT_TRUE(storage_equals(a, b, 1e-15));
   EXPECT_TRUE(storage_equals(a, c, 1e-15));
   EXPECT_TRUE(storage_equals(a, d, 1e-15));
+  EXPECT_TRUE(storage_equals(a, e, 1e-15));
   // nnz accounting matches the combined COO.
   Coo combined = coo;
   combined.sort_and_combine({0, 1});

@@ -311,6 +311,80 @@ TEST(LaunchPlan, ExplicitInvalidationForcesRebuild) {
   EXPECT_EQ(rep.plan_misses, 2);
 }
 
+// --- LRU eviction --------------------------------------------------------------
+
+// The plan cache is capacity-bounded with true LRU eviction: churning
+// through more launch identities than the capacity evicts only the coldest
+// plans, recently-used identities stay warm, and SimReport surfaces the
+// eviction count next to hits/misses.
+TEST(LaunchPlan, LruEvictsColdestPlanOnly) {
+  constexpr int kCapacity = 256;  // Runtime::kPlanCacheCapacity
+  rt::Runtime rt(cpu_machine(2, rt::Grid(2)), 1);
+  auto r = rt.create_region<double>(rt::IndexSpace(200), "acc");
+  r->fill(0.0);
+  auto fresh_partition = [&](Coord mid) {
+    return rt::partition_by_bounds(
+        r->space(),
+        {rt::RectN::make1(0, mid), rt::RectN::make1(mid - 10, 199)});
+  };
+  // Two identities; refresh A so B becomes the LRU.
+  rt::Partition pa = fresh_partition(100);
+  rt::Partition pb = fresh_partition(120);
+  rt.execute(reduce_launch(r, &pa));
+  rt.execute(reduce_launch(r, &pb));
+  rt.execute(reduce_launch(r, &pa));
+  rt.flush();
+  EXPECT_EQ(rt.report().plan_misses, 2);
+  EXPECT_EQ(rt.report().plan_hits, 1);
+  EXPECT_EQ(rt.report().plan_evictions, 0);
+  // Churn kCapacity - 1 fresh identities: exactly one insert overflows the
+  // capacity, evicting the LRU (B) — never clearing the whole cache.
+  for (int k = 0; k < kCapacity - 1; ++k) {
+    rt::Partition p = fresh_partition(30 + (k % 140));
+    rt.execute(reduce_launch(r, &p));
+    rt.flush();
+  }
+  rt::SimReport rep = rt.report();
+  EXPECT_EQ(rep.plan_misses, 2 + kCapacity - 1);
+  EXPECT_EQ(rep.plan_evictions, 1);
+  // A survived the churn (it was refreshed before), B did not.
+  rt.execute(reduce_launch(r, &pa));
+  rt.flush();
+  EXPECT_EQ(rt.report().plan_hits, 2);
+  rt.execute(reduce_launch(r, &pb));
+  rt.flush();
+  rep = rt.report();
+  EXPECT_EQ(rep.plan_hits, 2);
+  EXPECT_EQ(rep.plan_misses, 2 + kCapacity);
+  // Re-inserting B at capacity evicted the then-coldest entry.
+  EXPECT_EQ(rep.plan_evictions, 2);
+}
+
+TEST(LaunchPlan, LruHitRefreshesRecency) {
+  constexpr int kCapacity = 256;
+  rt::Runtime rt(cpu_machine(2, rt::Grid(2)), 1);
+  auto r = rt.create_region<double>(rt::IndexSpace(200), "acc");
+  r->fill(0.0);
+  rt::Partition pa = rt::partition_by_bounds(
+      r->space(), {rt::RectN::make1(0, 99), rt::RectN::make1(90, 199)});
+  rt.execute(reduce_launch(r, &pa));
+  rt.flush();
+  // Keep touching A while churning enough fresh identities to evict an
+  // untouched entry many times over: A must never be evicted.
+  for (int k = 0; k < kCapacity + 40; ++k) {
+    rt::Partition p = rt::partition_by_bounds(
+        r->space(),
+        {rt::RectN::make1(0, 20 + (k % 150)), rt::RectN::make1(10, 199)});
+    rt.execute(reduce_launch(r, &p));
+    rt.execute(reduce_launch(r, &pa));
+    rt.flush();
+  }
+  const rt::SimReport rep = rt.report();
+  EXPECT_EQ(rep.plan_misses, 1 + kCapacity + 40);
+  EXPECT_EQ(rep.plan_hits, kCapacity + 40);  // every A re-execution hit
+  EXPECT_GT(rep.plan_evictions, 0);
+}
+
 // --- bounding-box scratches ---------------------------------------------------
 
 // make_scratch sizes the buffer to the requested box, not the region, and

@@ -173,13 +173,128 @@ TEST(CoordinateTree, DenseDeepUniverseRejected) {
   coo.dims = {4, 3};
   coo.push({0, 0}, 1.0);
   TensorStorage B =
-      pack("B", Format({ModeFormat::Dense, ModeFormat::Dense}), {4, 3},
+      pack("B", Format({ModeFormat::Dense(), ModeFormat::Dense()}), {4, 3},
            std::move(coo));
   PlanTrace trace;
   const LevelStorage& l2 = B.level(1);
   EXPECT_THROW(LevelFuncs::get(l2.kind).universe_partition(
                    trace, "B", 1, l2, {Rect1{0, 1}, Rect1{2, 2}}),
                ScheduleError);
+}
+
+// --- Singleton level functions (Table I for COO chains) ----------------------
+
+Coo paper_coo3() {
+  Coo coo;
+  coo.dims = {4, 5, 6};
+  coo.push({0, 1, 2}, 1.0);
+  coo.push({0, 1, 3}, 2.0);
+  coo.push({1, 0, 0}, 3.0);
+  coo.push({3, 4, 5}, 4.0);
+  return coo;
+}
+
+// Non-zero partition of a COO matrix: splitting the Singleton chain's end
+// propagates the same position ranges unchanged up to the Compressed root
+// (positions are shared 1:1) and down to vals.
+TEST(SingletonLevelFuncs, NonZeroPartitionPropagatesUnchanged) {
+  TensorStorage B = pack("B", fmt::coo(2), {4, 4}, paper_coo());
+  PlanTrace trace;
+  const LevelStorage& l2 = B.level(1);
+  ASSERT_TRUE(l2.kind.is_singleton());
+  LevelPartitions init = LevelFuncs::get(l2.kind).nonzero_partition(
+      trace, "B", 1, l2, {Rect1{0, 3}, Rect1{4, 7}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 1, init);
+  // Every level (and vals) carries exactly the same position split.
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_EQ(tp.level_parts[static_cast<size_t>(l)].subset(0).bounds(),
+              rt::RectN::make1(0, 3));
+    EXPECT_EQ(tp.level_parts[static_cast<size_t>(l)].subset(1).bounds(),
+              rt::RectN::make1(4, 7));
+    EXPECT_TRUE(tp.level_parts[static_cast<size_t>(l)].disjoint());
+  }
+  EXPECT_EQ(tp.vals_part.subset(0).volume(), 4);
+  EXPECT_EQ(tp.vals_part.subset(1).volume(), 4);
+  EXPECT_TRUE(tp.vals_part.complete());
+  // The derivations are pure copies: no images or preimages appear.
+  EXPECT_EQ(trace.count(PlanOpKind::Image), 0);
+  EXPECT_EQ(trace.count(PlanOpKind::Preimage), 0);
+  EXPECT_GE(trace.count(PlanOpKind::CopyPartition), 2);
+}
+
+// Universe partition at a Singleton level buckets its crd by coordinate
+// value; the parent-facing partition is the same sets, copied.
+TEST(SingletonLevelFuncs, UniversePartitionBucketsByValue) {
+  TensorStorage B = pack("B", fmt::coo(2), {4, 4}, paper_coo());
+  PlanTrace trace;
+  const LevelStorage& l2 = B.level(1);
+  LevelPartitions init = LevelFuncs::get(l2.kind).universe_partition(
+      trace, "B", 1, l2, {Rect1{0, 1}, Rect1{2, 3}});
+  // Columns = 0 1 3 1 3 0 0 3 -> color 0 holds 5 positions, color 1 holds 3.
+  EXPECT_EQ(init.child_facing.subset(0).volume(), 5);
+  EXPECT_EQ(init.child_facing.subset(1).volume(), 3);
+  EXPECT_EQ(init.parent_facing.subset(0).volume(), 5);
+  EXPECT_EQ(init.parent_facing.subset(1).volume(), 3);
+  EXPECT_EQ(trace.count(PlanOpKind::PartitionByValueRanges), 1);
+}
+
+// 3-D COO: a universe partition of the Compressed(non-unique) root splits
+// duplicate row coordinates together, and the whole Singleton chain below
+// follows by copy.
+TEST(SingletonLevelFuncs, Coo3RootUniverseDerivesChain) {
+  TensorStorage B = pack("B", fmt::coo(3), {4, 5, 6}, paper_coo3());
+  PlanTrace trace;
+  const LevelStorage& l1 = B.level(0);
+  ASSERT_TRUE(l1.kind.is_compressed());
+  EXPECT_FALSE(l1.kind.unique());
+  LevelPartitions init = LevelFuncs::get(l1.kind).universe_partition(
+      trace, "B", 0, l1, {Rect1{0, 1}, Rect1{2, 3}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 0, init);
+  // Rows 0,0,1 -> color 0 (3 entries); row 3 -> color 1 (1 entry).
+  EXPECT_EQ(tp.vals_part.subset(0).volume(), 3);
+  EXPECT_EQ(tp.vals_part.subset(1).volume(), 1);
+  EXPECT_TRUE(tp.vals_part.complete());
+  EXPECT_TRUE(tp.vals_part.disjoint());
+  // Singleton chain levels mirror the root's position partition.
+  for (int l = 1; l < 3; ++l) {
+    EXPECT_EQ(tp.level_parts[static_cast<size_t>(l)].subset(0).volume(), 3);
+    EXPECT_EQ(tp.level_parts[static_cast<size_t>(l)].subset(1).volume(), 1);
+  }
+}
+
+// Fused non-zero split of the 3-D COO chain: the initial partition at the
+// last Singleton propagates to every level and vals unchanged.
+TEST(SingletonLevelFuncs, Coo3NonZeroChain) {
+  TensorStorage B = pack("B", fmt::coo(3), {4, 5, 6}, paper_coo3());
+  PlanTrace trace;
+  const LevelStorage& l3 = B.level(2);
+  LevelPartitions init = LevelFuncs::get(l3.kind).nonzero_partition(
+      trace, "B", 2, l3, {Rect1{0, 1}, Rect1{2, 3}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 2, init);
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_EQ(tp.level_parts[static_cast<size_t>(l)].subset(0).bounds(),
+              rt::RectN::make1(0, 1));
+    EXPECT_EQ(tp.level_parts[static_cast<size_t>(l)].subset(1).bounds(),
+              rt::RectN::make1(2, 3));
+  }
+  EXPECT_TRUE(tp.vals_part.complete());
+  EXPECT_TRUE(tp.vals_part.disjoint());
+}
+
+// color_bytes counts Singleton levels as crd-only (no pos bytes).
+TEST(SingletonLevelFuncs, ColorBytesCountsCrdOnly) {
+  TensorStorage B = pack("B", fmt::coo(2), {4, 4}, paper_coo());
+  PlanTrace trace;
+  const LevelStorage& l2 = B.level(1);
+  LevelPartitions init = LevelFuncs::get(l2.kind).nonzero_partition(
+      trace, "B", 1, l2, {Rect1{0, 3}, Rect1{4, 7}});
+  TensorPartition tp = partition_coordinate_tree(trace, B, 1, init);
+  // Per color: 4 vals (8B), 4 root crd (4B), 4 singleton crd (4B), and the
+  // root pos region (1 PosRange entry, parent_positions == 1).
+  const int64_t expect = 4 * 8 + 4 * 4 + 4 * 4 +
+                         static_cast<int64_t>(sizeof(rt::PosRange));
+  EXPECT_EQ(tp.color_bytes(B, 0), expect);
+  EXPECT_EQ(tp.color_bytes(B, 1), expect);
 }
 
 // Property: on random CSR tensors, every coordinate-tree partition (row and
@@ -209,7 +324,7 @@ TEST_P(CoordinateTreeProperty, ValsCoverage) {
       bounds.push_back(rects.empty() ? Rect1{0, -1}
                                      : Rect1{rects[0].lo[0], rects[0].hi[0]});
     }
-    LevelPartitions init = LevelFuncs::get(ModeFormat::Dense)
+    LevelPartitions init = LevelFuncs::get(ModeFormat::Dense())
                                .universe_partition(trace, "B", 0, B.level(0),
                                                    bounds);
     TensorPartition tp = partition_coordinate_tree(trace, B, 0, init);
@@ -226,7 +341,7 @@ TEST_P(CoordinateTreeProperty, ValsCoverage) {
       bounds.push_back(rects.empty() ? Rect1{0, -1}
                                      : Rect1{rects[0].lo[0], rects[0].hi[0]});
     }
-    LevelPartitions init = LevelFuncs::get(ModeFormat::Compressed)
+    LevelPartitions init = LevelFuncs::get(ModeFormat::Compressed())
                                .nonzero_partition(trace, "B", 1, B.level(1),
                                                   bounds);
     TensorPartition tp = partition_coordinate_tree(trace, B, 1, init);
