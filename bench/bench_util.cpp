@@ -1,11 +1,49 @@
 #include "bench_util.h"
 
+#include <algorithm>
+
 #include "autosched/autosched.h"
+#include "obs/obs.h"
 
 namespace spdbench {
 
 using base::KernelKind;
 using rt::Coord;
+
+std::string obs_summary(const rt::SimReport& rep) {
+  const int64_t lookups = rep.plan_hits + rep.plan_misses;
+  if (lookups == 0 && rep.kernels.empty()) return "";
+  std::string out = strprintf(
+      "[obs] plan hit-rate %.1f%% (%lld/%lld)",
+      lookups > 0 ? 100.0 * static_cast<double>(rep.plan_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0,
+      static_cast<long long>(rep.plan_hits),
+      static_cast<long long>(lookups));
+  // Top-3 kernels by simulated busy time.
+  std::vector<std::pair<std::string, obs::KernelStats>> rows(
+      rep.kernels.begin(), rep.kernels.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.busy_s > b.second.busy_s;
+  });
+  if (rows.size() > 3) rows.resize(3);
+  for (const auto& [name, ks] : rows) {
+    out += strprintf(" | %s: %lld tasks, %s busy", name.c_str(),
+                     static_cast<long long>(ks.tasks),
+                     human_seconds(ks.busy_s).c_str());
+  }
+  return out;
+}
+
+namespace {
+
+void maybe_print_obs(const rt::SimReport& rep) {
+  if (!obs::enabled()) return;
+  const std::string line = obs_summary(rep);
+  if (!line.empty()) std::printf("%s\n", line.c_str());
+}
+
+}  // namespace
 
 rt::Machine make_machine(int nodes, rt::ProcKind kind, int grid_size) {
   rt::MachineConfig cfg = data::paper_machine_config(nodes);
@@ -189,7 +227,9 @@ Result run_spdistal(KernelKind kind, const fmt::Coo& coo, bool nz,
     inst->run(kWarmIters);
     runtime.reset_timing();
     inst->run(kTimedIters);
-    r.seconds = inst->report().sim_time / kTimedIters;
+    const rt::SimReport rep = inst->report();
+    r.seconds = rep.sim_time / kTimedIters;
+    maybe_print_obs(rep);
   } catch (const OutOfMemoryError& e) {
     r.dnc = true;
     r.note = e.what();
@@ -216,7 +256,9 @@ Result run_spdistal_autosched(KernelKind kind, const fmt::Coo& coo,
     inst->run(kWarmIters);
     runtime.reset_timing();
     inst->run(kTimedIters);
-    r.seconds = inst->report().sim_time / kTimedIters;
+    const rt::SimReport rep = inst->report();
+    r.seconds = rep.sim_time / kTimedIters;
+    maybe_print_obs(rep);
   } catch (const OutOfMemoryError& e) {
     r.dnc = true;
     r.note = e.what();

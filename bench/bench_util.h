@@ -88,4 +88,11 @@ std::string cell(const Result& r);  // "12.3" (ms) or "DNC"/"n/a"
 void print_rule(int width);
 void print_header(const std::string& title);
 
+// One-line observability summary of a run: LaunchPlan memo hit-rate plus the
+// top-3 kernels by simulated busy time ("[obs] spmv_row: plan hit-rate
+// 85.7% (12/14) | spmv_row 24 tasks 1.2ms ..."). Empty when the report has
+// no plan activity. The spdistal runners print it when obs::enabled(), so
+// plain bench output is unchanged unless SPDISTAL_OBS/TRACE/METRICS is set.
+std::string obs_summary(const rt::SimReport& rep);
+
 }  // namespace spdbench

@@ -8,6 +8,7 @@
 #include "compiler/lower.h"
 #include "data/generators.h"
 #include "format/storage.h"
+#include "obs/obs.h"
 #include "runtime/partition.h"
 #include "tensor/tensor.h"
 
@@ -218,6 +219,63 @@ void BM_ExecuteSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteSteadyState)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMicrosecond);
+
+// Observability overhead guard: the warm enqueue path of
+// BM_ExecuteSteadyState with observability forced off (Arg 0) vs on with
+// live trace capture (Arg 1). The disabled mode asserts that nothing was
+// recorded — the "near-zero overhead when SPDISTAL_OBS=0" contract; compare
+// the two rows to read the enabled-mode cost directly.
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  constexpr int kPieces = 16;
+  IndexVar i("i"), j("j"), f("f"), fo("fo"), fi("fi");
+  fmt::Coo coo = data::powerlaw_matrix(4000, 4000, 120000, 1.1, 7);
+  const std::vector<Coord> dims = coo.dims;
+  Tensor a("a", {dims[0]}, fmt::dense_vector());
+  Tensor B("B", dims, fmt::csr(),
+           tdn::parse_tdn("B(x, y) fuse(x, y -> g) -> M(~g)"));
+  Tensor c("c", {dims[1]}, fmt::dense_vector(),
+           tdn::parse_tdn("c(x) -> M(q)"));
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto& x) {
+    return 1.0 + 0.01 * static_cast<double>(x[0] % 17);
+  });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  a.schedule().fuse(i, j, f).divide_pos(f, fo, fi, kPieces, "B")
+      .distribute(fo);
+
+  rt::MachineConfig cfg;
+  cfg.nodes = kPieces;
+  rt::Machine m(cfg, rt::Grid(kPieces), rt::ProcKind::CPU);
+  rt::Runtime runtime(m, 1);
+  obs::set_enabled(obs_on);
+  obs::TraceRecorder::global().start();  // clears any prior capture
+  if (!obs_on) obs::TraceRecorder::global().stop();
+  auto inst = comp::CompiledKernel::compile(stmt, m).instantiate(runtime);
+  inst->run(1);  // plan build + first-touch communication
+  const size_t events_before = obs::TraceRecorder::global().events();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->run_async(1));
+    state.PauseTiming();
+    runtime.flush();
+    state.ResumeTiming();
+  }
+  const size_t events = obs::TraceRecorder::global().events();
+  if (obs_on) {
+    SPD_ASSERT(events > events_before,
+               "BM_TraceOverhead(on) recorded no trace events");
+    obs::TraceRecorder::global().stop();
+  } else {
+    // Disabled-mode contract: no events recorded at all.
+    SPD_ASSERT(events == 0 && events_before == 0,
+               "BM_TraceOverhead(off) recorded " << events
+                                                 << " trace events");
+  }
+  obs::set_enabled(false);
+  state.counters["trace_events"] = static_cast<double>(events);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_SubsetSubtract(benchmark::State& state) {
   rt::IndexSubset a(1), b(1);

@@ -19,9 +19,10 @@ namespace {
 struct Ranker {
   Tensor next, A, rank;
   Statement* stmt = nullptr;
-  // Declared before `instance`: ~Instance drains in-flight launches through
-  // its runtime, so the runtime must outlive it.
-  std::unique_ptr<rt::Runtime> runtime;
+  // The Instance holds a shared_ptr to its Runtime (instantiate's owning
+  // overload), so member order is irrelevant here: ~Instance drains
+  // in-flight launches while its reference keeps the runtime alive.
+  std::shared_ptr<rt::Runtime> runtime;
   std::unique_ptr<comp::Instance> instance;
 
   Ranker(const fmt::Coo& adjacency, bool nonzero_dist, const rt::Machine& M) {
@@ -47,8 +48,8 @@ struct Ranker {
       next.schedule().divide(i, io, ii, M.num_procs()).distribute(io)
           .parallelize(ii, sched::ParallelUnit::CPUThread);
     }
-    runtime = std::make_unique<rt::Runtime>(M);
-    instance = comp::CompiledKernel::compile(*stmt, M).instantiate(*runtime);
+    runtime = std::make_shared<rt::Runtime>(M);
+    instance = comp::CompiledKernel::compile(*stmt, M).instantiate(runtime);
   }
 
   // One damped power-iteration step (the SpMV runs distributed; the damping

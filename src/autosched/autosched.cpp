@@ -7,6 +7,7 @@
 #include "autosched/cost.h"
 #include "common/str_util.h"
 #include "exec/executor.h"
+#include "obs/obs.h"
 
 namespace spdistal::autosched {
 
@@ -22,11 +23,21 @@ std::string Result::summary() const {
 
 Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
                            const Options& options) {
+  OBS_SPAN("autosched", "search");
+  static obs::Counter& cache_hits =
+      obs::Metrics::global().counter("autosched.cache_hits");
+  static obs::Counter& cache_misses =
+      obs::Metrics::global().counter("autosched.cache_misses");
+  static obs::Counter& enumerated_metric =
+      obs::Metrics::global().counter("autosched.enumerated");
+  static obs::Counter& simulated_metric =
+      obs::Metrics::global().counter("autosched.simulated");
   Result result;
 
   const std::string key = plan_key(stmt, machine);
   if (options.use_cache) {
     if (auto cached = PlanCache::global().lookup(key)) {
+      cache_hits.add(1);
       result.recipe = cached->recipe;
       result.schedule = materialize(cached->recipe, stmt);
       result.from_cache = true;
@@ -34,17 +45,26 @@ Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
       return result;
     }
   }
+  cache_misses.add(1);
 
-  std::vector<Candidate> candidates =
-      enumerate_candidates(stmt, machine, options);
+  std::vector<Candidate> candidates;
+  {
+    OBS_SPAN("autosched", "enumerate");
+    candidates = enumerate_candidates(stmt, machine, options);
+  }
   SPD_CHECK(!candidates.empty(), ScheduleError,
             "auto-scheduler found no legal schedule for " << stmt.str());
   result.enumerated = static_cast<int>(candidates.size());
+  enumerated_metric.add(result.enumerated);
 
   // Rank by the analytic fast path; simulate the most promising prefix.
+  OBS_SPAN("autosched", "rank+proxy-sim");
   AnalyticModel model(stmt, machine);
-  for (auto& c : candidates) {
-    c.est_time = model.estimate(c.recipe);
+  {
+    OBS_SPAN("autosched", "analytic_rank");
+    for (auto& c : candidates) {
+      c.est_time = model.estimate(c.recipe);
+    }
   }
   std::vector<size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), 0);
@@ -92,6 +112,7 @@ Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
   for (size_t k = 0; k < top_k; ++k) {
     if (candidates[order[k]].simulated) ++result.simulated;
   }
+  simulated_metric.add(result.simulated);
 
   // Winner: lowest simulated makespan; analytic estimate and enumeration
   // order break ties deterministically. Candidates that survived legality

@@ -247,6 +247,10 @@ double simulate_candidate(Statement& proxy, const sched::Schedule& schedule,
   if (out.format().all_dense() && out.has_storage()) out.zero();
 
   rt::Runtime scratch(machine);
+  // Proxy simulations run concurrently across the pool; detached from the
+  // trace recorder and metrics mirrors, they can't perturb the application
+  // runtime's deterministic simulated timeline or the process totals.
+  scratch.set_observability(false);
   comp::CompiledKernel ck =
       comp::CompiledKernel::compile(proxy, schedule, machine);
   auto inst = ck.instantiate(scratch);

@@ -6,6 +6,7 @@
 #include "common/str_util.h"
 #include "compiler/kernel_select.h"
 #include "kernels/assembly.h"
+#include "obs/obs.h"
 #include "tdn/tdn.h"
 
 namespace spdistal::comp {
@@ -143,6 +144,9 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
                                   ck.dist_source_vars_);
   ck.leaf_ = leaf.fn;
   ck.leaf_name_ = leaf.name;
+  // Which leaf implementation the co-iteration dispatch picked ("coiter"
+  // is the general engine; the rest are specialized kernels).
+  obs::Metrics::global().counter("kernel_select." + ck.leaf_name_).add(1);
   return ck;
 }
 
@@ -205,6 +209,16 @@ Partition needed_coords_partition(const fmt::LevelStorage& sl,
 
 std::unique_ptr<Instance> CompiledKernel::instantiate(
     rt::Runtime& runtime) const {
+  // Non-owning: the caller keeps the runtime alive past the Instance.
+  return instantiate(std::shared_ptr<rt::Runtime>(&runtime,
+                                                  [](rt::Runtime*) {}));
+}
+
+std::unique_ptr<Instance> CompiledKernel::instantiate(
+    std::shared_ptr<rt::Runtime> runtime_sp) const {
+  SPD_ASSERT(runtime_sp != nullptr, "instantiate requires a runtime");
+  OBS_SPAN("compiler", "instantiate " + leaf_name_);
+  rt::Runtime& runtime = *runtime_sp;
   // Instance setup overlaps trailing execution: partition construction is
   // pure host-side work over immutable coordinate-tree metadata (launches
   // only ever write vals data), so it runs while earlier launches drain on
@@ -212,7 +226,7 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
   // shared state or charge simulated costs — output assembly below, and the
   // placement installation at the end (set_placement drains internally).
   auto inst = std::unique_ptr<Instance>(new Instance());
-  inst->runtime_ = &runtime;
+  inst->runtime_ = std::move(runtime_sp);
   inst->kernel_ = this;
   Statement stmt = stmt_;  // shares tensor handles
   inst->output_ = stmt.tensor(stmt.assignment.lhs.tensor);
@@ -238,11 +252,12 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
     rt::IndexLaunch shape_only;
     shape_only.domain = pieces_;
     shape_only.domain_shape = grid_pieces_;
+    const std::string asm_name = "assemble " + inst->output_.name();
     for (int p = 0; p < pieces_; ++p) {
       rt::WorkEstimate w{res.symbolic_work.flops / pieces_,
                          res.symbolic_work.bytes / pieces_};
       runtime.sim().run_task(runtime.proc_for_point(p, shape_only), w,
-                             leaf_threads_, 0.0);
+                             leaf_threads_, 0.0, asm_name.c_str());
     }
   }
 
@@ -704,7 +719,12 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
   // --- The distributed loop ---------------------------------------------------
   Instance* raw = inst.get();
   const LeafFn leaf = leaf_;
-  launch.body = [raw, leaf](const rt::TaskContext& ctx) {
+  // Leaf-kind dispatch count, resolved once here (stable address); add()
+  // self-gates on obs::enabled(), so the hot path pays one relaxed load.
+  obs::Counter& leaf_hits =
+      obs::Metrics::global().counter("leaf." + leaf_name_);
+  launch.body = [raw, leaf, &leaf_hits](const rt::TaskContext& ctx) {
+    leaf_hits.add(1);
     return leaf(raw->piece_bounds_[static_cast<size_t>(ctx.color())]);
   };
   trace.append(PlanOpKind::LeafKernel,

@@ -46,6 +46,14 @@ class CompiledKernel {
   // Partition construction is pure host-side work and overlaps launches
   // still draining on the runtime; only output assembly and the final
   // placement installation synchronize with them.
+  //
+  // The Instance holds the shared_ptr, so it can never outlive (and then
+  // dangle on) the runtime whose placements and task graph it references —
+  // declaration order at the call site stops mattering.
+  std::unique_ptr<Instance> instantiate(
+      std::shared_ptr<rt::Runtime> runtime) const;
+  // Non-owning convenience for stack/member runtimes: the caller guarantees
+  // `runtime` outlives the returned Instance.
   std::unique_ptr<Instance> instantiate(rt::Runtime& runtime) const;
 
   // --- analysis results (inspectable, used by tests) -------------------------
@@ -111,7 +119,10 @@ class Instance {
 
  private:
   friend class CompiledKernel;
-  rt::Runtime* runtime_ = nullptr;
+  // Owning (or, via the reference overload of instantiate, non-owning
+  // null-deleter) handle: keeps the runtime alive for the Instance's
+  // lifetime, including the destructor's drain of in-flight launches.
+  std::shared_ptr<rt::Runtime> runtime_;
   const CompiledKernel* kernel_ = nullptr;
   PlanTrace trace_;
   // Owned partitions referenced by launch_.reqs (stable addresses).

@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "common/str_util.h"
+#include "obs/obs.h"
 
 namespace spdistal::exec {
 
@@ -83,7 +85,12 @@ bool WorkerPool::pop_locked(Item& out) {
     if (queues_[q].empty()) continue;
     out = std::move(queues_[q].front());
     queues_[q].pop_front();
-    if (is_worker && q != own) ++steals_;
+    if (is_worker && q != own) {
+      ++steals_;
+      static obs::Counter& steal_metric =
+          obs::Metrics::global().counter("exec.steals");
+      steal_metric.add(1);
+    }
     return true;
   }
   return false;
@@ -91,6 +98,10 @@ bool WorkerPool::pop_locked(Item& out) {
 
 void WorkerPool::worker_main(int index) {
   tls_worker_index = index;
+  if (obs::enabled()) {
+    obs::TraceRecorder::global().name_host_thread(
+        strprintf("worker-%d", index));
+  }
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     Item item;
@@ -139,6 +150,10 @@ Executor::~Executor() {
 }
 
 TaskId Executor::create(std::string name, std::function<void()> fn) {
+  static obs::Counter& created_metric =
+      obs::Metrics::global().counter("exec.created");
+  static obs::Gauge& outstanding_metric =
+      obs::Metrics::global().gauge("exec.outstanding");
   auto lk = pool_->lock();
   const TaskId id = next_++;
   Node& n = nodes_[id];
@@ -146,6 +161,8 @@ TaskId Executor::create(std::string name, std::function<void()> fn) {
   n.fn = std::move(fn);
   ++outstanding_;
   ++stats_.created;
+  created_metric.add(1);
+  outstanding_metric.set(static_cast<int64_t>(outstanding_));
   return id;
 }
 
@@ -187,13 +204,21 @@ void Executor::enqueue_locked(TaskId id) {
 }
 
 void Executor::run_node(TaskId id) {
+  static obs::Counter& retired_metric =
+      obs::Metrics::global().counter("exec.retired");
+  static obs::Gauge& outstanding_metric =
+      obs::Metrics::global().gauge("exec.outstanding");
+  const bool tracing = obs::TraceRecorder::global().active();
   std::function<void()> fn;
+  std::string label;
   {
     auto lk = pool_->lock();
     auto it = nodes_.find(id);
     SPD_ASSERT(it != nodes_.end(), "run_node on retired task");
     fn = std::move(it->second.fn);
+    if (tracing) label = it->second.name;  // copied only while recording
   }
+  const double t0 = tracing ? obs::wall_us() : 0.0;
   std::exception_ptr err;
   try {
     if (fn) fn();
@@ -201,6 +226,10 @@ void Executor::run_node(TaskId id) {
     err = std::current_exception();
   }
   fn = nullptr;
+  if (tracing) {
+    obs::TraceRecorder::global().host_span("exec", label, t0,
+                                           obs::wall_us() - t0);
+  }
   {
     auto lk = pool_->lock();
     if (err && !error_) error_ = err;
@@ -209,6 +238,8 @@ void Executor::run_node(TaskId id) {
     nodes_.erase(it);
     --outstanding_;
     ++stats_.retired;
+    retired_metric.add(1);
+    outstanding_metric.set(static_cast<int64_t>(outstanding_));
     for (TaskId s : succs) {
       auto sit = nodes_.find(s);
       SPD_ASSERT(sit != nodes_.end(), "successor retired before predecessor");

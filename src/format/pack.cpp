@@ -7,10 +7,16 @@
 // not at all (Singleton — crd only, positions shared 1:1 with the parent).
 #include "format/storage.h"
 
+#include "obs/obs.h"
+
 namespace spdistal::fmt {
 
 TensorStorage pack(const std::string& name, const Format& format,
                    const std::vector<Coord>& dims, Coo coo) {
+  obs::Span pack_span("format", obs::TraceRecorder::global().active()
+                                    ? "pack " + name
+                                    : std::string());
+  const double t0 = obs::enabled() ? obs::wall_us() : 0.0;
   SPD_CHECK(static_cast<int>(dims.size()) == format.order(), NotationError,
             "pack: dims/format order mismatch for " << name);
   SPD_CHECK(coo.dims == dims, NotationError,
@@ -177,6 +183,14 @@ TensorStorage pack(const std::string& name, const Format& format,
       st.vals_->at_linear(static_cast<Coord>(p)) =
           coo.vals[static_cast<size_t>(g.begin)];
     }
+  }
+  if (obs::enabled()) {
+    static obs::Counter& tensors = obs::Metrics::global().counter("pack.tensors");
+    static obs::Counter& nnz = obs::Metrics::global().counter("pack.nnz");
+    static obs::Histogram& us = obs::Metrics::global().histogram("pack.us");
+    tensors.add(1);
+    nnz.add(st.nnz_);
+    us.record(static_cast<int64_t>(obs::wall_us() - t0));
   }
   return st;
 }

@@ -1,0 +1,151 @@
+// Process-wide metrics registry: counters, gauges, and histograms with O(1)
+// lock-free hot-path updates.
+//
+// Instruments register a metric once (a mutex-guarded name lookup returning
+// a stable reference — call sites cache it in a static) and then update it
+// with a single relaxed atomic operation. Every update is gated on the
+// global obs::enabled() flag, so a disabled process records nothing and the
+// hot-path cost is one relaxed load. Snapshots serialize the whole registry
+// as JSON ($SPDISTAL_METRICS=out.json dumps one at process exit).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace spdistal::obs {
+
+// Master observability switch. Initialized from the environment:
+// SPDISTAL_OBS=0 forces off, SPDISTAL_OBS=1 (or any other value) forces on;
+// unset defaults to on exactly when a sink ($SPDISTAL_TRACE or
+// $SPDISTAL_METRICS) is configured. Tests flip it with set_enabled().
+bool enabled();
+void set_enabled(bool on);
+
+// Monotonic event count (additive, e.g. steals, plan hits).
+class Counter {
+ public:
+  void add(int64_t d = 1) {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Additive double-valued counter (byte totals priced in doubles).
+class CounterD {
+ public:
+  void add(double d) {
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Instantaneous level (queue depth, cache size). set() records the current
+// value and tracks the high-water mark.
+class Gauge {
+ public:
+  void set(int64_t v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Power-of-two bucketed histogram of non-negative samples (latencies in
+// microseconds, sizes in bytes): bucket b counts samples in [2^(b-1), 2^b),
+// bucket 0 counts zeros. O(1) record (one count increment + sum update).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(int64_t sample);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// The registry. Metric objects live for the process lifetime (stable
+// addresses), so call sites may cache the returned references.
+class Metrics {
+ public:
+  static Metrics& global();
+
+  Counter& counter(const std::string& name);
+  CounterD& counterd(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // JSON snapshot of every registered metric:
+  //   {"counters": {...}, "gauges": {"name": {"value": v, "max": m}},
+  //    "histograms": {"name": {"count": n, "sum": s, "buckets": [[lo,c]..]}}}
+  std::string json() const;
+  // Zeroes every value; registered handles stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<CounterD>> counterds_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Per-kernel simulated-cost aggregation (tasks, measured work, simulated
+// busy seconds keyed by launch/kernel name). Owned per-Runtime — unlike the
+// global registry above it is part of the deterministic SimReport surface,
+// so it is plain (non-atomic) data updated only from the serialized
+// retirement chain.
+struct KernelStats {
+  int64_t tasks = 0;
+  double flops = 0;
+  double bytes = 0;
+  double busy_s = 0;  // simulated execution time, excluding queueing
+
+  KernelStats& operator+=(const KernelStats& o) {
+    tasks += o.tasks;
+    flops += o.flops;
+    bytes += o.bytes;
+    busy_s += o.busy_s;
+    return *this;
+  }
+  KernelStats operator-(const KernelStats& o) const {
+    return KernelStats{tasks - o.tasks, flops - o.flops, bytes - o.bytes,
+                       busy_s - o.busy_s};
+  }
+};
+
+using KernelTable = std::map<std::string, KernelStats>;
+
+}  // namespace spdistal::obs

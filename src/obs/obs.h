@@ -1,0 +1,13 @@
+// Umbrella header for the observability subsystem: the metrics registry
+// (obs/metrics.h), the Perfetto trace recorder and OBS_SPAN macro
+// (obs/trace.h), and the env-controlled sinks.
+//
+// Environment knobs:
+//   SPDISTAL_OBS=0|1      force observability off/on (default: on iff a
+//                         sink below is configured)
+//   SPDISTAL_TRACE=f.json capture a Chrome/Perfetto trace, write at exit
+//   SPDISTAL_METRICS=f.json dump the metrics registry as JSON at exit
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"

@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace spdistal::obs {
+
+namespace {
+
+// Thread-local host-track id; -1 until assigned by host_tid().
+thread_local int tls_host_tid = -1;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One trace-event JSON object. Timestamps are rendered with fixed precision
+// so identical inputs always produce identical bytes (the simulated track's
+// bit-identity contract rides on this).
+std::string event_line(int pid, int tid, const char* cat,
+                       const std::string& name, double ts_us, double dur_us,
+                       const std::string& args_json) {
+  std::string line = strprintf(
+      "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+      "\"dur\": %.3f, \"pid\": %d, \"tid\": %d",
+      escape(name).c_str(), cat, ts_us, dur_us, pid, tid);
+  if (!args_json.empty()) {
+    line += ", \"args\": " + args_json;
+  }
+  line += "}";
+  return line;
+}
+
+}  // namespace
+
+double wall_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - start)
+      .count();
+}
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked so instrumentation in static destructors stays safe; the atexit
+  // hook below has already written any env-configured sink by then.
+  static TraceRecorder* rec = new TraceRecorder();
+  return *rec;
+}
+
+TraceRecorder::TraceRecorder() {
+  wall_us();  // pin the wall-clock epoch
+  if (const char* path = std::getenv("SPDISTAL_TRACE")) {
+    if (enabled() && path[0] != '\0') {
+      capturing_.store(true, std::memory_order_relaxed);
+      static std::string out_path;  // read back by the atexit hook
+      out_path = path;
+      std::atexit([] {
+        TraceRecorder& r = TraceRecorder::global();
+        if (!r.write(out_path)) {
+          std::fprintf(stderr, "spdistal: failed to write trace to %s\n",
+                       out_path.c_str());
+        }
+      });
+    }
+  }
+}
+
+void TraceRecorder::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sim_events_.clear();
+  host_events_.clear();
+  sim_track_names_.clear();
+  capturing_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::sim_span(int tid, const char* cat, const std::string& name,
+                             double t0_s, double t1_s,
+                             const std::string& args_json) {
+  if (!active()) return;
+  // Virtual seconds -> trace microseconds.
+  std::string line = event_line(kSimPid, tid, cat, name, t0_s * 1e6,
+                                (t1_s - t0_s) * 1e6, args_json);
+  std::lock_guard<std::mutex> lk(mu_);
+  sim_events_.push_back(std::move(line));
+}
+
+void TraceRecorder::name_sim_track(int tid, const std::string& name) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  sim_track_names_.emplace(tid, name);  // first writer wins
+}
+
+int TraceRecorder::host_tid() {
+  if (tls_host_tid < 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    tls_host_tid = next_host_tid_++;
+    host_thread_names_.emplace(
+        tls_host_tid, tls_host_tid == 0
+                          ? std::string("main")
+                          : strprintf("thread-%d", tls_host_tid));
+  }
+  return tls_host_tid;
+}
+
+void TraceRecorder::host_span(const char* cat, const std::string& name,
+                              double ts_us, double dur_us) {
+  if (!active()) return;
+  const int tid = host_tid();
+  std::string line = event_line(kHostPid, tid, cat, name, ts_us, dur_us, "");
+  std::lock_guard<std::mutex> lk(mu_);
+  host_events_.push_back(std::move(line));
+}
+
+void TraceRecorder::host_instant(const char* cat, const std::string& name) {
+  if (!active()) return;
+  const int tid = host_tid();
+  std::string line = strprintf(
+      "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"ts\": %.3f, "
+      "\"pid\": %d, \"tid\": %d, \"s\": \"t\"}",
+      escape(name).c_str(), cat, wall_us(), kHostPid, tid);
+  std::lock_guard<std::mutex> lk(mu_);
+  host_events_.push_back(std::move(line));
+}
+
+void TraceRecorder::name_host_thread(const std::string& name) {
+  const int tid = host_tid();
+  std::lock_guard<std::mutex> lk(mu_);
+  host_thread_names_[tid] = name;
+}
+
+size_t TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sim_events_.size() + host_events_.size();
+}
+
+std::vector<std::string> TraceRecorder::sim_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sim_events_;
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"traceEvents\": [\n";
+  std::vector<std::string> lines;
+  lines.reserve(4 + sim_track_names_.size() + host_thread_names_.size() +
+                sim_events_.size() + host_events_.size());
+  auto meta = [](int pid, int tid, const char* what, const std::string& name) {
+    return strprintf(
+        "{\"name\": \"%s\", \"ph\": \"M\", \"pid\": %d%s, \"args\": "
+        "{\"name\": \"%s\"}}",
+        what, pid,
+        tid >= 0 ? strprintf(", \"tid\": %d", tid).c_str() : "",
+        escape(name).c_str());
+  };
+  lines.push_back(meta(kSimPid, -1, "process_name", "simulated timeline"));
+  lines.push_back(meta(kHostPid, -1, "process_name", "host timeline"));
+  for (const auto& [tid, name] : sim_track_names_) {
+    lines.push_back(meta(kSimPid, tid, "thread_name", name));
+  }
+  for (const auto& [tid, name] : host_thread_names_) {
+    lines.push_back(meta(kHostPid, tid, "thread_name", name));
+  }
+  for (const auto& e : sim_events_) lines.push_back(e);
+  for (const auto& e : host_events_) lines.push_back(e);
+  out += join(lines, ",\n");
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace spdistal::obs

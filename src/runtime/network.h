@@ -11,6 +11,10 @@
 
 #include "runtime/machine.h"
 
+namespace spdistal::obs {
+class TraceRecorder;
+}
+
 namespace spdistal::rt {
 
 struct TrafficStats {
@@ -47,11 +51,17 @@ class Network {
   // Resets NIC availability clocks (between benchmark trials).
   void reset_clocks();
 
+  // Attaches (or detaches with nullptr) the observability sinks: transfer
+  // spans on per-node NIC/NVLink tracks plus the net.* metrics mirrors.
+  // Proxy/scratch networks must stay detached.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   MachineConfig config_;
   std::vector<double> nic_send_free_;
   std::vector<double> nic_recv_free_;
   TrafficStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace spdistal::rt

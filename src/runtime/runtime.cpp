@@ -4,8 +4,27 @@
 
 #include "common/error.h"
 #include "common/str_util.h"
+#include "obs/obs.h"
 
 namespace spdistal::rt {
+
+SimReport SimReport::diff(const SimReport& base) const {
+  SimReport d = *this;
+  d.sim_time -= base.sim_time;
+  d.inter_node_bytes -= base.inter_node_bytes;
+  d.intra_node_bytes -= base.intra_node_bytes;
+  d.messages -= base.messages;
+  d.tasks -= base.tasks;
+  d.plan_hits -= base.plan_hits;
+  d.plan_misses -= base.plan_misses;
+  d.plan_evictions -= base.plan_evictions;
+  // imbalance / peak memory are levels, not totals: keep this report's.
+  for (const auto& [name, stats] : base.kernels) {
+    auto it = d.kernels.find(name);
+    if (it != d.kernels.end()) it->second = it->second - stats;
+  }
+  return d;
+}
 
 namespace {
 
@@ -87,7 +106,15 @@ Runtime::Runtime(Machine machine, int exec_threads)
       pool_(exec_threads < 0 ? exec::WorkerPool::shared()
                              : exec::WorkerPool::create(exec_threads)),
       ex_(std::make_unique<exec::Executor>(pool_)),
-      tracker_(std::make_unique<exec::DepTracker>(*ex_)) {}
+      tracker_(std::make_unique<exec::DepTracker>(*ex_)) {
+  set_observability(true);
+}
+
+void Runtime::set_observability(bool on) {
+  observed_ = on;
+  sim_.set_trace(on ? &obs::TraceRecorder::global() : nullptr);
+  net_.set_trace(on ? &obs::TraceRecorder::global() : nullptr);
+}
 
 Runtime::~Runtime() {
   // Executor destruction drains in-flight tasks (which touch sim/network/
@@ -413,6 +440,11 @@ std::shared_ptr<const Runtime::LaunchPlan> Runtime::build_plan(
 exec::Future Runtime::execute(const IndexLaunch& launch) {
   SPD_ASSERT(launch.domain >= 1, "empty launch domain");
   SPD_ASSERT(launch.body, "launch without body");
+  // Host-timeline span for the enqueue (name only built when recording).
+  obs::Span enqueue_span("runtime",
+                         obs::TraceRecorder::global().active() && observed_
+                             ? "enqueue " + launch.name
+                             : std::string());
   const int P = launch.domain;
   const size_t R = launch.reqs.size();
 
@@ -428,6 +460,12 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
                           req.partition ? req.partition->uid() : 0,
                           static_cast<int>(req.priv));
   }
+  static obs::Counter& plan_hit_metric =
+      obs::Metrics::global().counter("plan.hits");
+  static obs::Counter& plan_miss_metric =
+      obs::Metrics::global().counter("plan.misses");
+  static obs::Counter& plan_evict_metric =
+      obs::Metrics::global().counter("plan.evictions");
   std::shared_ptr<const LaunchPlan> plan;
   if (plan_memo_) {
     if (auto it = plan_cache_.find(key); it != plan_cache_.end()) {
@@ -435,11 +473,16 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
       plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
       plan = it->second->plan;
       ++plan_hits_;
+      if (observed_) plan_hit_metric.add(1);
     }
   }
   if (plan == nullptr) {
-    plan = build_plan(launch);
+    {
+      OBS_SPAN("runtime", "plan_build");
+      plan = build_plan(launch);
+    }
     ++plan_misses_;
+    if (observed_) plan_miss_metric.add(1);
     if (plan_memo_) {
       // Capacity bound against programs that churn through partitions:
       // evict only the least-recently-used plan, so the handful of live
@@ -448,6 +491,7 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
         plan_cache_.erase(plan_lru_.back().key);
         plan_lru_.pop_back();
         ++plan_evictions_;
+        if (observed_) plan_evict_metric.add(1);
       }
       plan_lru_.push_front(PlanEntry{key, plan});
       plan_cache_.emplace(std::move(key), plan_lru_.begin());
@@ -589,6 +633,13 @@ void Runtime::account_launch(LaunchRecord& rec) {
   };
   std::vector<PointResult> points(static_cast<size_t>(launch.domain));
 
+  // Sim-track labels are built only while a capture is live; the per-kernel
+  // row accumulates whenever this runtime is observed.
+  const bool tracing =
+      sim_.trace() != nullptr && sim_.trace()->active();
+  obs::KernelStats* row = observed_ ? &kernel_rows_[launch.name] : nullptr;
+  std::string pt_name;
+
   for (int p = 0; p < launch.domain; ++p) {
     const Proc proc = plan.procs[static_cast<size_t>(p)];
     const Mem target = machine_.proc_mem(proc);
@@ -610,8 +661,21 @@ void Runtime::account_launch(LaunchRecord& rec) {
         }
       }
     }
-    const double done = sim_.run_task(proc, rec.work[static_cast<size_t>(p)],
-                                      launch.leaf_threads, data_ready);
+    const WorkEstimate& work = rec.work[static_cast<size_t>(p)];
+    const char* nm = launch.name.c_str();
+    if (tracing) {
+      pt_name = strprintf("%s[%d]", launch.name.c_str(), p);
+      nm = pt_name.c_str();
+    }
+    const double done =
+        sim_.run_task(proc, work, launch.leaf_threads, data_ready, nm);
+    if (row != nullptr) {
+      row->tasks += 1;
+      row->flops += work.flops;
+      row->bytes += work.bytes;
+      row->busy_s += machine_.config().task_overhead_s +
+                     sim_.task_duration(proc, work, launch.leaf_threads);
+    }
     points[static_cast<size_t>(p)] = PointResult{proc, done};
   }
 
@@ -642,6 +706,8 @@ void Runtime::account_launch(LaunchRecord& rec) {
     // lowest-colored owner: transfer + add for each pairwise overlap,
     // replayed from the plan's precomputed script (same pairs, same order
     // as the cold O(P^2) scan).
+    const std::string combine_name =
+        tracing ? launch.name + ":combine" : std::string();
     for (const auto& pair : plan.reduce_pairs[r]) {
       const Proc owner = points[static_cast<size_t>(pair.p)].proc;
       const Proc src = points[static_cast<size_t>(pair.q)].proc;
@@ -653,7 +719,8 @@ void Runtime::account_launch(LaunchRecord& rec) {
       WorkEstimate combine;
       combine.flops = static_cast<double>(pair.overlap.volume());
       combine.bytes = 2 * bytes;
-      sim_.run_task(owner, combine, launch.leaf_threads, t);
+      sim_.run_task(owner, combine, launch.leaf_threads, t,
+                    tracing ? combine_name.c_str() : nullptr);
     }
   }
 }
@@ -682,6 +749,7 @@ void Runtime::reset_timing() {
   sim_.reset();
   net_.reset_stats();
   net_.reset_clocks();
+  kernel_rows_.clear();
   for (auto& [id, pl] : placements_) {
     for (auto& [mem, rdy] : pl.ready) rdy = 0.0;
   }
@@ -701,6 +769,7 @@ SimReport Runtime::report() const {
   rep.plan_hits = plan_hits_;
   rep.plan_misses = plan_misses_;
   rep.plan_evictions = plan_evictions_;
+  rep.kernels = kernel_rows_;
   return rep;
 }
 

@@ -36,6 +36,7 @@
 
 #include "exec/dep_graph.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "runtime/index_space.h"
 #include "runtime/machine.h"
 #include "runtime/memory.h"
@@ -122,6 +123,17 @@ struct SimReport {
   int64_t plan_hits = 0;
   int64_t plan_misses = 0;
   int64_t plan_evictions = 0;
+  // Per-kernel breakdown keyed by launch name: leaf point tasks only
+  // (reduction combines and host tasks are excluded). Accounted in the
+  // serialized retirement replay, so bit-identical across worker counts.
+  // Zeroed by reset_timing alongside clocks.
+  obs::KernelTable kernels;
+
+  // This report minus `base` for the additive fields (sim_time, traffic,
+  // messages, tasks, plan counters, per-kernel rows present in both).
+  // Level-like fields (imbalance, peaks) keep this report's values. Lets
+  // callers isolate a phase: report().diff(before).
+  SimReport diff(const SimReport& base) const;
 };
 
 class Runtime {
@@ -218,6 +230,15 @@ class Runtime {
   // Drains in-flight launches, then reports.
   SimReport report() const;
 
+  // Observability attachment. On by default: the simulator and network feed
+  // the global trace recorder and the sim.*/net.*/plan.* metrics mirrors
+  // (each individually gated on obs::enabled()). Scratch runtimes used for
+  // proxy simulations (autosched cost model) must detach — they run
+  // concurrently, and their events would break the simulated track's
+  // bit-identity and pollute process metrics.
+  void set_observability(bool on);
+  bool observed() const { return observed_; }
+
   // Maps launch point `p` of a `domain`-point launch onto the machine grid.
   Proc proc_for_point(int p, int domain) const;
   // Grid-aware mapping honoring the launch's domain shape: point (x, y) of
@@ -295,6 +316,10 @@ class Runtime {
   int64_t plan_hits_ = 0;
   int64_t plan_misses_ = 0;
   int64_t plan_evictions_ = 0;
+  bool observed_ = false;
+  // Per-launch-name leaf-task stats (SimReport::kernels). Plain data:
+  // updated only from the serialized retirement chain.
+  obs::KernelTable kernel_rows_;
   std::shared_ptr<exec::WorkerPool> pool_;
   // Declared after all state the retirement tasks touch, so the destructor
   // drains in-flight tasks while that state is still alive. Mutable: const

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/str_util.h"
+#include "obs/obs.h"
 
 namespace spdistal::rt {
 
@@ -39,7 +41,7 @@ double Simulator::task_duration(const Proc& p, const WorkEstimate& work,
 }
 
 double Simulator::run_task(const Proc& p, const WorkEstimate& work, int threads,
-                           double ready_time) {
+                           double ready_time, const char* name) {
   const size_t s = slot(p);
   const double start = std::max(clocks_[s], ready_time);
   const double duration =
@@ -47,6 +49,18 @@ double Simulator::run_task(const Proc& p, const WorkEstimate& work, int threads,
   clocks_[s] = start + duration;
   busy_[s] += duration;
   ++tasks_run_;
+  if (trace_ != nullptr) {
+    static obs::Counter& tasks = obs::Metrics::global().counter("sim.tasks");
+    tasks.add(1);
+    if (name != nullptr && trace_->active()) {
+      const int tid = static_cast<int>(s);
+      trace_->name_sim_track(
+          tid, p.kind == ProcKind::CPU
+                   ? strprintf("node%d/CPU", p.node)
+                   : strprintf("node%d/GPU%d", p.node, p.index));
+      trace_->sim_span(tid, "task", name, start, clocks_[s]);
+    }
+  }
   return clocks_[s];
 }
 

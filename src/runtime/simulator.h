@@ -16,6 +16,10 @@
 
 #include "runtime/machine.h"
 
+namespace spdistal::obs {
+class TraceRecorder;
+}
+
 namespace spdistal::rt {
 
 // Work performed by a leaf task, measured during real execution.
@@ -47,9 +51,18 @@ class Simulator {
   // Executes `work` on `p` with a leaf exploiting `threads` hardware threads
   // (per Figure 1's parallelize(ii, CPUThread); ignored for GPUs). The task
   // may start no earlier than `ready_time` (data arrival). Returns the
-  // completion time and advances p's clock to it.
+  // completion time and advances p's clock to it. When a trace recorder is
+  // attached and `name` is non-null, the task is recorded as a span on p's
+  // simulated-timeline track.
   double run_task(const Proc& p, const WorkEstimate& work, int threads,
-                  double ready_time);
+                  double ready_time, const char* name = nullptr);
+
+  // Attaches (or detaches with nullptr) the observability sinks: task spans
+  // go to `trace`, and the sim.* metrics mirrors are updated. Proxy/scratch
+  // simulators must stay detached so the recorded timeline only reflects
+  // the application's runtime.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
 
   // Pure cost query without advancing clocks.
   double task_duration(const Proc& p, const WorkEstimate& work,
@@ -77,6 +90,7 @@ class Simulator {
   std::vector<double> clocks_;
   std::vector<double> busy_;
   int64_t tasks_run_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace spdistal::rt

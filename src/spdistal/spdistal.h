@@ -19,6 +19,7 @@
 #include "format/format.h"         // format language (Dense/Compressed)
 #include "format/level_format.h"   // Table I level functions
 #include "format/storage.h"        // COO + packed storage
+#include "obs/obs.h"               // tracing + metrics (SPDISTAL_TRACE/METRICS)
 #include "runtime/runtime.h"       // Legion-like runtime + machine model
 #include "sched/schedule.h"        // scheduling language
 #include "tdn/tdn.h"               // tensor distribution notation
