@@ -11,6 +11,7 @@
 #include "obs/obs.h"
 #include "runtime/partition.h"
 #include "tensor/tensor.h"
+#include "verify/verify.h"
 
 namespace {
 
@@ -276,6 +277,65 @@ void BM_TraceOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// Verify-mode cost, and the zero-overhead contract when off: with the
+// verifiers disabled the accessor fast path pays one relaxed load and the
+// checkers record nothing; with them armed every warm launch re-runs the
+// O(P^2) race audit and every point task logs its touched bounds.
+void BM_VerifyOverhead(benchmark::State& state) {
+  const bool verify_on = state.range(0) != 0;
+  constexpr int kPieces = 16;
+  IndexVar i("i"), j("j"), io("io"), ii("ii");
+  fmt::Coo coo = data::powerlaw_matrix(4000, 4000, 120000, 1.1, 9);
+  const std::vector<Coord> dims = coo.dims;
+  Tensor a("a", {dims[0]}, fmt::dense_vector());
+  Tensor B("B", dims, fmt::csr(), tdn::parse_tdn("B(x, y) -> M(x)"));
+  Tensor c("c", {dims[1]}, fmt::dense_vector(),
+           tdn::parse_tdn("c(x) -> M(q)"));
+  B.from_coo(std::move(coo));
+  c.init_dense([](const auto& x) {
+    return 1.0 + 0.01 * static_cast<double>(x[0] % 17);
+  });
+  Statement& stmt = (a(i) = B(i, j) * c(j));
+  a.schedule().divide(i, io, ii, kPieces).distribute(io);
+
+  rt::MachineConfig cfg;
+  cfg.nodes = kPieces;
+  rt::Machine m(cfg, rt::Grid(kPieces), rt::ProcKind::CPU);
+  rt::Runtime runtime(m, 1);
+  const bool verify_prev = verify::enabled();
+  verify::set_enabled(verify_on);
+  runtime.set_verify(verify_on);
+  auto inst = comp::CompiledKernel::compile(stmt, m).instantiate(runtime);
+  inst->run(1);  // plan build + first-touch communication
+  const verify::Stats before = verify::stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst->run_async(1));
+    state.PauseTiming();
+    runtime.flush();
+    state.ResumeTiming();
+  }
+  const verify::Stats after = verify::stats();
+  if (verify_on) {
+    SPD_ASSERT(after.plans_checked > before.plans_checked &&
+                   after.tasks_checked > before.tasks_checked,
+               "BM_VerifyOverhead(on) audited nothing");
+    SPD_ASSERT(after.violations == before.violations,
+               "BM_VerifyOverhead(on) flagged a clean kernel");
+  } else {
+    // Disabled-mode contract: the checkers never run.
+    SPD_ASSERT(after.plans_checked == before.plans_checked &&
+                   after.tasks_checked == before.tasks_checked,
+               "BM_VerifyOverhead(off) ran "
+                   << (after.plans_checked - before.plans_checked)
+                   << " plan audits");
+  }
+  verify::set_enabled(verify_prev);
+  state.counters["plans_checked"] =
+      static_cast<double>(after.plans_checked - before.plans_checked);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VerifyOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_SubsetSubtract(benchmark::State& state) {
   rt::IndexSubset a(1), b(1);

@@ -1,10 +1,14 @@
 // Error handling primitives for SpDISTAL.
 //
-// Two failure classes are distinguished:
+// Three failure classes are distinguished:
 //  - SpdError: user-facing errors (bad notation, illegal schedule, I/O
 //    failures, simulated OOM). Thrown and expected to be catchable.
-//  - SPD_ASSERT: internal invariant violations. Abort in all build types so
-//    that miscompilations never silently produce wrong numbers.
+//  - SPD_ASSERT / SPDISTAL_CHECK: internal invariant violations. Abort in
+//    all build types so that miscompilations never silently produce wrong
+//    numbers.
+//  - SPDISTAL_DCHECK: invariants on per-element / per-task hot paths.
+//    Message-bearing and active in Debug builds (the sanitizer CI jobs),
+//    compiled out under NDEBUG so Release inner loops stay branch-free.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +40,14 @@ class NotationError : public SpdError {
 class ScheduleError : public SpdError {
  public:
   explicit ScheduleError(const std::string& what) : SpdError(what) {}
+};
+
+// Raised by the verification subsystem (SPDISTAL_VERIFY=1): a schedule/plan
+// lint rejection, a privilege violation caught by the region access
+// checker, or a dependence-race/staleness finding from the plan auditor.
+class VerifyError : public SpdError {
+ public:
+  explicit VerifyError(const std::string& what) : SpdError(what) {}
 };
 
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
@@ -73,3 +85,25 @@ struct MsgStream {
       throw ExcType((::spdistal::detail::MsgStream() << msg).str());         \
     }                                                                        \
   } while (0)
+
+// Always-on invariant check; identical to SPD_ASSERT under the project-
+// prefixed name. Pairs with SPDISTAL_DCHECK so call sites state whether an
+// invariant must hold in every build or only under Debug.
+#define SPDISTAL_CHECK(expr, msg) SPD_ASSERT(expr, msg)
+
+// Hot-path invariant check: full message-bearing abort in Debug builds
+// (where the sanitizer CI jobs run), compiled out under NDEBUG. The
+// condition and message stay compiled (type errors still fail the build)
+// but are dead code the optimizer removes, so per-element access paths in
+// Release carry no branch.
+#ifndef NDEBUG
+#define SPDISTAL_DCHECK(expr, msg) SPD_ASSERT(expr, msg)
+#else
+#define SPDISTAL_DCHECK(expr, msg)                                \
+  do {                                                            \
+    if (false) {                                                  \
+      (void)(expr);                                               \
+      (void)(::spdistal::detail::MsgStream() << msg);             \
+    }                                                             \
+  } while (0)
+#endif

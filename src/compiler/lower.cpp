@@ -8,6 +8,7 @@
 #include "kernels/assembly.h"
 #include "obs/obs.h"
 #include "tdn/tdn.h"
+#include "verify/lint.h"
 
 namespace spdistal::comp {
 
@@ -39,6 +40,12 @@ CompiledKernel CompiledKernel::compile(const Statement& stmt,
 CompiledKernel CompiledKernel::compile(const Statement& stmt,
                                        const sched::Schedule& schedule,
                                        const rt::Machine& machine) {
+  // Verify mode: lint the schedule against the statement and machine
+  // before any lowering analysis, so illegal combinations are rejected
+  // with a message naming the offending directive rather than a failure
+  // deep inside co-iteration or partitioning.
+  if (verify::enabled()) verify::lint_or_throw(stmt, schedule, machine);
+
   CompiledKernel ck;
   ck.stmt_ = stmt;
   ck.schedule_ = schedule;
@@ -272,19 +279,31 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
   launch.domain = pieces_;
   launch.leaf_threads = leaf_threads_;
 
-  // Adds requirements for a sparse tensor partitioned by `tp`.
+  // Adds requirements for a sparse tensor partitioned by `tp`. When the
+  // distributed (seed) level of a universe distribution stores coordinates,
+  // the leaf scans that level's entire crd array and filters by the piece's
+  // coordinate block (coiter's non-unique/driver loop), so `scan_level`
+  // declares its crd whole-region — the partitioned subset would
+  // under-declare what every point actually reads. Position splits build
+  // owner maps over the complete pos array of every Compressed level at or
+  // above the split, so `whole_pos_upto` declares those pos regions whole.
   auto add_sparse_reqs = [&](const fmt::TensorStorage& st,
                              const TensorPartition& tp, Privilege vals_priv,
-                             Privilege meta_priv) {
+                             Privilege meta_priv, int scan_level = -1,
+                             int whole_pos_upto = -1) {
     launch.reqs.push_back(
         rt::RegionReq{st.vals(), own(tp.vals_part), vals_priv});
     for (int l = 0; l < st.num_levels(); ++l) {
       const auto& level = st.level(l);
       if (!level.kind.has_crd()) continue;
       launch.reqs.push_back(rt::RegionReq{
-          level.crd, own(tp.level_parts[static_cast<size_t>(l)]), meta_priv});
+          level.crd,
+          l == scan_level
+              ? nullptr
+              : own(tp.level_parts[static_cast<size_t>(l)]),
+          meta_priv});
       if (!level.kind.has_pos()) continue;  // Singleton: crd only
-      if (l == 0) {
+      if (l == 0 || l <= whole_pos_upto) {
         launch.reqs.push_back(rt::RegionReq{level.pos, nullptr, meta_priv});
       } else {
         launch.reqs.push_back(rt::RegionReq{
@@ -456,7 +475,7 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
       const Privilege vals_priv =
           !is_output ? Privilege::RO
                      : (axes == 1 ? Privilege::WO : Privilege::REDUCE);
-      add_sparse_reqs(st, tp, vals_priv, Privilege::RO);
+      add_sparse_reqs(st, tp, vals_priv, Privilege::RO, level);
       sparse_tps.emplace(name, std::move(tp));
     }
     // Second pass: tensors not indexed by the distributed variable. A 1-D
@@ -538,7 +557,8 @@ std::unique_ptr<Instance> CompiledKernel::instantiate(
         trace, split_tensor_, split_level_, sl, bounds);
     TensorPartition ttp =
         fmt::partition_coordinate_tree(trace, tst, split_level_, init);
-    add_sparse_reqs(tst, ttp, Privilege::RO, Privilege::RO);
+    add_sparse_reqs(tst, ttp, Privilege::RO, Privilege::RO,
+                    /*scan_level=*/-1, /*whole_pos_upto=*/split_level_);
 
     const IndexVar v0 = fused_sources_[0];
     // The split tensor's top-level (possibly overlapping) partition derives

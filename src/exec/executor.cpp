@@ -128,7 +128,7 @@ void WorkerPool::help_until(const std::function<bool()>& pred) {
       lk.lock();
       continue;
     }
-    SPD_ASSERT(!stop_, "WorkerPool stopped with waiters pending");
+    SPDISTAL_CHECK(!stop_, "WorkerPool stopped with waiters pending");
     cv_.wait(lk);
   }
 }
@@ -163,6 +163,15 @@ TaskId Executor::create(std::string name, std::function<void()> fn) {
   ++stats_.created;
   created_metric.add(1);
   outstanding_metric.set(static_cast<int64_t>(outstanding_));
+  if (obs::TraceRecorder::global().active()) {
+    // Counter-track samples (ph:"C"): queue-depth and outstanding-task
+    // graphs on the host timeline. Pool lock held; the pool->recorder lock
+    // order is one-way, so this cannot deadlock.
+    obs::TraceRecorder::global().host_counter(
+        "exec", "exec.outstanding", static_cast<int64_t>(outstanding_));
+    obs::TraceRecorder::global().host_counter(
+        "exec", "exec.queued", static_cast<int64_t>(pool_->queued_locked()));
+  }
   return id;
 }
 
@@ -198,7 +207,7 @@ TaskId Executor::submit(std::string name, std::function<void()> fn,
 
 void Executor::enqueue_locked(TaskId id) {
   Node& n = nodes_[id];
-  SPD_ASSERT(!n.running, "task enqueued twice");
+  SPDISTAL_DCHECK(!n.running, "task " << n.name << " enqueued twice");
   n.running = true;
   pool_->push_locked([this, id] { run_node(id); });
 }
@@ -214,7 +223,7 @@ void Executor::run_node(TaskId id) {
   {
     auto lk = pool_->lock();
     auto it = nodes_.find(id);
-    SPD_ASSERT(it != nodes_.end(), "run_node on retired task");
+    SPDISTAL_DCHECK(it != nodes_.end(), "run_node on retired task " << id);
     fn = std::move(it->second.fn);
     if (tracing) label = it->second.name;  // copied only while recording
   }
@@ -242,10 +251,19 @@ void Executor::run_node(TaskId id) {
     outstanding_metric.set(static_cast<int64_t>(outstanding_));
     for (TaskId s : succs) {
       auto sit = nodes_.find(s);
-      SPD_ASSERT(sit != nodes_.end(), "successor retired before predecessor");
+      SPDISTAL_DCHECK(sit != nodes_.end(),
+                      "successor " << s << " retired before predecessor "
+                                   << id);
       if (--sit->second.pending == 0 && sit->second.committed) {
         enqueue_locked(s);
       }
+    }
+    if (obs::TraceRecorder::global().active()) {
+      obs::TraceRecorder::global().host_counter(
+          "exec", "exec.outstanding", static_cast<int64_t>(outstanding_));
+      obs::TraceRecorder::global().host_counter(
+          "exec", "exec.queued",
+          static_cast<int64_t>(pool_->queued_locked()));
     }
     pool_->notify_locked();
   }

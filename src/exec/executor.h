@@ -73,6 +73,13 @@ class WorkerPool {
   // Wakes threads blocked in help_until (call with lock held after changing
   // predicate-visible state).
   void notify_locked() { cv_.notify_all(); }
+  // Items currently queued (inbox + all worker deques); caller holds lock().
+  // Feeds the exec.queued counter track.
+  size_t queued_locked() const {
+    size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
   // Runs ready items until pred() holds; pred is evaluated under the pool
   // mutex. Blocks (interruptibly) when no item is ready anywhere.
   void help_until(const std::function<bool()>& pred);

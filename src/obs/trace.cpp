@@ -143,6 +143,17 @@ void TraceRecorder::host_instant(const char* cat, const std::string& name) {
   host_events_.push_back(std::move(line));
 }
 
+void TraceRecorder::host_counter(const char* cat, const char* name,
+                                 int64_t value) {
+  if (!active()) return;
+  std::string line = strprintf(
+      "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, "
+      "\"pid\": %d, \"tid\": 0, \"args\": {\"value\": %lld}}",
+      name, cat, wall_us(), kHostPid, static_cast<long long>(value));
+  std::lock_guard<std::mutex> lk(mu_);
+  host_events_.push_back(std::move(line));
+}
+
 void TraceRecorder::name_host_thread(const std::string& name) {
   const int tid = host_tid();
   std::lock_guard<std::mutex> lk(mu_);

@@ -67,6 +67,11 @@ class TraceRecorder {
                  double dur_us);
   // A zero-duration host marker.
   void host_instant(const char* cat, const std::string& name);
+  // A counter-track sample (ph:"C"): Perfetto renders successive samples of
+  // the same `name` as a filled line graph (executor queue depth,
+  // outstanding tasks). Samples live on host tid 0 so one graph aggregates
+  // values from every thread.
+  void host_counter(const char* cat, const char* name, int64_t value);
   // Names the calling thread's host track ("main", "worker-3").
   void name_host_thread(const std::string& name);
 

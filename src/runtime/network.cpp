@@ -106,11 +106,16 @@ double Network::broadcast(const Mem& src, const std::vector<int>& dst_nodes,
   stats_.inter_node_bytes += bytes * static_cast<double>(dsts.size());
   stats_.messages += static_cast<int64_t>(dsts.size());
   // NIC serialization: the source sends ceil(n/2)-ish messages in the worst
-  // round; we conservatively occupy the source NIC for 2 hops.
+  // round; we conservatively occupy the send direction for 2 hops. The
+  // recv direction is held for the whole tree so the source node's NIC
+  // track keeps non-overlapping spans (incoming transfers serialize on
+  // recv_free, and their spans land on the same track as this broadcast's).
   auto& send_free = nic_send_free_[static_cast<size_t>(src.node)];
-  const double start = std::max(ready_time, send_free);
+  auto& recv_free = nic_recv_free_[static_cast<size_t>(src.node)];
+  const double start = std::max({ready_time, send_free, recv_free});
   send_free = start + 2 * per_hop;
   const double done = start + rounds * per_hop;
+  recv_free = done;
   if (trace_ != nullptr) {
     count_traffic(/*inter_node=*/true, bytes * static_cast<double>(dsts.size()),
                   static_cast<int64_t>(dsts.size()));

@@ -29,6 +29,7 @@
 
 #include "common/error.h"
 #include "runtime/index_space.h"
+#include "runtime/touch_log.h"
 
 namespace spdistal::rt {
 
@@ -107,6 +108,15 @@ class RegionBase {
     SPD_ASSERT(false, "fold_scratch on non-privatizable region " << name_);
   }
 
+  // Verify-mode content fingerprint of the elements inside `subset` (FNV-1a
+  // over raw bytes, redirect-free). The privilege checker hashes RO operands
+  // before and after a launch to catch writes under read-only privileges.
+  // Base regions (type-erased use) report 0: "no fingerprint available".
+  virtual uint64_t content_hash(const IndexSubset& subset) const {
+    (void)subset;
+    return 0;
+  }
+
   // One redirect epoch is open per in-flight privatized launch touching this
   // region; accessors consult the thread-local redirect table only while an
   // epoch is open (a relaxed load on the hot path otherwise).
@@ -168,7 +178,9 @@ class Region final : public RegionBase {
 
   // 1-D element access.
   T& operator[](Coord i) {
-    SPD_ASSERT(space().dim() == 1, "1-D access on " << space().dim() << "-D");
+    SPDISTAL_DCHECK(space().dim() == 1,
+                    "1-D access on " << space().dim() << "-D");
+    if (touch_logging_enabled()) record_touch(1, i, 0, 0);
     const Backing b = backing();
     return b.base[static_cast<size_t>(i - b.box->lo[0])];
   }
@@ -178,9 +190,10 @@ class Region final : public RegionBase {
 
   // 2-D element access (row-major).
   T& at2(Coord i, Coord j) {
+    if (touch_logging_enabled()) record_touch(2, i, j, 0);
     const Backing bk = backing();
     const RectN& b = *bk.box;
-    SPD_ASSERT(b.dim == 2, "2-D access on " << b.dim << "-D region");
+    SPDISTAL_DCHECK(b.dim == 2, "2-D access on " << b.dim << "-D region");
     return bk.base[static_cast<size_t>(
         (i - b.lo[0]) * (b.hi[1] - b.lo[1] + 1) + (j - b.lo[1]))];
   }
@@ -190,9 +203,10 @@ class Region final : public RegionBase {
 
   // 3-D element access (row-major).
   T& at3(Coord i, Coord j, Coord k) {
+    if (touch_logging_enabled()) record_touch(3, i, j, k);
     const Backing bk = backing();
     const RectN& b = *bk.box;
-    SPD_ASSERT(b.dim == 3, "3-D access on " << b.dim << "-D region");
+    SPDISTAL_DCHECK(b.dim == 3, "3-D access on " << b.dim << "-D region");
     const Coord nj = b.hi[1] - b.lo[1] + 1;
     const Coord nk = b.hi[2] - b.lo[2] + 1;
     return bk.base[static_cast<size_t>(
@@ -208,6 +222,12 @@ class Region final : public RegionBase {
   // linear index is always relative to the region's *full* bounds; a
   // bounding-box scratch redirect translates.
   T& at_linear(Coord idx) {
+    if (touch_logging_enabled()) {
+      if (TouchLog* log = active_touch_log()) {
+        log->sink(id(), space().dim())
+            ->touch_linear(space().bounds(), idx);
+      }
+    }
     if (maybe_redirected()) {
       if (const ScratchHeader* s = thread_redirect()) {
         return static_cast<T*>(s->base)[static_cast<size_t>(
@@ -279,6 +299,38 @@ class Region final : public RegionBase {
     }
   }
 
+  uint64_t content_hash(const IndexSubset& subset) const override {
+    const RectN& b = space().bounds();
+    uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    const auto mix = [&h](const unsigned char* p, size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+      }
+    };
+    // Hashes the raw backing store (never a redirect): callers fingerprint
+    // quiescent regions between launches.
+    for (const RectN& rect : subset.rects()) {
+      const RectN r = rect.intersect(b);
+      if (r.empty()) continue;
+      std::array<Coord, kMaxDim> p{};
+      for (int d = 0; d < r.dim; ++d) p[static_cast<size_t>(d)] = r.lo[d];
+      while (true) {
+        const int64_t off = linearize(b, p);
+        const int64_t run = r.hi[r.dim - 1] - r.lo[r.dim - 1] + 1;
+        mix(reinterpret_cast<const unsigned char*>(data_.data() + off),
+            static_cast<size_t>(run) * sizeof(T));
+        int d = r.dim - 2;
+        for (; d >= 0; --d) {
+          if (++p[static_cast<size_t>(d)] <= r.hi[d]) break;
+          p[static_cast<size_t>(d)] = r.lo[d];
+        }
+        if (d < 0) break;
+      }
+    }
+    return h;
+  }
+
  private:
   template <typename, int>
   friend class RegionAccessor;
@@ -289,6 +341,21 @@ class Region final : public RegionBase {
     ScratchHeader hdr;
     std::vector<T> buf;
   };
+
+  // Verify-mode touch recording for the per-element paths (never taken when
+  // touch logging is off; the enabled() relaxed load gates the call).
+  void record_touch(int dim, Coord i, Coord j, Coord k) {
+    if (TouchLog* log = active_touch_log()) {
+      TouchSink* s = log->sink(id(), dim);
+      if (dim == 1) {
+        s->touch1(i);
+      } else if (dim == 2) {
+        s->touch2(i, j);
+      } else {
+        s->touch3(i, j, k);
+      }
+    }
+  }
 
   // Backing buffer for element access: the thread's scratch (with its
   // bounding box) while a reduction redirect is installed for this region,
@@ -350,9 +417,9 @@ class RegionAccessor {
   RegionAccessor() = default;
   explicit RegionAccessor(const Region<T>& region) {
     auto& r = const_cast<Region<T>&>(region);
-    SPD_ASSERT(r.space().dim() == DIM,
-               DIM << "-D accessor on " << r.space().dim() << "-D region "
-                   << r.name());
+    SPDISTAL_CHECK(r.space().dim() == DIM,
+                   DIM << "-D accessor on " << r.space().dim() << "-D region "
+                       << r.name());
     const auto b = r.backing();
     base_ = b.base;
     const RectN& box = *b.box;
@@ -362,6 +429,10 @@ class RegionAccessor {
       stride_[static_cast<size_t>(d)] = stride;
       stride *= box.hi[d] - box.lo[d] + 1;
     }
+    // Verify mode: one relaxed load; off is the only cost the hot path pays.
+    if (touch_logging_enabled()) {
+      if (TouchLog* log = active_touch_log()) sink_ = log->sink(r.id(), DIM);
+    }
   }
 
   bool valid() const { return base_ != nullptr; }
@@ -369,17 +440,20 @@ class RegionAccessor {
   T& operator[](Coord i) const
     requires(DIM == 1)
   {
+    if (sink_) sink_->touch1(i);
     return base_[static_cast<size_t>(i - lo_[0])];
   }
   T& operator()(Coord i, Coord j) const
     requires(DIM == 2)
   {
+    if (sink_) sink_->touch2(i, j);
     return base_[static_cast<size_t>((i - lo_[0]) * stride_[0] +
                                      (j - lo_[1]))];
   }
   T& operator()(Coord i, Coord j, Coord k) const
     requires(DIM == 3)
   {
+    if (sink_) sink_->touch3(i, j, k);
     return base_[static_cast<size_t>((i - lo_[0]) * stride_[0] +
                                      (j - lo_[1]) * stride_[1] +
                                      (k - lo_[2]))];
@@ -389,6 +463,7 @@ class RegionAccessor {
   T* base_ = nullptr;
   std::array<Coord, DIM> lo_{};
   std::array<Coord, DIM> stride_{};
+  TouchSink* sink_ = nullptr;
 };
 
 // Position-addressed accessor: indices are row-major linear offsets within
@@ -407,11 +482,18 @@ class LinearAccessor {
     outer_ = &r.space().bounds();
     box_ = b.box;
     direct_ = (box_ == outer_) || (*box_ == *outer_);
+    // Verify mode: one relaxed load; off is the only cost the hot path pays.
+    if (touch_logging_enabled()) {
+      if (TouchLog* log = active_touch_log()) {
+        sink_ = log->sink(r.id(), r.space().dim());
+      }
+    }
   }
 
   bool valid() const { return base_ != nullptr; }
 
   T& at(Coord idx) const {
+    if (sink_) sink_->touch_linear(*outer_, idx);
     if (direct_) return base_[static_cast<size_t>(idx)];
     return base_[static_cast<size_t>(
         Region<T>::translate_linear(*outer_, *box_, idx))];
@@ -422,6 +504,7 @@ class LinearAccessor {
   const RectN* outer_ = nullptr;  // region bounds (linear-index frame)
   const RectN* box_ = nullptr;    // backing-buffer box (scratch or region)
   bool direct_ = true;
+  TouchSink* sink_ = nullptr;
 };
 
 }  // namespace spdistal::rt

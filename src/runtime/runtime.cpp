@@ -1,10 +1,15 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/error.h"
 #include "common/str_util.h"
 #include "obs/obs.h"
+#include "runtime/touch_log.h"
+#include "verify/privilege_check.h"
+#include "verify/race_audit.h"
+#include "verify/verify.h"
 
 namespace spdistal::rt {
 
@@ -41,7 +46,9 @@ exec::AccessMode to_mode(Privilege p) {
 }  // namespace
 
 IndexSubset TaskContext::subset(size_t req) const {
-  SPD_ASSERT(req < launch_.reqs.size(), "req index out of range");
+  SPDISTAL_DCHECK(req < launch_.reqs.size(),
+                  "req index " << req << " out of range ("
+                              << launch_.reqs.size() << " requirements)");
   if (subsets_ != nullptr) return (*subsets_)[req];
   const RegionReq& r = launch_.reqs[req];
   if (r.partition == nullptr) return r.region->space().as_subset();
@@ -96,6 +103,16 @@ struct Runtime::LaunchRecord {
   // Reduction privatization, per requirement: scratch[r][p] is point p's
   // private accumulator (empty when the requirement is not privatized).
   std::vector<std::vector<std::shared_ptr<ScratchHeader>>> scratch;
+
+  // Verify mode only: read-only operand fingerprinting across the launch.
+  // A prehash task (ordered before every point) fills `before`; retirement
+  // re-hashes after account_launch and raises write-under-RO on mismatch.
+  struct VerifyState {
+    std::vector<size_t> hash_reqs;          // RO requirement indices
+    std::vector<IndexSubset> hash_subsets;  // union over points, per entry
+    std::vector<uint64_t> before;
+  };
+  std::unique_ptr<VerifyState> vstate;
 };
 
 Runtime::Runtime(Machine machine, int exec_threads)
@@ -108,6 +125,45 @@ Runtime::Runtime(Machine machine, int exec_threads)
       ex_(std::make_unique<exec::Executor>(pool_)),
       tracker_(std::make_unique<exec::DepTracker>(*ex_)) {
   set_observability(true);
+  verify_ = verify::enabled();
+}
+
+void Runtime::set_verify(bool on) {
+  verify_ = on;
+  // Enabling needs the global accessor touch-logging switch; disabling
+  // leaves it alone — other runtimes in the process may still verify.
+  if (on) verify::set_enabled(true);
+}
+
+bool Runtime::inject_plan_fault(PlanFault fault) {
+  if (plan_lru_.empty()) return false;
+  // Deliberately break the most-recently-used cached plan so the verify
+  // fault-injection tests can prove the race auditor catches it. The
+  // const_cast is confined to this test hook; no production path mutates
+  // a memoized plan.
+  auto plan = std::const_pointer_cast<LaunchPlan>(plan_lru_.front().plan);
+  switch (fault) {
+    case PlanFault::DropConflictEdge:
+      if (plan->conflict_edges.empty()) return false;
+      plan->conflict_edges.pop_back();
+      return true;
+    case PlanFault::AddSpuriousEdge: {
+      const int P = static_cast<int>(plan->procs.size());
+      if (P < 2) return false;
+      std::set<std::pair<int, int>> have(plan->conflict_edges.begin(),
+                                         plan->conflict_edges.end());
+      for (int q = 1; q < P; ++q) {
+        for (int p = 0; p < q; ++p) {
+          if (have.count({p, q}) == 0) {
+            plan->conflict_edges.push_back({p, q});
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+  }
+  return false;
 }
 
 void Runtime::set_observability(bool on) {
@@ -438,8 +494,8 @@ std::shared_ptr<const Runtime::LaunchPlan> Runtime::build_plan(
 }
 
 exec::Future Runtime::execute(const IndexLaunch& launch) {
-  SPD_ASSERT(launch.domain >= 1, "empty launch domain");
-  SPD_ASSERT(launch.body, "launch without body");
+  SPDISTAL_CHECK(launch.domain >= 1, "empty launch domain");
+  SPDISTAL_CHECK(launch.body, "launch without body");
   // Host-timeline span for the enqueue (name only built when recording).
   obs::Span enqueue_span("runtime",
                          obs::TraceRecorder::global().active() && observed_
@@ -467,11 +523,13 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   static obs::Counter& plan_evict_metric =
       obs::Metrics::global().counter("plan.evictions");
   std::shared_ptr<const LaunchPlan> plan;
+  bool warm_hit = false;
   if (plan_memo_) {
     if (auto it = plan_cache_.find(key); it != plan_cache_.end()) {
       // Refresh recency: a hit moves the entry to the front of the LRU.
       plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
       plan = it->second->plan;
+      warm_hit = true;
       ++plan_hits_;
       if (observed_) plan_hit_metric.add(1);
     }
@@ -498,6 +556,39 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
     }
   }
 
+  // Dependence-race audit (verify mode): diff the plan's memoized conflict
+  // edges against the brute-force oracle, and — on warm memo hits — the
+  // memoized per-point subsets against the live partitions, before the
+  // borrowed partition pointers are dropped below. Throws VerifyError at
+  // the enqueue site on a race or a stale cache entry.
+  if (verify_) {
+    verify::AuditInput in;
+    in.launch_name = launch.name;
+    in.points = P;
+    in.reqs.reserve(R);
+    for (size_t r = 0; r < R; ++r) {
+      in.reqs.push_back(verify::ReqView{
+          launch.reqs[r].region->id(), launch.reqs[r].region->name(),
+          to_mode(launch.reqs[r].priv), plan->privatized[r]});
+    }
+    in.memo_subsets = &plan->subsets;
+    in.memo_edges = &plan->conflict_edges;
+    std::vector<std::vector<IndexSubset>> fresh;
+    if (warm_hit) {
+      fresh.resize(static_cast<size_t>(P));
+      for (int p = 0; p < P; ++p) {
+        auto& subs = fresh[static_cast<size_t>(p)];
+        subs.reserve(R);
+        for (const RegionReq& req : launch.reqs) {
+          subs.push_back(req.partition ? req.partition->subset(p)
+                                       : req.region->space().as_subset());
+        }
+      }
+      in.fresh_subsets = &fresh;
+    }
+    verify::audit_launch(in);
+  }
+
   auto rec = std::make_shared<LaunchRecord>();
   rec->launch = launch;
   rec->plan = plan;
@@ -513,11 +604,51 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
     }
   }
 
+  // Read-only operand fingerprinting (verify mode): RO requirements whose
+  // region the launch never writes get hashed before any point runs and
+  // re-hashed at retirement; a changed fingerprint is a write under RO.
+  exec::TaskId prehash = 0;
+  if (verify_) {
+    auto vs = std::make_unique<LaunchRecord::VerifyState>();
+    for (size_t r = 0; r < R; ++r) {
+      if (launch.reqs[r].priv != Privilege::RO) continue;
+      bool written_elsewhere = false;
+      for (size_t s = 0; s < R; ++s) {
+        written_elsewhere |= s != r && launch.reqs[s].priv != Privilege::RO &&
+                             launch.reqs[s].region->id() ==
+                                 launch.reqs[r].region->id();
+      }
+      if (written_elsewhere) continue;
+      IndexSubset u(launch.reqs[r].region->space().dim());
+      for (int p = 0; p < P; ++p) {
+        for (const RectN& rect :
+             plan->subsets[static_cast<size_t>(p)][r].rects()) {
+          u.add(rect);
+        }
+      }
+      u.normalize();
+      vs->hash_reqs.push_back(r);
+      vs->hash_subsets.push_back(std::move(u));
+    }
+    if (!vs->hash_reqs.empty()) {
+      vs->before.resize(vs->hash_reqs.size());
+      rec->vstate = std::move(vs);
+      prehash = ex_->create(launch.name + ":verify_prehash", [rec] {
+        auto& st = *rec->vstate;
+        for (size_t i = 0; i < st.hash_reqs.size(); ++i) {
+          st.before[i] = rec->launch.reqs[st.hash_reqs[i]]
+                             .region->content_hash(st.hash_subsets[i]);
+        }
+      });
+    }
+  }
+
   // Mint the point tasks and the retirement task.
   std::vector<exec::TaskId> ids(static_cast<size_t>(P));
+  const bool verifying = verify_;
   for (int p = 0; p < P; ++p) {
     ids[static_cast<size_t>(p)] = ex_->create(
-        strprintf("%s[%d]", launch.name.c_str(), p), [this, rec, p] {
+        strprintf("%s[%d]", launch.name.c_str(), p), [this, rec, p, verifying] {
           // Allocate this point's reduction scratches (zeroing a private
           // buffer is per-point work; doing it here parallelizes it) and
           // install the redirects for the body's duration. Each task only
@@ -538,7 +669,28 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
           TaskContext ctx(*this, rec->launch, p,
                           plan.procs[static_cast<size_t>(p)],
                           &plan.subsets[static_cast<size_t>(p)]);
-          rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
+          if (!verifying) {
+            rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
+            return;
+          }
+          // Verify mode: record every coordinate the body touches, then
+          // validate the footprint against the declared per-point subsets.
+          TouchLog tlog;
+          {
+            ScopedTouchLog tguard(&tlog);
+            rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
+          }
+          std::vector<verify::ReqCheckView> views;
+          views.reserve(rec->launch.reqs.size());
+          for (size_t r = 0; r < rec->launch.reqs.size(); ++r) {
+            views.push_back(verify::ReqCheckView{
+                rec->launch.reqs[r].region->id(),
+                rec->launch.reqs[r].region->name(),
+                to_mode(rec->launch.reqs[r].priv),
+                &plan.subsets[static_cast<size_t>(p)][r]});
+          }
+          verify::check_task_touches(
+              strprintf("%s[%d]", rec->launch.name.c_str(), p), tlog, views);
         });
   }
   const exec::TaskId retire =
@@ -560,6 +712,18 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
           region.end_redirect_epoch();
         }
         account_launch(*rec);
+        if (rec->vstate != nullptr) {
+          // Re-fingerprint the RO operands now that every point retired; a
+          // change means some leaf wrote data it only held read privileges
+          // on. Throws — surfaced as a deferred error at wait()/flush().
+          const auto& st = *rec->vstate;
+          for (size_t i = 0; i < st.hash_reqs.size(); ++i) {
+            RegionBase& region = *rec->launch.reqs[st.hash_reqs[i]].region;
+            if (region.content_hash(st.hash_subsets[i]) != st.before[i]) {
+              verify::report_ro_write(rec->launch.name, region.name());
+            }
+          }
+        }
       });
 
   // Cross-launch edges from the requirement history (necessarily computed
@@ -571,6 +735,25 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
       ex_->add_dep(ids[static_cast<size_t>(p)], d);
     }
     ex_->add_dep(retire, ids[static_cast<size_t>(p)]);
+  }
+  if (prehash != 0) {
+    // The prehash reads what the points read: order it after the same
+    // prior writers, before every point, and record its read under the
+    // retirement task so later writers wait for the post-launch re-hash.
+    std::vector<exec::RegionAccess> hash_acc;
+    const auto& st = *rec->vstate;
+    for (size_t i = 0; i < st.hash_reqs.size(); ++i) {
+      hash_acc.push_back(exec::RegionAccess{
+          launch.reqs[st.hash_reqs[i]].region->id(), st.hash_subsets[i],
+          exec::AccessMode::Read, false});
+    }
+    for (exec::TaskId d : tracker_->deps_for(hash_acc)) {
+      ex_->add_dep(prehash, d);
+    }
+    for (int p = 0; p < P; ++p) {
+      ex_->add_dep(ids[static_cast<size_t>(p)], prehash);
+    }
+    tracker_->record(retire, hash_acc);
   }
   for (const auto& [p, q] : plan->conflict_edges) {
     ex_->add_dep(ids[static_cast<size_t>(q)], ids[static_cast<size_t>(p)]);
@@ -595,6 +778,7 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
     }
   }
 
+  if (prehash != 0) ex_->commit(prehash);
   for (int p = 0; p < P; ++p) ex_->commit(ids[static_cast<size_t>(p)]);
   ex_->commit(retire);
   return ex_->future(retire);

@@ -204,6 +204,25 @@ class Runtime {
     plan_lru_.clear();
   }
 
+  // Verification mode (ISSUE 7). When on, every execute() runs the
+  // dependence-race auditor over the (possibly cached) plan, leaf tasks
+  // record touched bounds for the privilege checker, and read-only operands
+  // are fingerprinted across the launch. Defaults to the process-wide
+  // SPDISTAL_VERIFY setting at construction; enabling here also flips the
+  // global accessor touch-logging switch (disabling leaves the global
+  // switch alone — other runtimes may still be verifying).
+  void set_verify(bool on);
+  bool verify() const { return verify_; }
+
+  // Fault injection for the verify fault-injection tests: corrupts the
+  // most-recently-used cached plan in place. Returns false when there is
+  // no cached plan (or no edge) to corrupt.
+  enum class PlanFault {
+    DropConflictEdge,  // delete one memoized happens-before edge (a race)
+    AddSpuriousEdge,   // add an unjustified edge (lost parallelism)
+  };
+  bool inject_plan_fault(PlanFault fault);
+
   // Enqueues a host-side callback ordered against launches through
   // whole-region accesses (e.g. zeroing an output between iterations). No
   // simulated cost is charged.
@@ -313,6 +332,7 @@ class Runtime {
   std::list<PlanEntry> plan_lru_;
   std::map<PlanKey, std::list<PlanEntry>::iterator> plan_cache_;
   bool plan_memo_ = true;
+  bool verify_ = false;
   int64_t plan_hits_ = 0;
   int64_t plan_misses_ = 0;
   int64_t plan_evictions_ = 0;

@@ -26,3 +26,4 @@
 #include "tensor/dense_ref.h"      // brute-force oracle
 #include "tensor/io.h"             // MatrixMarket / FROSTT I/O
 #include "tensor/tensor.h"         // Tensor frontend + index notation sugar
+#include "verify/verify.h"         // plan/privilege/race verifiers (SPDISTAL_VERIFY)

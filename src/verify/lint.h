@@ -1,0 +1,31 @@
+// Static schedule linter (verify analysis 1 of 3).
+//
+// Runs over a Statement + Schedule + Machine before lowering and rejects
+// illegal combinations with a message naming the offending directive —
+// instead of the deep-in-codegen failures (or silent wrong answers) the
+// same schedules produce today. Because every finding here is a schedule
+// legality defect, errors are thrown as ScheduleError (same contract as
+// lowering's own rejections); the verify counters still record them.
+#pragma once
+
+#include <vector>
+
+#include "runtime/machine.h"
+#include "sched/schedule.h"
+#include "tensor/tensor.h"
+#include "verify/verify.h"
+
+namespace spdistal::verify {
+
+// All findings, warnings included; empty on a clean schedule.
+std::vector<Violation> lint_statement(const Statement& stmt,
+                                      const sched::Schedule& schedule,
+                                      const rt::Machine& machine);
+
+// Reports warnings through verify::report (counted, logged once) and throws
+// ScheduleError listing every Error-severity finding. No-op on a clean
+// schedule. Called from CompiledKernel::compile when verify::enabled().
+void lint_or_throw(const Statement& stmt, const sched::Schedule& schedule,
+                   const rt::Machine& machine);
+
+}  // namespace spdistal::verify

@@ -1,0 +1,90 @@
+#include "verify/privilege_check.h"
+
+#include <sstream>
+
+namespace spdistal::verify {
+
+void check_task_touches(const std::string& task_name, const rt::TouchLog& log,
+                        const std::vector<ReqCheckView>& reqs) {
+  note_task_checked();
+  // Collect every escape before reporting, so one VerifyError carries the
+  // complete footprint diagnosis for the task (throwing on the first region
+  // would hide sibling violations of the same root cause).
+  std::vector<Violation> found;
+  for (const auto& [region, sink] : log.sinks()) {
+    // Union of every declared subset of this region (a task may hold the
+    // same region under several requirements, e.g. RO operand + RW output).
+    rt::IndexSubset declared(sink.dim());
+    bool any_req = false;
+    std::string region_name;
+    for (const ReqCheckView& r : reqs) {
+      if (r.region != region || r.subset == nullptr) continue;
+      any_req = true;
+      region_name = r.region_name;
+      for (const rt::RectN& rect : r.subset->rects()) declared.add(rect);
+    }
+    declared.normalize();
+    if (!any_req) {
+      Violation v;
+      v.analysis = "privilege";
+      std::ostringstream os;
+      os << "task `" << task_name << "` touched region id " << region
+         << " which no RegionReq of the launch declares";
+      v.message = os.str();
+      found.push_back(std::move(v));
+      continue;
+    }
+    const rt::IndexSubset touched = sink.touched();
+    const rt::IndexSubset escaped = touched.subtract(declared);
+    if (escaped.empty()) continue;
+    Violation v;
+    v.analysis = "privilege";
+    std::ostringstream os;
+    os << "task `" << task_name << "` accessed " << region_name << " at "
+       << escaped.str() << " outside its declared subset " << declared.str();
+    if (sink.approximate()) {
+      os << " (approximate footprint: the touch log overflowed to a "
+            "bounding box, so the escape may be conservative)";
+      v.severity = Severity::Warning;
+    } else {
+      os << "; the requirement's partition does not cover the access — "
+            "widen the subset or fix the kernel's bounds";
+    }
+    v.message = os.str();
+    found.push_back(std::move(v));
+  }
+  for (const Violation& v : found) {
+    if (v.severity == Severity::Warning) report(v);
+  }
+  std::vector<Violation> errors;
+  for (Violation& v : found) {
+    if (v.severity == Severity::Error) errors.push_back(std::move(v));
+  }
+  if (!errors.empty() && errors.size() > 1) {
+    // One combined report: count each error, then throw with the full list.
+    Violation combined;
+    combined.analysis = "privilege";
+    combined.message = "task `" + task_name + "` escaped " +
+                       std::to_string(errors.size()) +
+                       " declared subsets:\n" + format_report(errors);
+    for (size_t i = 1; i < errors.size(); ++i) note_violation();
+    report(combined);
+  } else if (!errors.empty()) {
+    report(errors.front());
+  }
+}
+
+void report_ro_write(const std::string& launch_name,
+                     const std::string& region_name) {
+  Violation v;
+  v.analysis = "privilege";
+  std::ostringstream os;
+  os << "launch `" << launch_name << "` modified region " << region_name
+     << " held under read-only privilege (content fingerprint changed "
+        "across the launch); declare WO/RW or stop writing";
+  v.message = os.str();
+  report(v);  // Severity::Error always throws
+  throw VerifyError("unreachable");
+}
+
+}  // namespace spdistal::verify

@@ -1,0 +1,49 @@
+// Region-privilege checker (verify analysis 2 of 3).
+//
+// In verify mode every leaf task body runs with an rt::TouchLog installed;
+// the accessors (and the per-element Region paths) record each coordinate
+// addressed. After the body returns, check_task_touches validates the
+// recorded footprint against the task's declared RegionReq subsets:
+//
+//   * touching a region no requirement declares -> VerifyError;
+//   * touching coordinates outside every declared subset of that region
+//     -> VerifyError naming the escaping rectangle and the declared subset.
+//
+// Writes under read-only privileges cannot be told apart from reads at the
+// accessor level (both return T&); the Runtime catches them by
+// fingerprinting RO operands around the launch (content_hash) and calling
+// report_ro_write on a mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/dep_graph.h"
+#include "runtime/touch_log.h"
+#include "verify/verify.h"
+
+namespace spdistal::verify {
+
+// One declared requirement of the checked point task. `subset` is the
+// point's slice of the requirement (borrowed for the call).
+struct ReqCheckView {
+  uint32_t region = 0;
+  std::string region_name;
+  exec::AccessMode mode = exec::AccessMode::Read;
+  const rt::IndexSubset* subset = nullptr;
+};
+
+// Validates one task's recorded touches against its declared requirements.
+// Throws VerifyError on a violation; approximate footprints (a sink that
+// overflowed to its bounding box) downgrade to a warning. Bumps
+// verify.tasks_checked.
+void check_task_touches(const std::string& task_name, const rt::TouchLog& log,
+                        const std::vector<ReqCheckView>& reqs);
+
+// Raises the write-under-RO violation (called by the Runtime when a
+// read-only operand's content fingerprint changed across a launch).
+[[noreturn]] void report_ro_write(const std::string& launch_name,
+                                  const std::string& region_name);
+
+}  // namespace spdistal::verify

@@ -1,0 +1,64 @@
+// Dependence-graph race auditor (verify analysis 3 of 3).
+//
+// Re-derives the happens-before relation among a launch's point tasks from
+// a brute-force O(P^2 * R^2) oracle over the requirement set — the
+// privilege semantics of exec::modes_conflict applied to every point pair
+// and region pair directly — and diffs it against the conflict-edge set the
+// LaunchPlan memoized:
+//
+//   * an edge the oracle derives but the plan lacks is a RACE (two point
+//     tasks may touch conflicting data unordered) -> VerifyError;
+//   * an edge the plan carries but the oracle cannot justify is LOST
+//     PARALLELISM (spurious serialization) -> warning.
+//
+// The audit also cross-checks memoized per-point subsets against freshly
+// recomputed ones, so a warm plan-memo hit whose partitions drifted (LRU
+// staleness, PR 4/5) is caught before the stale plan launches anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/dep_graph.h"
+#include "runtime/index_space.h"
+#include "verify/verify.h"
+
+namespace spdistal::verify {
+
+// One requirement of the audited launch, mode-level view (privileges
+// already converted to exec::AccessMode by the caller).
+struct ReqView {
+  uint32_t region = 0;
+  std::string region_name;
+  exec::AccessMode mode = exec::AccessMode::Read;
+  bool privatized = false;
+};
+
+// Everything the auditor needs about one launch. `memo_*` members come from
+// the (possibly cached) LaunchPlan; `fresh_subsets` are recomputed from the
+// live partitions at enqueue time. All pointers are borrowed for the call.
+struct AuditInput {
+  std::string launch_name;
+  int points = 0;
+  std::vector<ReqView> reqs;
+  // [point][req] — what the plan memoized when it was built.
+  const std::vector<std::vector<rt::IndexSubset>>* memo_subsets = nullptr;
+  // Plan's conflict edges, each {p, q} with p < q.
+  const std::vector<std::pair<int, int>>* memo_edges = nullptr;
+  // [point][req] — recomputed now; null means "use memo_subsets" (cold
+  // builds, where the two are the same object).
+  const std::vector<std::vector<rt::IndexSubset>>* fresh_subsets = nullptr;
+};
+
+// The oracle's edge set for `in` (pairs {p, q}, p < q), independent of the
+// plan's own derivation. Exposed for tests.
+std::vector<std::pair<int, int>> oracle_edges(const AuditInput& in);
+
+// Runs the full audit: staleness check, privatization sanity, then the
+// edge-set diff. Throws VerifyError on races/staleness; warnings are
+// counted. Bumps verify.plans_checked.
+void audit_launch(const AuditInput& in);
+
+}  // namespace spdistal::verify

@@ -1,0 +1,71 @@
+// Verification subsystem entry points (ISSUE 7).
+//
+// Three cooperating analyses, all gated behind SPDISTAL_VERIFY=1 (or
+// Runtime::set_verify(true)) so the production hot path stays zero-cost:
+//
+//  1. Schedule linter (lint.h): runs over sched::Schedule + the statement
+//     before lowering and rejects illegal combinations with a message that
+//     names the offending directive, instead of failing deep inside
+//     co-iteration codegen.
+//  2. Privilege checker (privilege_check.h): validates per-leaf touched
+//     bounds (recorded by rt::TouchLog via the accessors) against each
+//     declared RegionReq subset, and fingerprints read-only operands to
+//     catch writes under RO.
+//  3. Dependence race auditor (race_audit.h): re-derives happens-before
+//     from a brute-force O(P^2) oracle over a LaunchPlan's requirements and
+//     diffs it against the memoized conflict edges — on warm memo hits too,
+//     certifying the plan cache against staleness.
+//
+// Violations raise spdistal::VerifyError (severity Error) or increment the
+// warning counter (severity Warning). Counters are mirrored into
+// obs::Metrics as verify.plans_checked / verify.violations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spdistal::verify {
+
+// Process-wide verify switch. Initialized from the SPDISTAL_VERIFY
+// environment variable (values "0"/"" = off) on first query; flipping it
+// also toggles rt::set_touch_logging so accessors start/stop recording.
+bool enabled();
+void set_enabled(bool on);
+
+enum class Severity { Warning, Error };
+
+// One finding from any of the three analyses.
+struct Violation {
+  Severity severity = Severity::Error;
+  std::string analysis;  // "lint" | "privilege" | "race_audit"
+  std::string message;
+};
+
+// Running totals since process start / last reset_stats(). Always readable
+// (tests assert on them); updated only while verification is enabled.
+struct Stats {
+  uint64_t plans_checked = 0;
+  uint64_t tasks_checked = 0;
+  uint64_t violations = 0;  // errors raised
+  uint64_t warnings = 0;
+};
+Stats stats();
+void reset_stats();
+
+// Record-and-dispatch: warnings are counted (and logged to stderr once per
+// distinct message); errors are counted and thrown as VerifyError.
+void report(const Violation& v);
+// Bumps verify.plans_checked / tasks_checked.
+void note_plan_checked();
+void note_task_checked();
+// Counts an Error-severity finding whose throw path is not VerifyError
+// (the linter throws ScheduleError to keep the compile() error contract).
+void note_violation();
+
+// Formats a violation list into one multi-line report string.
+std::string format_report(const std::vector<Violation>& vs);
+
+}  // namespace spdistal::verify

@@ -285,6 +285,39 @@ TEST(Obs, TraceJsonValidAndSpansOrdered) {
   }
 }
 
+TEST(Obs, CounterTracksSampleExecutorGauges) {
+  const rt::Machine m = cpu_machine(4);
+  ObsGuard guard(true);
+  {
+    auto [out, stmt] = build_spmv(m.num_procs());
+    rt::Runtime runtime(m, 2);
+    auto inst = CompiledKernel::compile(*stmt, m).instantiate(runtime);
+    inst->run(2);
+    runtime.flush();
+  }
+  // The executor samples its outstanding-task and ready-queue depths as
+  // Perfetto counter tracks (ph: "C") on every create and retire.
+  const std::string doc = obs::TraceRecorder::global().json();
+  bool outstanding = false, queued = false;
+  size_t at = 0;
+  while ((at = doc.find("\"ph\": \"C\"", at)) != std::string::npos) {
+    const size_t line_start = doc.rfind('\n', at) + 1;
+    const size_t line_end = doc.find('\n', at);
+    const std::string line = doc.substr(line_start, line_end - line_start);
+    at = line_end;
+    EXPECT_NE(line.find("\"args\": {\"value\": "), std::string::npos) << line;
+    EXPECT_GE(field(line, "value"), 0.0) << line;
+    if (line.find("\"name\": \"exec.outstanding\"") != std::string::npos) {
+      outstanding = true;
+    }
+    if (line.find("\"name\": \"exec.queued\"") != std::string::npos) {
+      queued = true;
+    }
+  }
+  EXPECT_TRUE(outstanding) << "no exec.outstanding counter samples";
+  EXPECT_TRUE(queued) << "no exec.queued counter samples";
+}
+
 TEST(Obs, MetricsMatchSimReport) {
   const rt::Machine m = cpu_machine(4);
   ObsGuard guard(true);
