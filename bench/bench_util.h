@@ -95,4 +95,12 @@ void print_header(const std::string& title);
 // plain bench output is unchanged unless SPDISTAL_OBS/TRACE/METRICS is set.
 std::string obs_summary(const rt::SimReport& rep);
 
+// One-line calibration summary: for each kernel in the report with learned
+// rates, the measured wall-per-flop/byte and its delta vs the machine
+// model's static table ("[calib] spmv_row: 1.2e-10 s/flop (-18% vs static)
+// ..."). Empty when calibration is off or nothing relevant was learned. The
+// spdistal runners print it alongside the [obs] line.
+std::string calib_summary(const rt::SimReport& rep,
+                          const rt::Machine& machine);
+
 }  // namespace spdbench

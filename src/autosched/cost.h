@@ -8,6 +8,14 @@
 // partitions), and task launch overhead. It exists to *rank* candidates so
 // the search only pays for full simulation on the promising ones.
 //
+// When profile-guided calibration is enabled (SPDISTAL_CALIB), the analytic
+// tier prices compute from *measured* leaf wall-per-flop/byte rates for the
+// statement's kernel family instead of the static machine tables, scaled by
+// the machine model's thread-speedup ratio. The calib.hits / calib.misses
+// metric pair counts how often learned rates were available; with
+// obs::set_calibration(false) the static path is bit-identical to a build
+// that never saw a calibration file.
+//
 // The simulation tier is ground truth: the candidate is compiled and
 // instantiated against a scratch rt::Runtime on proxy tensors (exact clones,
 // downsampled above Options::max_sim_nnz) and priced by SimReport::sim_time
@@ -16,11 +24,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "autosched/options.h"
 #include "autosched/recipe.h"
+#include "obs/calibrate.h"
 #include "runtime/machine.h"
 
 namespace spdistal::autosched {
@@ -44,6 +54,10 @@ class AnalyticModel {
   const rt::Machine& machine_;
   double fpn_ = 2.0;   // flops per stored non-zero of the kernel class
   double bpn_ = 20.0;  // streamed bytes per stored non-zero
+  // Measured wall-time rates for this statement's kernel family, resolved
+  // once per model from the calibration store (empty when calibration is
+  // off or nothing relevant has been learned yet).
+  std::optional<obs::CalibRates> learned_;
   std::map<std::string, std::vector<int64_t>> hists_;  // "name:dim" keyed
 };
 

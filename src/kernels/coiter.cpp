@@ -106,10 +106,11 @@ Coord locate_position(const TensorStorage& st,
     const LevelStorage& level = st.level(l);
     if (level.kind.has_pos()) {
       lpos[static_cast<size_t>(l)] =
-          rt::RegionAccessor<rt::PosRange>(*level.pos);
+          rt::RegionAccessor<rt::PosRange>(*level.pos, rt::Access::Read);
     }
     if (level.kind.has_crd()) {
-      lcrd[static_cast<size_t>(l)] = rt::RegionAccessor<int32_t>(*level.crd);
+      lcrd[static_cast<size_t>(l)] =
+          rt::RegionAccessor<int32_t>(*level.crd, rt::Access::Read);
     }
   }
   const auto pos_at = [&](int l, Coord p) {
@@ -206,7 +207,7 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
           a.st = &t.storage();
           a.all_dense = t.format().all_dense();
           a.vars = e->vars;
-          a.vals = rt::LinearAccessor<double>(*a.st->vals());
+          a.vals = rt::LinearAccessor<double>(*a.st->vals(), rt::Access::Read);
           for (int l = 0; l < t.format().order(); ++l) {
             a.level_var_ids.push_back(
                 e->vars[static_cast<size_t>(t.format().dim_of_level(l))].id());
@@ -214,10 +215,13 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
             a.lpos.emplace_back();
             a.lcrd.emplace_back();
             if (level.kind.has_pos()) {
-              a.lpos.back() = rt::RegionAccessor<rt::PosRange>(*level.pos);
+              a.lpos.back() =
+                  rt::RegionAccessor<rt::PosRange>(*level.pos,
+                                                   rt::Access::Read);
             }
             if (level.kind.has_crd()) {
-              a.lcrd.back() = rt::RegionAccessor<int32_t>(*level.crd);
+              a.lcrd.back() =
+                  rt::RegionAccessor<int32_t>(*level.crd, rt::Access::Read);
             }
           }
           accs.push_back(std::move(a));
@@ -278,10 +282,12 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       out_lpos.emplace_back();
       out_lcrd.emplace_back();
       if (level.kind.has_pos()) {
-        out_lpos.back() = rt::RegionAccessor<rt::PosRange>(*level.pos);
+        out_lpos.back() =
+            rt::RegionAccessor<rt::PosRange>(*level.pos, rt::Access::Read);
       }
       if (level.kind.has_crd()) {
-        out_lcrd.back() = rt::RegionAccessor<int32_t>(*level.crd);
+        out_lcrd.back() =
+            rt::RegionAccessor<int32_t>(*level.crd, rt::Access::Read);
       }
     }
   }

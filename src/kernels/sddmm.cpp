@@ -15,10 +15,13 @@ rt::WorkEstimate sddmm_positions(Tensor& A, Tensor& B, Tensor& C, Tensor& D,
                                  const std::vector<Coord>& row_of,
                                  std::optional<rt::Rect1> cols = std::nullopt) {
   WorkCounter work;
-  const rt::RegionAccessor<int32_t> crd(*B.storage().level(1).crd);
-  const rt::RegionAccessor<double> bv(*B.storage().vals());
-  const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
-  const rt::RegionAccessor<double, 2> dv(*D.storage().vals());
+  const rt::RegionAccessor<int32_t> crd(*B.storage().level(1).crd,
+                                        rt::Access::Read);
+  const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double, 2> cv(*C.storage().vals(),
+                                         rt::Access::Read);
+  const rt::RegionAccessor<double, 2> dv(*D.storage().vals(),
+                                         rt::Access::Read);
   const rt::RegionAccessor<double> av(*A.storage().vals());
   const Coord K = C.dims()[1];
   for (Coord q = range.lo; q <= range.hi; ++q) {
@@ -81,7 +84,8 @@ Leaf make_sddmm_row(Tensor A, Tensor B, Tensor C, Tensor D,
                   *col_var, rt::Rect1{0, B.dims()[1] - 1}))
             : std::nullopt;
     // Convert the row range to this piece's contiguous position range.
-    const rt::RegionAccessor<rt::PosRange> pos(*B.storage().level(1).pos);
+    const rt::RegionAccessor<rt::PosRange> pos(*B.storage().level(1).pos,
+                                               rt::Access::Read);
     rt::Rect1 range{0, -1};
     for (Coord i = rows.lo; i <= rows.hi; ++i) {
       const rt::PosRange seg = pos[i];

@@ -17,13 +17,18 @@ Leaf make_spadd3_row(Tensor A, Tensor B, Tensor C, Tensor D) {
       rt::RegionAccessor<double> vals;
     };
     auto input = [](const Tensor& t) {
-      return In{rt::RegionAccessor<rt::PosRange>(*t.storage().level(1).pos),
-                rt::RegionAccessor<int32_t>(*t.storage().level(1).crd),
-                rt::RegionAccessor<double>(*t.storage().vals())};
+      return In{rt::RegionAccessor<rt::PosRange>(*t.storage().level(1).pos,
+                                                 rt::Access::Read),
+                rt::RegionAccessor<int32_t>(*t.storage().level(1).crd,
+                                            rt::Access::Read),
+                rt::RegionAccessor<double>(*t.storage().vals(),
+                                           rt::Access::Read)};
     };
     const In ins[3] = {input(B), input(C), input(D)};
-    const rt::RegionAccessor<rt::PosRange> apos(*A.storage().level(1).pos);
-    const rt::RegionAccessor<int32_t> acrd(*A.storage().level(1).crd);
+    const rt::RegionAccessor<rt::PosRange> apos(*A.storage().level(1).pos,
+                                                rt::Access::Read);
+    const rt::RegionAccessor<int32_t> acrd(*A.storage().level(1).crd,
+                                           rt::Access::Read);
     const rt::RegionAccessor<double> avals(*A.storage().vals());
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, A.dims()[0] - 1});

@@ -12,9 +12,10 @@ Leaf make_spmm_nz(Tensor A, Tensor B, Tensor C,
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd, rt::Access::Read);
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals(),
+                                           rt::Access::Read);
     const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     const Coord J = A.dims()[1];
     const rt::Rect1 range = piece.dist_pos.value_or(
@@ -42,10 +43,11 @@ Leaf make_spmm_row(Tensor A, Tensor B, Tensor C,
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos);
-    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
+    const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos, rt::Access::Read);
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd, rt::Access::Read);
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals(),
+                                           rt::Access::Read);
     const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     const Coord J = A.dims()[1];
     const rt::Rect1 rows = piece.dist_coords.value_or(

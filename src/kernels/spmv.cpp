@@ -11,10 +11,10 @@ Leaf make_spmv_row(Tensor a, Tensor B, Tensor c) {
     const auto& Bl = B.storage().level(1);
     // Accessors resolve the reduction-redirect indirection once per leaf
     // invocation; the inner loops below index raw pointers.
-    const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos);
-    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos, rt::Access::Read);
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd, rt::Access::Read);
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double> cv(*c.storage().vals(), rt::Access::Read);
     const rt::RegionAccessor<double> av(*a.storage().vals());
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
@@ -44,10 +44,12 @@ Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c,
                -> rt::WorkEstimate {
       WorkCounter work;
       const auto& Bl = B.storage().level(1);
-      const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos);
-      const rt::RegionAccessor<int32_t> crd(*Bl.crd);
-      const rt::RegionAccessor<double> bv(*B.storage().vals());
-      const rt::RegionAccessor<double> cv(*c.storage().vals());
+      const rt::RegionAccessor<rt::PosRange> pos(*Bl.pos, rt::Access::Read);
+      const rt::RegionAccessor<int32_t> crd(*Bl.crd, rt::Access::Read);
+      const rt::RegionAccessor<double> bv(*B.storage().vals(),
+                                          rt::Access::Read);
+      const rt::RegionAccessor<double> cv(*c.storage().vals(),
+                                          rt::Access::Read);
       const rt::RegionAccessor<double> av(*a.storage().vals());
       const rt::Rect1 rows = piece.dist_pos.value_or(
           rt::Rect1{0, B.dims()[0] - 1});
@@ -102,11 +104,14 @@ Leaf make_spmv_nz(Tensor a, Tensor B, Tensor c,
              -> rt::WorkEstimate {
     WorkCounter work;
     const auto& Bl = B.storage().level(1);
-    const rt::RegionAccessor<int32_t> crd(*Bl.crd);
+    const rt::RegionAccessor<int32_t> crd(*Bl.crd, rt::Access::Read);
     rt::RegionAccessor<int32_t> row_crd;
-    if (coo) row_crd = rt::RegionAccessor<int32_t>(*B.storage().level(0).crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    if (coo) {
+      row_crd = rt::RegionAccessor<int32_t>(*B.storage().level(0).crd,
+                                            rt::Access::Read);
+    }
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double> cv(*c.storage().vals(), rt::Access::Read);
     const rt::RegionAccessor<double> av(*a.storage().vals());
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, Bl.positions - 1});

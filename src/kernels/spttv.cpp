@@ -35,18 +35,20 @@ Leaf make_spttv_row(Tensor A, Tensor B, Tensor c) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const rt::RegionAccessor<rt::PosRange> l2pos(*l2.pos);
-    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double> cv(*c.storage().vals());
-    const rt::RegionAccessor<rt::PosRange> apos(*A.storage().level(1).pos);
-    const rt::RegionAccessor<int32_t> acrd(*A.storage().level(1).crd);
+    const rt::RegionAccessor<rt::PosRange> l2pos(*l2.pos, rt::Access::Read);
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd, rt::Access::Read);
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double> cv(*c.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<rt::PosRange> apos(*A.storage().level(1).pos,
+                                                rt::Access::Read);
+    const rt::RegionAccessor<int32_t> acrd(*A.storage().level(1).crd,
+                                           rt::Access::Read);
     const rt::RegionAccessor<double> avals(*A.storage().vals());
     rt::RegionAccessor<rt::PosRange> l1pos;
     rt::RegionAccessor<int32_t> l1crd;
     if (l1.kind.is_compressed()) {
-      l1pos = rt::RegionAccessor<rt::PosRange>(*l1.pos);
-      l1crd = rt::RegionAccessor<int32_t>(*l1.crd);
+      l1pos = rt::RegionAccessor<rt::PosRange>(*l1.pos, rt::Access::Read);
+      l1crd = rt::RegionAccessor<int32_t>(*l1.crd, rt::Access::Read);
     }
     const rt::Rect1 rows = piece.dist_coords.value_or(
         rt::Rect1{0, B.dims()[0] - 1});
@@ -90,9 +92,9 @@ Leaf make_spttv_nz(Tensor A, Tensor B, Tensor c) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double> cv(*c.storage().vals());
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd, rt::Access::Read);
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double> cv(*c.storage().vals(), rt::Access::Read);
     const rt::RegionAccessor<double> avals(*A.storage().vals());
     const rt::Rect1 range = piece.dist_pos.value_or(
         rt::Rect1{0, l2.positions - 1});
@@ -129,10 +131,12 @@ Leaf make_spmttkrp_nz(Tensor A, Tensor B, Tensor C, Tensor D) {
     WorkCounter work;
     const auto& l1 = B.storage().level(1);
     const auto& l2 = B.storage().level(2);
-    const rt::RegionAccessor<int32_t> l2crd(*l2.crd);
-    const rt::RegionAccessor<double> bv(*B.storage().vals());
-    const rt::RegionAccessor<double, 2> cv(*C.storage().vals());
-    const rt::RegionAccessor<double, 2> dv(*D.storage().vals());
+    const rt::RegionAccessor<int32_t> l2crd(*l2.crd, rt::Access::Read);
+    const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+    const rt::RegionAccessor<double, 2> cv(*C.storage().vals(),
+                                           rt::Access::Read);
+    const rt::RegionAccessor<double, 2> dv(*D.storage().vals(),
+                                           rt::Access::Read);
     const rt::RegionAccessor<double, 2> av(*A.storage().vals());
     const Coord L = A.dims()[1];
     const rt::Rect1 range = piece.dist_pos.value_or(

@@ -18,15 +18,20 @@
 namespace spdistal::kern {
 
 // Accumulator with convenience methods for common sparse-kernel costs.
+// Alongside the priced flops/bytes it counts the stored non-zeros the leaf
+// processed (one per sparse multiply-add), reported on the measured trace
+// track and used by calibration to contextualize wall-time samples.
 struct WorkCounter {
   double flops = 0;
   double bytes = 0;
+  double nnz = 0;
 
   // One multiply-add over a sparse entry: reads value + coordinate, touches
   // an operand and the accumulator.
   void fma_sparse(int64_t n = 1) {
     flops += 2.0 * static_cast<double>(n);
     bytes += (8.0 + 4.0 + 8.0) * static_cast<double>(n);
+    nnz += static_cast<double>(n);
   }
   // One multiply-add over dense data only.
   void fma_dense(int64_t n = 1) {
@@ -36,9 +41,11 @@ struct WorkCounter {
   // `len` multiply-adds over dense rows that stream once and then stay
   // cache-resident (the accumulator row is register/L1-resident): 2 flops
   // per element, one 8-byte streaming read each plus segment bookkeeping.
+  // Each of the `n` rows corresponds to one stored non-zero.
   void fma_dense_cached(int64_t len, int64_t n = 1) {
     flops += 2.0 * static_cast<double>(len) * static_cast<double>(n);
     bytes += (8.0 * static_cast<double>(len) + 12.0) * static_cast<double>(n);
+    nnz += static_cast<double>(n);
   }
   // Streaming over `n` values without arithmetic (copies, pattern scans).
   void stream(int64_t n, double bytes_per = 8.0) {
@@ -47,7 +54,7 @@ struct WorkCounter {
   // Row/segment bookkeeping (pos reads).
   void segment(int64_t n = 1) { bytes += 16.0 * static_cast<double>(n); }
 
-  rt::WorkEstimate done() const { return rt::WorkEstimate{flops, bytes}; }
+  rt::WorkEstimate done() const { return rt::WorkEstimate{flops, bytes, nnz}; }
 };
 
 }  // namespace spdistal::kern

@@ -1,4 +1,4 @@
-// Chrome/Perfetto trace-event recorder with two correlated timelines.
+// Chrome/Perfetto trace-event recorder with three correlated timelines.
 //
 // The *simulated* track (pid 1) places every fetch, leaf task, write-back
 // and reduction-combine span on its virtual processor (or NIC/NVLink
@@ -7,7 +7,20 @@
 // setup), so the recorded sim-event sequence is bit-identical for any
 // SPDISTAL_EXEC_THREADS. The *host* track (pid 2) records wall-clock spans
 // (enqueue, plan build, worker execution, autosched phases, packing) via the
-// OBS_SPAN RAII macro; those naturally differ run to run.
+// OBS_SPAN RAII macro; those naturally differ run to run. The *measured*
+// track (pid 3) records the wall-clock duration of each leaf point-task
+// body with {kernel, nnz, flops, bytes, sim_s, wall_s} args — the profiling
+// signal the calibration store (obs/calibrate.h) learns rates from.
+//
+// Flow events (ph "s"/"t"/"f") link each host enqueue span to its
+// plan-build and to its simulated and measured leaf spans, so one click in
+// the Perfetto UI traces a launch end-to-end across the three processes.
+//
+// Long-running processes stay constant-memory: SPDISTAL_TRACE_RING=N keeps
+// only the last N events per timeline (drop-oldest; drops are counted in
+// obs.dropped_events and dangling flow ends are filtered at serialization,
+// so the JSON stays well-formed), and SPDISTAL_TRACE_SAMPLE=K records every
+// Kth launch's spans (counter tracks stay always-on).
 //
 // Sinks: $SPDISTAL_TRACE=out.json starts capture at process start and writes
 // the file at exit; tests drive start()/json() directly. Every record is
@@ -18,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -30,9 +44,10 @@ namespace spdistal::obs {
 // Wall-clock microseconds since process start (steady clock).
 double wall_us();
 
-// Trace pids of the two timelines.
+// Trace pids of the three timelines.
 inline constexpr int kSimPid = 1;
 inline constexpr int kHostPid = 2;
+inline constexpr int kMeasPid = 3;
 
 // Simulated-track tid layout: virtual processors use their Simulator slot
 // directly; communication channels get per-node tracks above these bases.
@@ -48,7 +63,7 @@ class TraceRecorder {
     return capturing_.load(std::memory_order_relaxed) && enabled();
   }
 
-  // Begins a fresh capture (clears all buffers).
+  // Begins a fresh capture (clears all buffers, flow ids, sample counter).
   void start();
   void stop() { capturing_.store(false, std::memory_order_relaxed); }
 
@@ -70,10 +85,53 @@ class TraceRecorder {
   // A counter-track sample (ph:"C"): Perfetto renders successive samples of
   // the same `name` as a filled line graph (executor queue depth,
   // outstanding tasks). Samples live on host tid 0 so one graph aggregates
-  // values from every thread.
+  // values from every thread. Never sampled away and never ring-dropped
+  // preferentially: counters are the always-on signal.
   void host_counter(const char* cat, const char* name, int64_t value);
   // Names the calling thread's host track ("main", "worker-3").
   void name_host_thread(const std::string& name);
+
+  // A measured-timeline (pid 3) complete span on the calling thread's
+  // track: the wall-clock execution of one leaf point-task body.
+  void meas_span(const char* cat, const std::string& name, double ts_us,
+                 double dur_us, const std::string& args_json = "");
+
+  // --- flow events -----------------------------------------------------------
+  // Mints `n` consecutive flow ids (>= 1); ids are allocated on the host
+  // thread in submission order, so sim-track flow ends are deterministic.
+  uint64_t alloc_flow_ids(uint64_t n);
+  // Flow start ("s") / step ("t") at the current wall time on the calling
+  // thread's host track.
+  void host_flow(char ph, uint64_t id, const char* cat,
+                 const std::string& name);
+  // Flow end ("f", binding point "e") on simulated track `tid` at virtual
+  // time `t_s`. Deterministic-context rules of sim_span apply.
+  void sim_flow_end(uint64_t id, int tid, const char* cat,
+                    const std::string& name, double t_s);
+  // Flow end on the calling thread's measured track at wall time `ts_us`.
+  void meas_flow_end(uint64_t id, const char* cat, const std::string& name,
+                     double ts_us);
+
+  // --- bounded recording -----------------------------------------------------
+  // Keeps only the last `n` events per timeline (0 = unbounded). Dropped
+  // events bump obs.dropped_events; serialization filters flow steps/ends
+  // whose start was dropped, so the JSON stays well-formed.
+  void set_ring(size_t n) { ring_.store(n, std::memory_order_relaxed); }
+  size_t ring() const { return ring_.load(std::memory_order_relaxed); }
+  // Records every `k`th launch's spans (1 = every launch). The decision is
+  // taken once per launch on the submitting thread, in submission order.
+  void set_sample(uint64_t k) {
+    sample_every_.store(k > 0 ? k : 1, std::memory_order_relaxed);
+  }
+  uint64_t sample() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  // True when the next launch should be recorded (advances the counter).
+  bool sample_launch() {
+    const uint64_t k = sample_every_.load(std::memory_order_relaxed);
+    if (k <= 1) return true;
+    return launch_seq_.fetch_add(1, std::memory_order_relaxed) % k == 0;
+  }
 
   // Total events recorded in the current capture (0 when disabled).
   size_t events() const;
@@ -81,20 +139,37 @@ class TraceRecorder {
   // byte-identity surface tests compare across worker counts.
   std::vector<std::string> sim_events() const;
   // Serializes the capture as a Chrome trace-event JSON document (one event
-  // per line; simulated events precede host events).
+  // per line; simulated events precede host events precede measured events).
   std::string json() const;
   bool write(const std::string& path) const;
 
  private:
   TraceRecorder();
 
+  // One recorded event: the rendered line plus the flow identity needed to
+  // filter dangling flow steps/ends after ring-buffer drops.
+  struct Event {
+    std::string line;
+    uint64_t flow = 0;  // 0 = not a flow event
+    char ph = 0;        // 's' | 't' | 'f' for flow events
+  };
+  using Buffer = std::deque<Event>;
+
+  // Appends to `buf` under mu_, honoring the ring bound.
+  void push(Buffer& buf, Event e);
+
   // Stable small tid for the calling thread on the host timeline.
   int host_tid();
 
   std::atomic<bool> capturing_{false};
+  std::atomic<size_t> ring_{0};
+  std::atomic<uint64_t> sample_every_{1};
+  std::atomic<uint64_t> launch_seq_{0};
+  std::atomic<uint64_t> next_flow_id_{1};
   mutable std::mutex mu_;
-  std::vector<std::string> sim_events_;
-  std::vector<std::string> host_events_;
+  Buffer sim_events_;
+  Buffer host_events_;
+  Buffer meas_events_;
   std::map<int, std::string> sim_track_names_;
   std::map<int, std::string> host_thread_names_;
   int next_host_tid_ = 0;

@@ -415,7 +415,13 @@ template <typename T, int DIM = 1>
 class RegionAccessor {
  public:
   RegionAccessor() = default;
-  explicit RegionAccessor(const Region<T>& region) {
+  // `intent` tags the direction of every access made through this accessor
+  // for the verify-mode touch log: kernels pass Access::Read on operand
+  // accessors (values, pos, crd); outputs keep the ReadWrite default. The
+  // tag has no effect on element access itself.
+  explicit RegionAccessor(const Region<T>& region,
+                          Access intent = Access::ReadWrite)
+      : intent_(intent) {
     auto& r = const_cast<Region<T>&>(region);
     SPDISTAL_CHECK(r.space().dim() == DIM,
                    DIM << "-D accessor on " << r.space().dim() << "-D region "
@@ -440,20 +446,20 @@ class RegionAccessor {
   T& operator[](Coord i) const
     requires(DIM == 1)
   {
-    if (sink_) sink_->touch1(i);
+    if (sink_) sink_->touch1(i, intent_);
     return base_[static_cast<size_t>(i - lo_[0])];
   }
   T& operator()(Coord i, Coord j) const
     requires(DIM == 2)
   {
-    if (sink_) sink_->touch2(i, j);
+    if (sink_) sink_->touch2(i, j, intent_);
     return base_[static_cast<size_t>((i - lo_[0]) * stride_[0] +
                                      (j - lo_[1]))];
   }
   T& operator()(Coord i, Coord j, Coord k) const
     requires(DIM == 3)
   {
-    if (sink_) sink_->touch3(i, j, k);
+    if (sink_) sink_->touch3(i, j, k, intent_);
     return base_[static_cast<size_t>((i - lo_[0]) * stride_[0] +
                                      (j - lo_[1]) * stride_[1] +
                                      (k - lo_[2]))];
@@ -464,6 +470,7 @@ class RegionAccessor {
   std::array<Coord, DIM> lo_{};
   std::array<Coord, DIM> stride_{};
   TouchSink* sink_ = nullptr;
+  Access intent_ = Access::ReadWrite;
 };
 
 // Position-addressed accessor: indices are row-major linear offsets within
@@ -475,7 +482,10 @@ template <typename T>
 class LinearAccessor {
  public:
   LinearAccessor() = default;
-  explicit LinearAccessor(const Region<T>& region) {
+  // See RegionAccessor: `intent` tags the touch log's access direction.
+  explicit LinearAccessor(const Region<T>& region,
+                          Access intent = Access::ReadWrite)
+      : intent_(intent) {
     auto& r = const_cast<Region<T>&>(region);
     const auto b = r.backing();
     base_ = b.base;
@@ -493,7 +503,7 @@ class LinearAccessor {
   bool valid() const { return base_ != nullptr; }
 
   T& at(Coord idx) const {
-    if (sink_) sink_->touch_linear(*outer_, idx);
+    if (sink_) sink_->touch_linear(*outer_, idx, intent_);
     if (direct_) return base_[static_cast<size_t>(idx)];
     return base_[static_cast<size_t>(
         Region<T>::translate_linear(*outer_, *box_, idx))];
@@ -505,6 +515,7 @@ class LinearAccessor {
   const RectN* box_ = nullptr;    // backing-buffer box (scratch or region)
   bool direct_ = true;
   TouchSink* sink_ = nullptr;
+  Access intent_ = Access::ReadWrite;
 };
 
 }  // namespace spdistal::rt

@@ -100,6 +100,14 @@ struct Runtime::LaunchRecord {
   IndexLaunch launch;  // captured copy (keeps regions + body alive)
   std::shared_ptr<const LaunchPlan> plan;
   std::vector<WorkEstimate> work;  // per point
+  // Tracing/profiling decisions taken once at submission (in submission
+  // order, so they are deterministic across worker counts): whether this
+  // launch's spans are recorded (launch sampling), the base of its flow-id
+  // block (2 ids per point: even = sim chain, odd = measured chain; 0 =
+  // none), and whether leaf wall times feed the calibration store.
+  bool sampled = false;
+  bool calibrate = false;
+  uint64_t flow_base = 0;
   // Reduction privatization, per requirement: scratch[r][p] is point p's
   // private accumulator (empty when the requirement is not privatized).
   std::vector<std::vector<std::shared_ptr<ScratchHeader>>> scratch;
@@ -496,13 +504,32 @@ std::shared_ptr<const Runtime::LaunchPlan> Runtime::build_plan(
 exec::Future Runtime::execute(const IndexLaunch& launch) {
   SPDISTAL_CHECK(launch.domain >= 1, "empty launch domain");
   SPDISTAL_CHECK(launch.body, "launch without body");
+  // Launch sampling: every launch is counted, but spans and flow events are
+  // only recorded for every Kth launch (SPDISTAL_TRACE_SAMPLE). The decision
+  // is taken here, on the submitting thread, so it is deterministic in
+  // submission order regardless of worker count.
+  obs::TraceRecorder& trec = obs::TraceRecorder::global();
+  const bool rec_active = trec.active() && observed_;
+  const bool sampled = rec_active && trec.sample_launch();
   // Host-timeline span for the enqueue (name only built when recording).
-  obs::Span enqueue_span("runtime",
-                         obs::TraceRecorder::global().active() && observed_
-                             ? "enqueue " + launch.name
-                             : std::string());
+  obs::Span enqueue_span(
+      "runtime", sampled ? "enqueue " + launch.name : std::string());
   const int P = launch.domain;
   const size_t R = launch.reqs.size();
+
+  // Mint a flow-id block for this launch and start every arrow inside the
+  // enqueue span: id base+2p links the enqueue to point p's simulated span
+  // (stepping through plan_build on a cold plan), id base+2p+1 links it to
+  // point p's measured wall-clock span.
+  uint64_t flow_base = 0;
+  if (sampled) {
+    flow_base = trec.alloc_flow_ids(static_cast<uint64_t>(2 * P));
+    for (int p = 0; p < P; ++p) {
+      const uint64_t base = flow_base + 2 * static_cast<uint64_t>(p);
+      trec.host_flow('s', base, "launch", launch.name);
+      trec.host_flow('s', base + 1, "launch", launch.name);
+    }
+  }
 
   // Plan lookup: the launch's identity is its region ids, partition uids,
   // privileges and domain shape. Repartitioning or swapping a region's
@@ -536,8 +563,14 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   }
   if (plan == nullptr) {
     {
-      OBS_SPAN("runtime", "plan_build");
+      obs::Span plan_span(
+          "runtime", sampled ? std::string("plan_build") : std::string());
       plan = build_plan(launch);
+      if (flow_base != 0) {
+        // Step the first sim arrow through the plan-build span so the trace
+        // shows enqueue -> plan_build -> first simulated task on cold plans.
+        trec.host_flow('t', flow_base, "launch", launch.name + ":plan");
+      }
     }
     ++plan_misses_;
     if (observed_) plan_miss_metric.add(1);
@@ -556,12 +589,17 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
     }
   }
 
+  // Audit sampling: with SPDISTAL_VERIFY_SAMPLE=N only every Nth launch
+  // pays for the dynamic checks (race audit, touch checking, RO hashing);
+  // schedule linting is cheap and stays always-on at its own call sites.
+  const bool audit = verify_ && verify::should_audit();
+
   // Dependence-race audit (verify mode): diff the plan's memoized conflict
   // edges against the brute-force oracle, and — on warm memo hits — the
   // memoized per-point subsets against the live partitions, before the
   // borrowed partition pointers are dropped below. Throws VerifyError at
   // the enqueue site on a race or a stale cache entry.
-  if (verify_) {
+  if (audit) {
     verify::AuditInput in;
     in.launch_name = launch.name;
     in.points = P;
@@ -594,6 +632,9 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   rec->plan = plan;
   rec->work.resize(static_cast<size_t>(P));
   rec->scratch.resize(R);
+  rec->sampled = sampled;
+  rec->flow_base = flow_base;
+  rec->calibrate = observed_ && obs::calibration_enabled();
   for (size_t r = 0; r < R; ++r) {
     // Subsets are captured in the plan; the borrowed partition pointer need
     // not outlive the submission.
@@ -608,7 +649,7 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
   // region the launch never writes get hashed before any point runs and
   // re-hashed at retirement; a changed fingerprint is a write under RO.
   exec::TaskId prehash = 0;
-  if (verify_) {
+  if (audit) {
     auto vs = std::make_unique<LaunchRecord::VerifyState>();
     for (size_t r = 0; r < R; ++r) {
       if (launch.reqs[r].priv != Privilege::RO) continue;
@@ -645,7 +686,7 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
 
   // Mint the point tasks and the retirement task.
   std::vector<exec::TaskId> ids(static_cast<size_t>(P));
-  const bool verifying = verify_;
+  const bool verifying = audit;
   for (int p = 0; p < P; ++p) {
     ids[static_cast<size_t>(p)] = ex_->create(
         strprintf("%s[%d]", launch.name.c_str(), p), [this, rec, p, verifying] {
@@ -669,17 +710,55 @@ exec::Future Runtime::execute(const IndexLaunch& launch) {
           TaskContext ctx(*this, rec->launch, p,
                           plan.procs[static_cast<size_t>(p)],
                           &plan.subsets[static_cast<size_t>(p)]);
+          // Leaf wall-clock measurement feeds the measured trace track and
+          // the calibration store. The timer brackets only the body (scratch
+          // allocation and verify post-checks are runtime overhead, not
+          // kernel time).
+          const Proc proc = plan.procs[static_cast<size_t>(p)];
+          const bool measure = rec->sampled || rec->calibrate;
+          const double wall0 = measure ? obs::wall_us() : 0.0;
+          double wall1 = 0.0;
+          TouchLog tlog;
           if (!verifying) {
             rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
-            return;
-          }
-          // Verify mode: record every coordinate the body touches, then
-          // validate the footprint against the declared per-point subsets.
-          TouchLog tlog;
-          {
+            if (measure) wall1 = obs::wall_us();
+          } else {
+            // Verify mode: record every coordinate the body touches; the
+            // footprint is validated against the declared subsets below.
             ScopedTouchLog tguard(&tlog);
             rec->work[static_cast<size_t>(p)] = rec->launch.body(ctx);
+            if (measure) wall1 = obs::wall_us();
           }
+          if (measure) {
+            const double wall_s = (wall1 - wall0) * 1e-6;
+            const WorkEstimate& w = rec->work[static_cast<size_t>(p)];
+            if (rec->calibrate) {
+              obs::Calibration::global().record(
+                  rec->launch.name.c_str(), proc_kind_name(proc.kind),
+                  w.flops, w.bytes, wall_s);
+            }
+            obs::TraceRecorder& trec = obs::TraceRecorder::global();
+            if (rec->sampled && trec.active()) {
+              const double sim_s =
+                  sim_.task_duration(proc, w, rec->launch.leaf_threads);
+              const std::string nm =
+                  strprintf("%s[%d]", rec->launch.name.c_str(), p);
+              trec.meas_span(
+                  "leaf", nm, wall0, wall1 - wall0,
+                  strprintf("{\"kernel\": \"%s\", \"nnz\": %.0f, "
+                            "\"flops\": %.0f, \"bytes\": %.0f, "
+                            "\"sim_s\": %.9g, \"wall_s\": %.9g}",
+                            rec->launch.name.c_str(), w.nnz, w.flops, w.bytes,
+                            sim_s, wall_s));
+              if (rec->flow_base != 0) {
+                trec.meas_flow_end(
+                    rec->flow_base + 2 * static_cast<uint64_t>(p) + 1,
+                    "launch", nm, wall0);
+              }
+            }
+          }
+          if (!verifying) return;
+          // Validate the recorded footprint against the declared subsets.
           std::vector<verify::ReqCheckView> views;
           views.reserve(rec->launch.reqs.size());
           for (size_t r = 0; r < rec->launch.reqs.size(); ++r) {
@@ -817,10 +896,11 @@ void Runtime::account_launch(LaunchRecord& rec) {
   };
   std::vector<PointResult> points(static_cast<size_t>(launch.domain));
 
-  // Sim-track labels are built only while a capture is live; the per-kernel
-  // row accumulates whenever this runtime is observed.
+  // Sim-track labels are built only while a capture is live and the launch
+  // was sampled; the per-kernel row accumulates whenever this runtime is
+  // observed.
   const bool tracing =
-      sim_.trace() != nullptr && sim_.trace()->active();
+      sim_.trace() != nullptr && sim_.trace()->active() && rec.sampled;
   obs::KernelStats* row = observed_ ? &kernel_rows_[launch.name] : nullptr;
   std::string pt_name;
 
@@ -851,8 +931,12 @@ void Runtime::account_launch(LaunchRecord& rec) {
       pt_name = strprintf("%s[%d]", launch.name.c_str(), p);
       nm = pt_name.c_str();
     }
+    const uint64_t flow =
+        tracing && rec.flow_base != 0
+            ? rec.flow_base + 2 * static_cast<uint64_t>(p)
+            : 0;
     const double done =
-        sim_.run_task(proc, work, launch.leaf_threads, data_ready, nm);
+        sim_.run_task(proc, work, launch.leaf_threads, data_ready, nm, flow);
     if (row != nullptr) {
       row->tasks += 1;
       row->flops += work.flops;

@@ -41,7 +41,8 @@ double Simulator::task_duration(const Proc& p, const WorkEstimate& work,
 }
 
 double Simulator::run_task(const Proc& p, const WorkEstimate& work, int threads,
-                           double ready_time, const char* name) {
+                           double ready_time, const char* name,
+                           uint64_t flow_id) {
   const size_t s = slot(p);
   const double start = std::max(clocks_[s], ready_time);
   const double duration =
@@ -59,6 +60,9 @@ double Simulator::run_task(const Proc& p, const WorkEstimate& work, int threads,
                    ? strprintf("node%d/CPU", p.node)
                    : strprintf("node%d/GPU%d", p.node, p.index));
       trace_->sim_span(tid, "task", name, start, clocks_[s]);
+      if (flow_id != 0) {
+        trace_->sim_flow_end(flow_id, tid, "launch", name, start);
+      }
     }
   }
   return clocks_[s];

@@ -22,14 +22,19 @@ class TraceRecorder;
 
 namespace spdistal::rt {
 
-// Work performed by a leaf task, measured during real execution.
+// Work performed by a leaf task, measured during real execution. `nnz` is
+// the stored non-zeros the leaf actually processed — carried alongside the
+// priced work so the measured-leaf trace track can report per-span density
+// (it does not participate in pricing).
 struct WorkEstimate {
   double flops = 0;
   double bytes = 0;
+  double nnz = 0;
 
   WorkEstimate& operator+=(const WorkEstimate& o) {
     flops += o.flops;
     bytes += o.bytes;
+    nnz += o.nnz;
     return *this;
   }
   friend WorkEstimate operator+(WorkEstimate a, const WorkEstimate& b) {
@@ -53,9 +58,12 @@ class Simulator {
   // may start no earlier than `ready_time` (data arrival). Returns the
   // completion time and advances p's clock to it. When a trace recorder is
   // attached and `name` is non-null, the task is recorded as a span on p's
-  // simulated-timeline track.
+  // simulated-timeline track; a non-zero `flow_id` additionally records a
+  // flow end at the span's start, terminating the arrow from the launch's
+  // host enqueue span.
   double run_task(const Proc& p, const WorkEstimate& work, int threads,
-                  double ready_time, const char* name = nullptr);
+                  double ready_time, const char* name = nullptr,
+                  uint64_t flow_id = 0);
 
   // Attaches (or detaches with nullptr) the observability sinks: task spans
   // go to `trace`, and the sim.* metrics mirrors are updated. Proxy/scratch

@@ -45,7 +45,7 @@ void set_touch_logging(bool on) {
   g_touch_logging.store(on, std::memory_order_relaxed);
 }
 
-void TouchSink::touch_linear(const RectN& outer, Coord idx) {
+void TouchSink::touch_linear(const RectN& outer, Coord idx, Access a) {
   // Delinearize the row-major offset back into outer's frame so the
   // recorded coordinates compare against RegionReq subsets directly.
   RectN pt;
@@ -57,30 +57,50 @@ void TouchSink::touch_linear(const RectN& outer, Coord idx) {
     pt.lo[d] = pt.hi[d] = outer.lo[d] + rem % extent;
     rem /= extent;
   }
-  touch(pt);
+  touch(pt, a);
 }
 
-void TouchSink::touch(const RectN& pt) {
-  dim_ = pt.dim;
-  if (!rects_.empty() && extend(rects_.back(), pt)) return;
-  rects_.push_back(pt);
-  if (rects_.size() > kMaxRects) {
-    IndexSubset s(dim_);
-    for (const RectN& r : rects_) s.add(r);
+namespace {
+
+// Shared coalesce-or-collapse step for both rect lists.
+void add_rect(std::vector<RectN>& rects, bool& approximate, int dim,
+              const RectN& pt) {
+  if (!rects.empty() && extend(rects.back(), pt)) return;
+  rects.push_back(pt);
+  if (rects.size() > kMaxRects) {
+    IndexSubset s(dim);
+    for (const RectN& r : rects) s.add(r);
     s.normalize();
     if (s.rects().size() > kMaxRects / 2) {
       RectN box = s.bounds();
-      rects_.assign(1, box);
-      approximate_ = true;
+      rects.assign(1, box);
+      approximate = true;
     } else {
-      rects_.assign(s.rects().begin(), s.rects().end());
+      rects.assign(s.rects().begin(), s.rects().end());
     }
+  }
+}
+
+}  // namespace
+
+void TouchSink::touch(const RectN& pt, Access a) {
+  dim_ = pt.dim;
+  add_rect(rects_, approximate_, dim_, pt);
+  if (a == Access::Read) {
+    add_rect(read_rects_, reads_approximate_, dim_, pt);
   }
 }
 
 IndexSubset TouchSink::touched() const {
   IndexSubset s(dim_);
   for (const RectN& r : rects_) s.add(r);
+  s.normalize();
+  return s;
+}
+
+IndexSubset TouchSink::reads() const {
+  IndexSubset s(dim_);
+  for (const RectN& r : read_rects_) s.add(r);
   s.normalize();
   return s;
 }

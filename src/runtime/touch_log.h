@@ -29,50 +29,66 @@ using RegionId = uint32_t;
 bool touch_logging_enabled();
 void set_touch_logging(bool on);
 
+// Declared direction of an accessor's element accesses. C++ cannot tell a
+// read from a write through a returned T&, so kernels annotate: operand
+// accessors (vals/pos/crd walks) are tagged Read, output accessors stay on
+// the ReadWrite default (`out[i] += ...` both reads and writes). The
+// privilege checker uses the Read-tagged set to flag reads of regions held
+// under write-only privileges.
+enum class Access : uint8_t { Read, Write, ReadWrite };
+
 // Per-region record of the coordinates one leaf task actually touched.
 // Points are coalesced into a rect list (consecutive accesses extend the
 // last rect — the common row-major walk stays one rect per run); if the
 // list grows past the cap it is collapsed to the bounding box and the sink
-// is marked approximate.
+// is marked approximate. Read-tagged touches accumulate into a second rect
+// list so write-only privileges can be checked against actual reads.
 class TouchSink {
  public:
   explicit TouchSink(int dim = 1) : dim_(dim) {}
 
-  void touch1(Coord i) {
+  void touch1(Coord i, Access a = Access::ReadWrite) {
     RectN r;
     r.dim = 1;
     r.lo[0] = r.hi[0] = i;
-    touch(r);
+    touch(r, a);
   }
-  void touch2(Coord i, Coord j) {
+  void touch2(Coord i, Coord j, Access a = Access::ReadWrite) {
     RectN r;
     r.dim = 2;
     r.lo[0] = r.hi[0] = i;
     r.lo[1] = r.hi[1] = j;
-    touch(r);
+    touch(r, a);
   }
-  void touch3(Coord i, Coord j, Coord k) {
+  void touch3(Coord i, Coord j, Coord k, Access a = Access::ReadWrite) {
     RectN r;
     r.dim = 3;
     r.lo[0] = r.hi[0] = i;
     r.lo[1] = r.hi[1] = j;
     r.lo[2] = r.hi[2] = k;
-    touch(r);
+    touch(r, a);
   }
   // Row-major linear offset within `outer` (LinearAccessor's frame).
-  void touch_linear(const RectN& outer, Coord idx);
+  void touch_linear(const RectN& outer, Coord idx,
+                    Access a = Access::ReadWrite);
 
-  void touch(const RectN& pt);
+  void touch(const RectN& pt, Access a = Access::ReadWrite);
 
   int dim() const { return dim_; }
   bool approximate() const { return approximate_; }
+  bool reads_approximate() const { return reads_approximate_; }
   // The touched set, normalized. Exact unless approximate().
   IndexSubset touched() const;
+  // Coordinates touched by explicitly Read-tagged accesses, normalized.
+  // Exact unless reads_approximate().
+  IndexSubset reads() const;
 
  private:
   int dim_ = 1;
   std::vector<RectN> rects_;
+  std::vector<RectN> read_rects_;
   bool approximate_ = false;
+  bool reads_approximate_ = false;
 };
 
 // All touches of one leaf task, keyed by region id.

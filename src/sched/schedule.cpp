@@ -76,6 +76,16 @@ Schedule& Schedule::precompute(IndexVar v, IndexVar workspace_var) {
   return *this;
 }
 
+Schedule& Schedule::suppress_lint(std::string rule) {
+  if (!is_lint_suppressed(rule)) suppressed_.push_back(std::move(rule));
+  return *this;
+}
+
+bool Schedule::is_lint_suppressed(const std::string& rule) const {
+  return std::find(suppressed_.begin(), suppressed_.end(), rule) !=
+         suppressed_.end();
+}
+
 const Command* Schedule::producer_of(const IndexVar& v) const {
   for (const auto& c : commands_) {
     if ((c.kind == CommandKind::Divide || c.kind == CommandKind::Split ||

@@ -62,6 +62,17 @@ class Schedule {
   Schedule& parallelize(IndexVar v, ParallelUnit unit);
   Schedule& precompute(IndexVar v, IndexVar workspace_var);
 
+  // Silence one lint rule (by its id from docs/verify_rules.md) for this
+  // schedule. Suppression is per-rule, not per-finding: every finding the
+  // named rule would raise is dropped, warnings and errors alike. Dynamic
+  // analyses (privilege replay, race audit) carry no rule id and cannot be
+  // suppressed — only the static linter consults this list.
+  Schedule& suppress_lint(std::string rule);
+  const std::vector<std::string>& suppressed_lints() const {
+    return suppressed_;
+  }
+  bool is_lint_suppressed(const std::string& rule) const;
+
   const std::vector<Command>& commands() const { return commands_; }
 
   // --- queries used by lowering ---------------------------------------------
@@ -113,6 +124,7 @@ class Schedule {
   const Command* producer_of(const IndexVar& v) const;
 
   std::vector<Command> commands_;
+  std::vector<std::string> suppressed_;
 };
 
 }  // namespace spdistal::sched

@@ -1,5 +1,6 @@
 #include "verify/lint.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -14,12 +15,15 @@ using sched::Command;
 using sched::CommandKind;
 using tin::IndexVar;
 
-void error(std::vector<Violation>& out, std::string msg) {
-  out.push_back({Severity::Error, "lint", std::move(msg)});
+// Every finding carries a stable rule id (catalogued in
+// docs/verify_rules.md) so schedules can opt out of individual rules with
+// Schedule::suppress_lint(id).
+void error(std::vector<Violation>& out, const char* rule, std::string msg) {
+  out.push_back({Severity::Error, "lint", std::move(msg), rule});
 }
 
-void warn(std::vector<Violation>& out, std::string msg) {
-  out.push_back({Severity::Warning, "lint", std::move(msg)});
+void warn(std::vector<Violation>& out, const char* rule, std::string msg) {
+  out.push_back({Severity::Warning, "lint", std::move(msg), rule});
 }
 
 // The Divide/DividePos command whose outer result is `v`, else nullptr.
@@ -64,14 +68,14 @@ void check_grid_arity(const sched::Schedule& schedule,
        << " pieces onto " << procs << " processors; pieces beyond the "
        << "machine time-share (round-robin placement), which serializes "
        << "the extra launches";
-    warn(out, os.str());
+    warn(out, "grid-oversubscribed", os.str());
   }
   const size_t rank = static_cast<size_t>(machine.grid().ndims());
   if (dvs.size() < rank) {
     std::ostringstream os;
     os << "schedule distributes " << dvs.size() << " axis/axes onto a rank-"
        << rank << " machine grid; trailing grid dimensions stay unused";
-    warn(out, os.str());
+    warn(out, "grid-underused", os.str());
   }
 }
 
@@ -83,8 +87,9 @@ void check_distributed_vars(const Statement& stmt,
   for (const IndexVar& dv : schedule.distributed_vars()) {
     const Command* p = producer_of(schedule, dv);
     if (p == nullptr) {
-      error(out, "distribute(" + dv.name() +
-                     "): variable was not produced by divide()/divide_pos()");
+      error(out, "distribute-unproduced",
+            "distribute(" + dv.name() +
+                "): variable was not produced by divide()/divide_pos()");
       continue;
     }
     const IndexVar& src = p->vars[0];
@@ -92,9 +97,9 @@ void check_distributed_vars(const Statement& stmt,
     if (roots.empty()) roots.push_back(src);
     for (const IndexVar& r : roots) {
       if (!stmt_uses_var(stmt, r)) {
-        error(out, "distribute(" + dv.name() + "): source variable " +
-                       r.name() + " indexes no tensor in `" + stmt.str() +
-                       "`");
+        error(out, "distribute-unused-source",
+              "distribute(" + dv.name() + "): source variable " + r.name() +
+                  " indexes no tensor in `" + stmt.str() + "`");
       }
     }
   }
@@ -132,7 +137,7 @@ void check_nonunique_pairs(const Statement& stmt,
     os << " are all non-unique at shared variable " << var_names[id]
        << "; co-iteration cannot deduplicate repeated coordinates on more "
           "than one operand";
-    error(out, os.str());
+    error(out, "nonunique-pair", os.str());
   }
 }
 
@@ -144,9 +149,10 @@ void check_divide_pos(const Statement& stmt, const sched::Schedule& schedule,
     const std::string tensor = c.tensors.empty() ? "" : c.tensors[0];
     auto it = stmt.bindings.find(tensor);
     if (it == stmt.bindings.end()) {
-      error(out, "divide_pos targets tensor `" + tensor +
-                     "` which the statement `" + stmt.str() +
-                     "` does not reference");
+      error(out, "divide-pos-unbound",
+            "divide_pos targets tensor `" + tensor +
+                "` which the statement `" + stmt.str() +
+                "` does not reference");
       continue;
     }
     const fmt::Format& f = it->second.format();
@@ -161,12 +167,13 @@ void check_divide_pos(const Statement& stmt, const sched::Schedule& schedule,
         chain.empty() ? 1 : static_cast<int>(chain.size());
     const int split_level = depth - 1;
     if (split_level >= f.order()) {
-      error(out, "divide_pos(" + c.vars[0].name() + ", ..., \"" + tensor +
-                     "\") fuses " + std::to_string(depth) +
-                     " index variables but `" + tensor + "` has only " +
-                     std::to_string(f.order()) +
-                     " storage levels; the fused chain cannot be deeper "
-                     "than the tensor it splits");
+      error(out, "divide-pos-deep-chain",
+            "divide_pos(" + c.vars[0].name() + ", ..., \"" + tensor +
+                "\") fuses " + std::to_string(depth) +
+                " index variables but `" + tensor + "` has only " +
+                std::to_string(f.order()) +
+                " storage levels; the fused chain cannot be deeper "
+                "than the tensor it splits");
       continue;
     }
     // Position space must exist at or above the cut: some level in
@@ -179,11 +186,12 @@ void check_divide_pos(const Statement& stmt, const sched::Schedule& schedule,
       if (!f.mode(l).is_singleton()) has_position_structure = true;
     }
     if (!has_position_structure) {
-      error(out, "divide_pos(" + c.vars[0].name() + ", ..., \"" + tensor +
-                     "\") cuts a chain of Singleton levels with no "
-                     "Compressed or Dense ancestor: no level in the chain "
-                     "carries a pos array, so there is no non-zero "
-                     "position space to strip-mine");
+      error(out, "divide-pos-all-singleton",
+            "divide_pos(" + c.vars[0].name() + ", ..., \"" + tensor +
+                "\") cuts a chain of Singleton levels with no "
+                "Compressed or Dense ancestor: no level in the chain "
+                "carries a pos array, so there is no non-zero "
+                "position space to strip-mine");
     }
   }
 }
@@ -197,10 +205,11 @@ void check_parallelize(const sched::Schedule& schedule,
     if (c.kind != CommandKind::Parallelize || c.vars.empty()) continue;
     for (const IndexVar& dv : dvs) {
       if (c.vars[0] == dv) {
-        error(out, "parallelize(" + dv.name() + ", ...) targets a "
-                   "distributed variable; its iterations already run on "
-                   "different processors — parallelize an inner variable "
-                   "instead");
+        error(out, "parallelize-distributed",
+              "parallelize(" + dv.name() + ", ...) targets a "
+              "distributed variable; its iterations already run on "
+              "different processors — parallelize an inner variable "
+              "instead");
       }
     }
   }
@@ -215,19 +224,21 @@ void check_communicate(const Statement& stmt, const sched::Schedule& schedule,
     if (c.kind != CommandKind::Communicate) continue;
     for (const std::string& t : c.tensors) {
       if (stmt.bindings.find(t) == stmt.bindings.end()) {
-        error(out, "communicate references tensor `" + t +
-                       "` which the statement `" + stmt.str() +
-                       "` does not bind");
+        error(out, "communicate-unbound",
+              "communicate references tensor `" + t +
+                  "` which the statement `" + stmt.str() +
+                  "` does not bind");
       }
     }
     if (!c.vars.empty()) {
       bool at_distributed = false;
       for (const IndexVar& dv : dvs) at_distributed |= (c.vars[0] == dv);
       if (!at_distributed) {
-        warn(out, "communicate(..., " + c.vars[0].name() +
-                      ") is placed at a variable no distribute() names; "
-                      "the command has no distributed loop to attach to "
-                      "and is ignored");
+        warn(out, "communicate-misplaced",
+             "communicate(..., " + c.vars[0].name() +
+                 ") is placed at a variable no distribute() names; "
+                 "the command has no distributed loop to attach to "
+                 "and is ignored");
       }
     }
   }
@@ -240,10 +251,11 @@ void check_output_axes(const Statement& stmt, std::vector<Violation>& out) {
   std::set<uint32_t> seen;
   for (const IndexVar& v : lhs) {
     if (!seen.insert(v.id()).second) {
-      error(out, "output access " + stmt.assignment.lhs.tensor +
-                     " repeats index variable " + v.name() +
-                     "; diagonal outputs are not expressible — each output "
-                     "axis needs its own variable");
+      error(out, "output-repeated-var",
+            "output access " + stmt.assignment.lhs.tensor +
+                " repeats index variable " + v.name() +
+                "; diagonal outputs are not expressible — each output "
+                "axis needs its own variable");
     }
   }
 }
@@ -261,6 +273,13 @@ std::vector<Violation> lint_statement(const Statement& stmt,
   check_divide_pos(stmt, schedule, out);
   check_parallelize(schedule, out);
   check_communicate(stmt, schedule, out);
+  if (!schedule.suppressed_lints().empty()) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Violation& v) {
+                               return schedule.is_lint_suppressed(v.rule);
+                             }),
+              out.end());
+  }
   return out;
 }
 

@@ -17,7 +17,9 @@
 
 namespace spdistal::verify {
 
-// All findings, warnings included; empty on a clean schedule.
+// All findings, warnings included; empty on a clean schedule. Each finding
+// carries a stable rule id (see docs/verify_rules.md); rules named by
+// Schedule::suppress_lint are filtered out before returning.
 std::vector<Violation> lint_statement(const Statement& stmt,
                                       const sched::Schedule& schedule,
                                       const rt::Machine& machine);

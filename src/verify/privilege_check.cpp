@@ -34,6 +34,43 @@ void check_task_touches(const std::string& task_name, const rt::TouchLog& log,
       found.push_back(std::move(v));
       continue;
     }
+    // Read-under-WO: coordinates the body explicitly read (Read-tagged
+    // accessors) inside the declared subsets, minus every subset the task
+    // holds under a readable privilege. Write-only instances are
+    // uninitialized from the reader's point of view, so such reads consume
+    // garbage even though they stay in-subset.
+    rt::IndexSubset readable(sink.dim());
+    bool any_write_only = false;
+    for (const ReqCheckView& r : reqs) {
+      if (r.region != region || r.subset == nullptr) continue;
+      if (r.mode == exec::AccessMode::Write) {
+        any_write_only = true;
+      } else {
+        for (const rt::RectN& rect : r.subset->rects()) readable.add(rect);
+      }
+    }
+    if (any_write_only) {
+      readable.normalize();
+      const rt::IndexSubset bad =
+          sink.reads().intersect(declared).subtract(readable);
+      if (!bad.empty()) {
+        Violation v;
+        v.analysis = "privilege";
+        std::ostringstream os;
+        os << "task `" << task_name << "` read " << region_name << " at "
+           << bad.str() << " held under write-only privilege";
+        if (sink.reads_approximate()) {
+          os << " (approximate read footprint: the touch log overflowed to "
+                "a bounding box, so the read may be conservative)";
+          v.severity = Severity::Warning;
+        } else {
+          os << "; a WO instance is uninitialized until written — declare "
+                "RW or stop reading";
+        }
+        v.message = os.str();
+        found.push_back(std::move(v));
+      }
+    }
     const rt::IndexSubset touched = sink.touched();
     const rt::IndexSubset escaped = touched.subtract(declared);
     if (escaped.empty()) continue;

@@ -35,13 +35,25 @@ namespace spdistal::verify {
 bool enabled();
 void set_enabled(bool on);
 
+// Audit sampling (SPDISTAL_VERIFY_SAMPLE=N, default 1): every Nth launch
+// pays for the dynamic analyses (race audit, touch checking, RO hashing);
+// lint stays always-on. should_audit() counts the launch and returns true
+// for launches 0, N, 2N, ... — L launches yield ceil(L/N) audits.
+// set_verify_sample resets the launch counter so tests start at a boundary.
+uint64_t verify_sample();
+void set_verify_sample(uint64_t every);
+bool should_audit();
+
 enum class Severity { Warning, Error };
 
-// One finding from any of the three analyses.
+// One finding from any of the three analyses. `rule` is the stable lint
+// rule id (docs/verify_rules.md) used for suppression; empty for the
+// dynamic analyses, whose findings must not be suppressible.
 struct Violation {
   Severity severity = Severity::Error;
   std::string analysis;  // "lint" | "privilege" | "race_audit"
   std::string message;
+  std::string rule;
 };
 
 // Running totals since process start / last reset_stats(). Always readable

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -236,6 +237,8 @@ TEST(Obs, TraceJsonValidAndSpansOrdered) {
   constexpr double kEps = 0.002;  // two %.3f rounding quanta, microseconds
   std::map<int, double> track_end;
   for (const std::string& ev : obs::TraceRecorder::global().sim_events()) {
+    // Flow ends (ph "f") share the sim tracks but are instants, not spans.
+    if (ev.find("\"ph\": \"X\"") == std::string::npos) continue;
     const int tid = static_cast<int>(field(ev, "tid"));
     const double ts = field(ev, "ts");
     const double dur = field(ev, "dur");
@@ -283,6 +286,168 @@ TEST(Obs, TraceJsonValidAndSpansOrdered) {
       }
     }
   }
+}
+
+// Splits a trace document into its event lines.
+std::vector<std::string> doc_lines(const std::string& doc) {
+  std::vector<std::string> lines;
+  size_t at = 0;
+  while (at < doc.size()) {
+    size_t end = doc.find('\n', at);
+    if (end == std::string::npos) end = doc.size();
+    lines.push_back(doc.substr(at, end - at));
+    at = end + 1;
+  }
+  return lines;
+}
+
+TEST(Obs, MeasuredSpansCarryArgsAndNestInWorkerSpans) {
+  const rt::Machine m = cpu_machine(4);
+  ObsGuard guard(true);
+  {
+    auto [out, stmt] = build_spmv(m.num_procs());
+    rt::Runtime runtime(m, 2);
+    auto inst = CompiledKernel::compile(*stmt, m).instantiate(runtime);
+    inst->run(2);
+    runtime.flush();
+  }
+  const std::string doc = obs::TraceRecorder::global().json();
+  ASSERT_TRUE(valid_json(doc)) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("measured timeline"), std::string::npos);
+
+  // Collect measured leaf spans (pid 3) and host spans (pid 2) per tid.
+  struct SpanT {
+    double ts = 0, end = 0;
+  };
+  std::map<int, std::vector<SpanT>> host_by_tid;
+  std::vector<std::pair<int, SpanT>> meas;
+  for (const std::string& line : doc_lines(doc)) {
+    if (line.find("\"ph\": \"X\"") == std::string::npos) continue;
+    const SpanT s{field(line, "ts"), field(line, "ts") + field(line, "dur")};
+    if (line.find("\"pid\": 2,") != std::string::npos) {
+      host_by_tid[static_cast<int>(field(line, "tid"))].push_back(s);
+    } else if (line.find("\"pid\": 3,") != std::string::npos) {
+      // Every measured span carries the calibration-relevant args.
+      for (const char* key :
+           {"kernel", "nnz", "flops", "bytes", "sim_s", "wall_s"}) {
+        EXPECT_NE(line.find(std::string("\"") + key + "\""),
+                  std::string::npos)
+            << key << " missing in " << line;
+      }
+      meas.emplace_back(static_cast<int>(field(line, "tid")), s);
+    }
+  }
+  ASSERT_FALSE(meas.empty()) << "no measured leaf spans recorded";
+  // The leaf timer runs inside the executor's task-body span on the same
+  // thread, so each measured span nests inside some worker host span.
+  constexpr double kEps = 0.002;
+  for (const auto& [tid, ms] : meas) {
+    bool nested = false;
+    for (const SpanT& h : host_by_tid[tid]) {
+      if (ms.ts >= h.ts - kEps && ms.end <= h.end + kEps) {
+        nested = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(nested) << "measured span on tid " << tid
+                        << " not inside any worker task span";
+  }
+}
+
+TEST(Obs, FlowEventIdsResolve) {
+  const rt::Machine m = cpu_machine(4);
+  ObsGuard guard(true);
+  {
+    auto [out, stmt] = build_spmv(m.num_procs());
+    rt::Runtime runtime(m, 2);
+    auto inst = CompiledKernel::compile(*stmt, m).instantiate(runtime);
+    inst->run(2);
+    runtime.flush();
+  }
+  const std::string doc = obs::TraceRecorder::global().json();
+  std::set<uint64_t> starts;
+  size_t sim_ends = 0, meas_ends = 0;
+  std::vector<uint64_t> end_ids;
+  for (const std::string& line : doc_lines(doc)) {
+    if (line.find("\"ph\": \"s\"") != std::string::npos) {
+      starts.insert(static_cast<uint64_t>(field(line, "id")));
+    } else if (line.find("\"ph\": \"f\"") != std::string::npos) {
+      end_ids.push_back(static_cast<uint64_t>(field(line, "id")));
+      // Flow ends bind to the enclosing span ("bp": "e").
+      EXPECT_NE(line.find("\"bp\": \"e\""), std::string::npos) << line;
+      if (line.find("\"pid\": 1,") != std::string::npos) ++sim_ends;
+      if (line.find("\"pid\": 3,") != std::string::npos) ++meas_ends;
+    }
+  }
+  ASSERT_FALSE(starts.empty()) << "no flow starts recorded";
+  ASSERT_FALSE(end_ids.empty()) << "no flow ends recorded";
+  EXPECT_GT(sim_ends, 0u) << "no flows land on the simulated track";
+  EXPECT_GT(meas_ends, 0u) << "no flows land on the measured track";
+  // Every flow end resolves to a recorded start — a dangling `f` renders as
+  // a broken arrow in the Perfetto UI.
+  for (uint64_t id : end_ids) {
+    EXPECT_TRUE(starts.count(id)) << "flow end " << id << " has no start";
+  }
+}
+
+TEST(Obs, RingBufferBoundsEventsAndCountsDrops) {
+  const rt::Machine m = cpu_machine(4);
+  ObsGuard guard(true);
+  obs::TraceRecorder& trec = obs::TraceRecorder::global();
+  trec.set_ring(8);
+  {
+    auto [out, stmt] = build_spmv(m.num_procs());
+    rt::Runtime runtime(m, 2);
+    auto inst = CompiledKernel::compile(*stmt, m).instantiate(runtime);
+    inst->run(2);
+    runtime.flush();
+  }
+  const std::string doc = trec.json();
+  trec.set_ring(0);
+  // Tiny bound: the document stays valid JSON, the per-timeline buffers are
+  // capped, and every drop is accounted.
+  EXPECT_TRUE(valid_json(doc)) << doc.substr(0, 400);
+  EXPECT_LE(trec.sim_events().size(), 8u);
+  EXPECT_GT(obs::Metrics::global().counter("obs.dropped_events").value(), 0);
+  // Dangling-flow filtering: any surviving flow end still resolves.
+  std::set<uint64_t> starts;
+  std::vector<uint64_t> end_ids;
+  for (const std::string& line : doc_lines(doc)) {
+    if (line.find("\"ph\": \"s\"") != std::string::npos) {
+      starts.insert(static_cast<uint64_t>(field(line, "id")));
+    } else if (line.find("\"ph\": \"f\"") != std::string::npos) {
+      end_ids.push_back(static_cast<uint64_t>(field(line, "id")));
+    }
+  }
+  for (uint64_t id : end_ids) {
+    EXPECT_TRUE(starts.count(id))
+        << "flow end " << id << " survived the ring without its start";
+  }
+}
+
+TEST(Obs, LaunchSamplingRecordsEveryKthLaunch) {
+  const rt::Machine m = cpu_machine(4);
+  ObsGuard guard(true);
+  obs::TraceRecorder& trec = obs::TraceRecorder::global();
+  // K larger than the launch count: exactly the first launch records its
+  // spans; counter tracks stay on for every launch.
+  trec.set_sample(1 << 20);
+  {
+    auto [out, stmt] = build_spmv(m.num_procs());
+    rt::Runtime runtime(m, 2);
+    auto inst = CompiledKernel::compile(*stmt, m).instantiate(runtime);
+    inst->run(4);
+    runtime.flush();
+  }
+  const std::string doc = trec.json();
+  trec.set_sample(1);
+  size_t enqueues = 0, counters = 0;
+  for (const std::string& line : doc_lines(doc)) {
+    if (line.find("\"name\": \"enqueue ") != std::string::npos) ++enqueues;
+    if (line.find("\"ph\": \"C\"") != std::string::npos) ++counters;
+  }
+  EXPECT_EQ(enqueues, 1u);
+  EXPECT_GT(counters, 0u);
 }
 
 TEST(Obs, CounterTracksSampleExecutorGauges) {

@@ -6,7 +6,9 @@
 
 #include "compiler/lower.h"
 #include "data/generators.h"
+#include "runtime/region.h"
 #include "runtime/runtime.h"
+#include "verify/lint.h"
 #include "verify/verify.h"
 
 namespace spdistal {
@@ -120,6 +122,27 @@ TEST(VerifyLint, AcceptsTheCleanFigure1Schedule) {
   EXPECT_EQ(verify::stats().violations, before.violations);
 }
 
+TEST(VerifyLint, SuppressLintSilencesExactlyOneRule) {
+  VerifyGuard guard;
+  // Two seeded warnings from distinct rules: 64 pieces on a 2-processor
+  // machine (grid-oversubscribed) and communicate() at a non-distributed
+  // variable (communicate-misplaced).
+  SpmvProgram prog(64);
+  prog.a.schedule().communicate({"B"}, prog.ii);
+  const Machine m = cpu_machine(2);
+  std::vector<verify::Violation> all =
+      verify::lint_statement(*prog.stmt, prog.a.schedule(), m);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].rule, "grid-oversubscribed");
+  EXPECT_EQ(all[1].rule, "communicate-misplaced");
+  // Suppressing one rule drops exactly that finding; the other survives.
+  prog.a.schedule().suppress_lint("grid-oversubscribed");
+  std::vector<verify::Violation> rest =
+      verify::lint_statement(*prog.stmt, prog.a.schedule(), m);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].rule, "communicate-misplaced");
+}
+
 // --- privilege checker -------------------------------------------------------
 
 TEST(VerifyPrivilege, CatchesOutOfSubsetWrite) {
@@ -210,6 +233,71 @@ TEST(VerifyPrivilege, CatchesWriteUnderReadOnly) {
   }
 }
 
+TEST(VerifyPrivilege, CatchesInSubsetReadUnderWriteOnly) {
+  VerifyGuard guard;
+  Machine m = cpu_machine(2);
+  Runtime rt(m, 1);
+  auto r = rt.create_region<double>(IndexSpace(100), "wo_out");
+  r->fill(0.0);
+  rt.flush();
+  Partition p = rt::partition_equal(r->space(), 2);
+  IndexLaunch launch;
+  launch.name = "wo_reader";
+  launch.domain = 2;
+  launch.reqs = {RegionReq{r, &p, Privilege::WO}};
+  // Seeded defect: the body *reads* its own subset before writing it. The
+  // footprint stays fully in-subset — only the read/write separation in the
+  // touch log can see it.
+  launch.body = [&](const TaskContext& ctx) {
+    const rt::IndexSubset s = ctx.subset(0);
+    const rt::RegionAccessor<double> acc(*r, rt::Access::Read);
+    double sum = 0;
+    for (const auto& rect : s.rects()) {
+      for (Coord x = rect.lo[0]; x <= rect.hi[0]; ++x) sum += acc[x];
+    }
+    for (const auto& rect : s.rects()) {
+      for (Coord x = rect.lo[0]; x <= rect.hi[0]; ++x) (*r)[x] = sum;
+    }
+    return WorkEstimate{100, 800};
+  };
+  rt.execute(launch);
+  try {
+    rt.flush();
+    FAIL() << "privilege checker missed an in-subset read under WO";
+  } catch (const VerifyError& e) {
+    EXPECT_NE(std::string(e.what()).find("write-only privilege"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("wo_reader"), std::string::npos)
+        << e.what();
+  }
+  // Control: the same body under RW privilege is legal (fresh runtime — the
+  // one above threw mid-flush).
+  Runtime rt2(m, 1);
+  auto r2 = rt2.create_region<double>(IndexSpace(100), "rw_out");
+  r2->fill(0.0);
+  rt2.flush();
+  Partition p2 = rt::partition_equal(r2->space(), 2);
+  IndexLaunch ok;
+  ok.name = "rw_reader";
+  ok.domain = 2;
+  ok.reqs = {RegionReq{r2, &p2, Privilege::RW}};
+  ok.body = [&](const TaskContext& ctx) {
+    const rt::IndexSubset s = ctx.subset(0);
+    const rt::RegionAccessor<double> acc(*r2, rt::Access::Read);
+    double sum = 0;
+    for (const auto& rect : s.rects()) {
+      for (Coord x = rect.lo[0]; x <= rect.hi[0]; ++x) sum += acc[x];
+    }
+    for (const auto& rect : s.rects()) {
+      for (Coord x = rect.lo[0]; x <= rect.hi[0]; ++x) (*r2)[x] = sum;
+    }
+    return WorkEstimate{100, 800};
+  };
+  rt2.execute(ok);
+  EXPECT_NO_THROW(rt2.flush());
+}
+
 // --- dependence-race auditor -------------------------------------------------
 
 // Two points whose RW subsets overlap at element 50: the plan must order
@@ -293,6 +381,32 @@ TEST(Verify, CleanLaunchesStaySilent) {
   EXPECT_EQ(after.violations, before.violations);
   EXPECT_GT(after.plans_checked, before.plans_checked);
   EXPECT_GT(after.tasks_checked, before.tasks_checked);
+}
+
+TEST(Verify, AuditSamplingAuditsEveryNthLaunch) {
+  VerifyGuard guard;
+  Machine m = cpu_machine(2);
+  Runtime rt(m, 1);
+  auto r = rt.create_region<double>(IndexSpace(100), "acc");
+  r->fill(0.0);
+  rt.flush();
+  Partition p = rt::partition_equal(r->space(), 2);
+  IndexLaunch launch = overlapping_rw(r, p);
+  launch.name = "sampled";
+  // Every 3rd launch is audited; set_verify_sample resets the sequence so
+  // launch 0 is always the first audit.
+  verify::set_verify_sample(3);
+  const verify::Stats before = verify::stats();
+  const int L = 7;
+  for (int k = 0; k < L; ++k) rt.execute(launch);
+  rt.flush();
+  const verify::Stats after = verify::stats();
+  const uint64_t audits = (L + 2) / 3;  // ceil(L/N) = 3
+  EXPECT_EQ(after.plans_checked - before.plans_checked, audits);
+  EXPECT_EQ(after.tasks_checked - before.tasks_checked,
+            audits * 2);  // domain = 2 points per audited launch
+  verify::set_verify_sample(1);
+  EXPECT_EQ(verify::verify_sample(), 1u);
 }
 
 TEST(Verify, DisabledModeChecksNothing) {
