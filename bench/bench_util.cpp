@@ -63,6 +63,29 @@ std::string calib_summary(const rt::SimReport& rep,
   return "[calib]" + out;
 }
 
+std::string plan_summary() {
+  autosched::PlanCache& cache = autosched::PlanCache::global();
+  const int64_t exact = cache.hits();
+  const int64_t fuzzy = cache.fuzzy_hits();
+  const int64_t misses = cache.misses();
+  const int64_t lookups = exact + fuzzy + misses;
+  if (lookups == 0) return "";
+  std::string out = strprintf(
+      "[plan] cache %.1f%% (%lld exact + %lld fuzzy / %lld lookups)",
+      100.0 * static_cast<double>(exact + fuzzy) /
+          static_cast<double>(lookups),
+      static_cast<long long>(exact), static_cast<long long>(fuzzy),
+      static_cast<long long>(lookups));
+  if (cache.loaded() > 0) {
+    out += strprintf(" | store: %lld loaded",
+                     static_cast<long long>(cache.loaded()));
+  }
+  out += strprintf(" | searches: %lld cold, %lld warm",
+                   static_cast<long long>(misses),
+                   static_cast<long long>(exact + fuzzy));
+  return out;
+}
+
 namespace {
 
 void maybe_print_obs(const rt::SimReport& rep, const rt::Machine& machine) {
@@ -72,6 +95,8 @@ void maybe_print_obs(const rt::SimReport& rep, const rt::Machine& machine) {
   }
   const std::string calib = calib_summary(rep, machine);
   if (!calib.empty()) std::printf("%s\n", calib.c_str());
+  const std::string plan = plan_summary();
+  if (!plan.empty()) std::printf("%s\n", plan.c_str());
 }
 
 }  // namespace

@@ -103,4 +103,11 @@ std::string obs_summary(const rt::SimReport& rep);
 std::string calib_summary(const rt::SimReport& rep,
                           const rt::Machine& machine);
 
+// One-line plan-service summary: exact/fuzzy hit rate of the global
+// PlanCache, entries loaded from the persistent store, and how many
+// compiles searched cold vs were served warm ("[plan] cache 66.7% (4 exact
+// + 2 fuzzy / 9 lookups) | store: 3 loaded | searches: 3 cold, 6 warm").
+// Empty when the cache saw no lookups. Printed alongside [obs]/[calib].
+std::string plan_summary();
+
 }  // namespace spdbench

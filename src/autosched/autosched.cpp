@@ -13,8 +13,8 @@ namespace spdistal::autosched {
 
 std::string Result::summary() const {
   if (from_cache) {
-    return strprintf("plan cache hit: %s (cost %.3g s/iter)",
-                     recipe.str().c_str(), best_cost);
+    return strprintf("plan cache %shit: %s (cost %.3g s/iter)",
+                     fuzzy ? "fuzzy " : "", recipe.str().c_str(), best_cost);
   }
   return strprintf("searched %d candidates (%d simulated): %s (cost %.3g "
                    "s/iter)",
@@ -23,7 +23,6 @@ std::string Result::summary() const {
 
 Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
                            const Options& options) {
-  OBS_SPAN("autosched", "search");
   static obs::Counter& cache_hits =
       obs::Metrics::global().counter("autosched.cache_hits");
   static obs::Counter& cache_misses =
@@ -34,18 +33,30 @@ Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
       obs::Metrics::global().counter("autosched.simulated");
   Result result;
 
-  const std::string key = plan_key(stmt, machine);
+  const PlanKey key = plan_key(stmt, machine);
   if (options.use_cache) {
-    if (auto cached = PlanCache::global().lookup(key)) {
-      cache_hits.add(1);
-      result.recipe = cached->recipe;
-      result.schedule = materialize(cached->recipe, stmt);
-      result.from_cache = true;
-      result.best_cost = cached->cost;
-      return result;
+    if (auto cached =
+            PlanCache::global().lookup(key, options.use_store)) {
+      try {
+        result.schedule = materialize(cached->recipe, stmt);
+        result.recipe = cached->recipe;
+        result.from_cache = true;
+        result.fuzzy = cached->fuzzy;
+        result.best_cost = cached->cost;
+        cache_hits.add(1);
+        return result;
+      } catch (const ScheduleError&) {
+        // A fuzzy-matched recipe is priced for a sibling shape and may not
+        // fit this statement (e.g. its split tensor has too few levels
+        // here); fall through to a real search.
+      }
     }
   }
   cache_misses.add(1);
+  // Scoped below the cache check on purpose: a warm process serves every
+  // compile from the store and its trace carries zero search/enumerate
+  // spans.
+  OBS_SPAN("autosched", "search");
 
   std::vector<Candidate> candidates;
   {

@@ -1,10 +1,13 @@
 #include "autosched/cache.h"
 
-#include <array>
+#include <limits>
 #include <map>
 #include <sstream>
+#include <utility>
 
+#include "autosched/plan_store.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace spdistal::autosched {
 
@@ -46,40 +49,25 @@ void canonical_expr(const tin::Expr& e,
   }
 }
 
-// Sparsity fingerprint of a packed sparse tensor: non-zero count plus a
-// 16-bucket histogram over the top storage dimension — cheap, O(nnz), and
-// separates the structural classes that change the best plan. Memoized by
-// the vals region id: packing always allocates fresh regions, so a region
-// id names one immutable non-zero pattern (value writes don't change it),
-// and repeated plan_key calls in a serving loop skip the coordinate scan.
-std::string sparsity_fingerprint(const Tensor& t) {
-  static std::mutex mu;
-  static std::map<rt::RegionId, std::string> memo;
-  const rt::RegionId id = t.storage().vals()->id();
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = memo.find(id);
-    if (it != memo.end()) return it->second;
+// Per-tensor sparsity fingerprint. The output is fingerprinted structurally
+// (dims only): its non-zero pattern is derived from the inputs (assembly may
+// materialize it between compiles of the same computation, and that must not
+// turn cache hits into misses). Dense and unpacked tensors likewise carry no
+// pattern. Packed sparse inputs reuse the sketch computed at pack time.
+data::SparsityFingerprint tensor_fingerprint(const std::string& name,
+                                             const Tensor& t,
+                                             const std::string& output) {
+  if (name == output || t.format().all_dense() || !t.has_storage()) {
+    return data::dense_fingerprint(t.dims());
   }
-  const fmt::TensorStorage& st = t.storage();
-  const int top_dim = t.format().dim_of_level(0);
-  const Coord extent =
-      std::max<Coord>(t.dims()[static_cast<size_t>(top_dim)], 1);
-  std::array<int64_t, 16> hist{};
-  st.for_each([&](const std::array<Coord, rt::kMaxDim>& c, double) {
-    const size_t b =
-        static_cast<size_t>(c[static_cast<size_t>(top_dim)] * 16 / extent);
-    hist[std::min<size_t>(b, 15)]++;
-  });
-  std::ostringstream os;
-  os << ":nnz=" << st.nnz() << ":hist[" << join(hist, ",") << "]";
-  std::lock_guard<std::mutex> lock(mu);
-  return memo.emplace(id, os.str()).first->second;
+  if (const auto& fp = t.storage().fingerprint()) return *fp;
+  return data::fingerprint(t.storage());
 }
 
 }  // namespace
 
-std::string plan_key(const Statement& stmt, const rt::Machine& machine) {
+PlanKey plan_key(const Statement& stmt, const rt::Machine& machine) {
+  PlanKey key;
   std::ostringstream os;
 
   // --- expression, variables canonicalized ------------------------------------
@@ -95,18 +83,13 @@ std::string plan_key(const Statement& stmt, const rt::Machine& machine) {
   os << (stmt.assignment.accumulate ? ")+=" : ")=");
   canonical_expr(stmt.assignment.rhs, names, os);
 
-  // --- format signature + sparsity fingerprint per tensor ---------------------
-  // The output is fingerprinted by format/dims only: its non-zero pattern is
-  // derived from the inputs (assembly may materialize it between compiles of
-  // the same computation, and that must not turn cache hits into misses).
+  // --- format signature per tensor (dimensions and sparsity live in the
+  // fingerprint half, so the fuzzy tier can match across them) ----------------
   for (const auto& [name, t] : stmt.bindings) {
     os << ";" << name << ":" << t.format().str() << ":ord["
-       << join(t.format().ordering(), ",") << "]:dims["
-       << join(t.dims(), ",") << "]";
-    if (name != stmt.assignment.lhs.tensor && !t.format().all_dense() &&
-        t.has_storage()) {
-      os << sparsity_fingerprint(t);
-    }
+       << join(t.format().ordering(), ",") << "]";
+    key.fps.push_back(
+        tensor_fingerprint(name, t, stmt.assignment.lhs.tensor));
   }
 
   // --- machine signature -------------------------------------------------------
@@ -120,7 +103,10 @@ std::string plan_key(const Statement& stmt, const rt::Machine& machine) {
                   c.nvlink_bw_gbs, c.net_bw_gbs, c.task_overhead_s,
                   c.net_latency_s)
      << strprintf(":cap%g:t%g", c.capacity_scale, c.time_scale);
-  return os.str();
+
+  key.structural = os.str();
+  key.sig = data::fingerprints_str(key.fps);
+  return key;
 }
 
 PlanCache& PlanCache::global() {
@@ -128,43 +114,139 @@ PlanCache& PlanCache::global() {
   return cache;
 }
 
-std::optional<CachedPlan> PlanCache::lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
-    return std::nullopt;
-  }
-  ++hits_;
-  return it->second;
+std::shared_ptr<const PlanCache::Map> PlanCache::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return snap_;
 }
 
-void PlanCache::insert(const std::string& key, const Recipe& recipe,
+template <typename Fn>
+void PlanCache::mutate(Fn&& fn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto next = std::make_shared<Map>(*snap_);
+  fn(*next);
+  snap_ = std::move(next);
+}
+
+std::optional<PlanCache::Hit> PlanCache::lookup(const PlanKey& key,
+                                                bool allow_store) {
+  static obs::Counter& hit_metric =
+      obs::Metrics::global().counter("plan_store.hits");
+  static obs::Counter& fuzzy_metric =
+      obs::Metrics::global().counter("plan_store.fuzzy_hits");
+  static obs::Counter& miss_metric =
+      obs::Metrics::global().counter("plan_store.misses");
+  // May trigger the one-time SPDISTAL_PLAN_STORE load (which inserts into
+  // this cache); resolve it before taking any lock.
+  const bool store_ok = allow_store && plan_store_enabled();
+  const double fuzz = store_ok ? plan_fuzz() : 0.0;
+
+  const auto snap = snapshot();
+
+  // Tier 1: exact key.
+  auto it = snap->find(key.exact());
+  if (it != snap->end() && (store_ok || !it->second.from_store)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_metric.add(1);
+    return Hit{it->second.recipe, it->second.cost, false};
+  }
+
+  // Tier 2: nearest fingerprint within tolerance among entries that share
+  // the structural half (a contiguous range of the ordered map).
+  if (fuzz > 0) {
+    const std::string prefix = key.structural + PlanKey::kSep;
+    const CachedPlan* best = nullptr;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (auto e = snap->lower_bound(prefix);
+         e != snap->end() && e->first.compare(0, prefix.size(), prefix) == 0;
+         ++e) {
+      const double d = data::fingerprints_distance(key.fps, e->second.fps);
+      if (d <= fuzz && d < best_d) {
+        best = &e->second;
+        best_d = d;
+      }
+    }
+    if (best != nullptr) {
+      fuzzy_hits_.fetch_add(1, std::memory_order_relaxed);
+      fuzzy_metric.add(1);
+      return Hit{best->recipe, best->cost, true};
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_metric.add(1);
+  return std::nullopt;
+}
+
+void PlanCache::insert(const PlanKey& key, const Recipe& recipe,
                        double cost) {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_[key] = CachedPlan{recipe, cost};
+  mutate([&](Map& m) {
+    m[key.exact()] = CachedPlan{recipe, cost, key.fps, false};
+  });
+}
+
+size_t PlanCache::insert_stored(const std::vector<StoredPlan>& entries) {
+  size_t merged = 0;
+  mutate([&](Map& m) {
+    for (const StoredPlan& e : entries) {
+      CachedPlan plan = e.plan;
+      plan.from_store = true;
+      if (m.emplace(e.structural + PlanKey::kSep + e.sig, std::move(plan))
+              .second) {
+        ++merged;
+      }
+    }
+  });
+  if (merged > 0) {
+    loaded_.fetch_add(static_cast<int64_t>(merged),
+                      std::memory_order_relaxed);
+    obs::Metrics::global().counter("plan_store.loaded").add(
+        static_cast<int64_t>(merged));
+  }
+  return merged;
+}
+
+std::vector<StoredPlan> PlanCache::entries() const {
+  const auto snap = snapshot();
+  std::vector<StoredPlan> out;
+  out.reserve(snap->size());
+  for (const auto& [k, plan] : *snap) {
+    const size_t sep = k.find(PlanKey::kSep);
+    StoredPlan e;
+    e.structural = k.substr(0, sep);
+    e.sig = sep == std::string::npos ? std::string() : k.substr(sep + 1);
+    e.plan = plan;
+    out.push_back(std::move(e));
+  }
+  return out;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    snap_ = std::make_shared<Map>();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  fuzzy_hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  loaded_.store(0, std::memory_order_relaxed);
 }
 
-size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
+size_t PlanCache::size() const { return snapshot()->size(); }
 
 int64_t PlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
+}
+
+int64_t PlanCache::fuzzy_hits() const {
+  return fuzzy_hits_.load(std::memory_order_relaxed);
 }
 
 int64_t PlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
+}
+
+int64_t PlanCache::loaded() const {
+  return loaded_.load(std::memory_order_relaxed);
 }
 
 }  // namespace spdistal::autosched

@@ -7,6 +7,7 @@
 // not at all (Singleton — crd only, positions shared 1:1 with the parent).
 #include "format/storage.h"
 
+#include "data/fingerprint.h"
 #include "obs/obs.h"
 
 namespace spdistal::fmt {
@@ -184,6 +185,10 @@ TensorStorage pack(const std::string& name, const Format& format,
           coo.vals[static_cast<size_t>(g.begin)];
     }
   }
+  // Sketch the non-zero pattern now, while the coordinates are hot: cache
+  // keys and the persistent plan store read this instead of re-scanning.
+  st.fingerprint_ =
+      std::make_shared<const data::SparsityFingerprint>(data::fingerprint(st));
   if (obs::enabled()) {
     static obs::Counter& tensors = obs::Metrics::global().counter("pack.tensors");
     static obs::Counter& nnz = obs::Metrics::global().counter("pack.nnz");

@@ -18,12 +18,17 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "format/format.h"
 #include "runtime/index_space.h"
 #include "runtime/region.h"
+
+namespace spdistal::data {
+struct SparsityFingerprint;
+}
 
 namespace spdistal::fmt {
 
@@ -94,6 +99,14 @@ class TensorStorage {
   // explicit zeros.
   Coo to_coo() const;
 
+  // Sparsity sketch computed once at pack time; null for storages assembled
+  // outside pack(). Shared so plan-cache keys reuse one immutable copy
+  // instead of re-scanning coordinates per compile.
+  const std::shared_ptr<const data::SparsityFingerprint>& fingerprint()
+      const {
+    return fingerprint_;
+  }
+
   std::string str() const;
 
  private:
@@ -106,6 +119,7 @@ class TensorStorage {
   std::vector<LevelStorage> levels_;
   rt::RegionRef<double> vals_;
   int64_t nnz_ = 0;
+  std::shared_ptr<const data::SparsityFingerprint> fingerprint_;
 };
 
 // Packs a coordinate list into the given format (sorts and combines

@@ -9,6 +9,7 @@
 
 #include "common/str_util.h"
 #include "obs/metrics.h"
+#include "obs/persist.h"
 
 namespace spdistal::obs {
 
@@ -125,18 +126,6 @@ std::map<std::string, CalibRates> parse_rates(const std::string& doc) {
   return out;
 }
 
-bool read_file(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  std::string doc;
-  char buf[4096];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) doc.append(buf, n);
-  std::fclose(f);
-  *out = std::move(doc);
-  return true;
-}
-
 void init_from_env() {
   const char* p = std::getenv("SPDISTAL_CALIB");
   if (p == nullptr || p[0] == '\0') return;
@@ -149,7 +138,7 @@ void init_from_env() {
     // and this saves exactly the learned state.
     Calibration& c = Calibration::global();
     std::string doc;
-    if (read_file(env_path(), &doc)) {
+    if (read_text_file(env_path(), &doc)) {
       const auto current = parse_rates(doc);
       const auto& base = startup_snapshot();
       for (const auto& [key, r] : current) {
@@ -299,7 +288,7 @@ size_t Calibration::merge_json(const std::string& doc) {
 
 bool Calibration::load(const std::string& path) {
   std::string doc;
-  if (!read_file(path, &doc)) return false;
+  if (!read_text_file(path, &doc)) return false;
   const size_t n = merge_json(doc);
   if (n > 0) {
     startup_snapshot() = parse_rates(doc);
@@ -310,13 +299,7 @@ bool Calibration::load(const std::string& path) {
 }
 
 bool Calibration::save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string doc = json();
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  if (std::fclose(f) != 0 || !ok) return false;
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  return write_text_file_atomic(path, json());
 }
 
 }  // namespace spdistal::obs

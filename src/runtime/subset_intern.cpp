@@ -1,0 +1,109 @@
+#include "runtime/subset_intern.h"
+
+#include "obs/metrics.h"
+
+namespace spdistal::rt {
+
+namespace {
+
+// FNV-1a over the row's full content (dims, rect bounds up to each rect's
+// dimensionality).
+uint64_t hash_row(const SubsetInterner::Row& row) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(row.size());
+  for (const IndexSubset& s : row) {
+    mix(static_cast<uint64_t>(s.dim()));
+    mix(s.rects().size());
+    for (const RectN& r : s.rects()) {
+      mix(static_cast<uint64_t>(r.dim));
+      for (int d = 0; d < r.dim; ++d) {
+        mix(static_cast<uint64_t>(r.lo[static_cast<size_t>(d)]));
+        mix(static_cast<uint64_t>(r.hi[static_cast<size_t>(d)]));
+      }
+    }
+  }
+  return h;
+}
+
+bool rects_equal(const RectN& a, const RectN& b) {
+  if (a.dim != b.dim) return false;
+  for (int d = 0; d < a.dim; ++d) {
+    if (a.lo[static_cast<size_t>(d)] != b.lo[static_cast<size_t>(d)] ||
+        a.hi[static_cast<size_t>(d)] != b.hi[static_cast<size_t>(d)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool rows_equal(const SubsetInterner::Row& a, const SubsetInterner::Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dim() != b[i].dim()) return false;
+    const auto& ra = a[i].rects();
+    const auto& rb = b[i].rects();
+    if (ra.size() != rb.size()) return false;
+    for (size_t k = 0; k < ra.size(); ++k) {
+      if (!rects_equal(ra[k], rb[k])) return false;
+    }
+  }
+  return true;
+}
+
+int64_t row_bytes(const SubsetInterner::Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(row[0]) * row.size());
+  for (const IndexSubset& s : row) {
+    bytes += static_cast<int64_t>(sizeof(RectN) * s.rects().size());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+SubsetInterner& SubsetInterner::global() {
+  // Leaked: plans may be destroyed from worker threads during static
+  // destruction, and their rows must not outlive the table they index.
+  static SubsetInterner* interner = new SubsetInterner();
+  return *interner;
+}
+
+std::shared_ptr<const SubsetInterner::Row> SubsetInterner::intern(Row row) {
+  static obs::Counter& interned_metric =
+      obs::Metrics::global().counter("plan.interned_bytes");
+  const uint64_t h = hash_row(row);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto range = table_.equal_range(h);
+  for (auto it = range.first; it != range.second;) {
+    if (auto existing = it->second.lock()) {
+      if (rows_equal(*existing, row)) {
+        ++shared_rows_;
+        const int64_t bytes = row_bytes(row);
+        interned_bytes_ += bytes;
+        interned_metric.add(bytes);
+        return existing;
+      }
+      ++it;
+    } else {
+      it = table_.erase(it);  // lazily reclaim slots of dead rows
+    }
+  }
+  auto shared = std::make_shared<const Row>(std::move(row));
+  table_.emplace(h, shared);
+  return shared;
+}
+
+int64_t SubsetInterner::shared_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shared_rows_;
+}
+
+int64_t SubsetInterner::interned_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interned_bytes_;
+}
+
+}  // namespace spdistal::rt

@@ -1,0 +1,50 @@
+// Content-hash interning of LaunchPlan subset rows (ROADMAP executor
+// carry-over: "cross-Instance sharing of identical subset captures").
+//
+// Every LaunchPlan captures one subset row (a vector of per-requirement
+// IndexSubsets) per launch point. Serving programs build many plans over
+// the same equal partitions — per Runtime, per key variant, per Instance —
+// so identical rows used to be duplicated across every memo entry that
+// captured them. The interner keys rows by content hash and hands back a
+// shared immutable row, so N plans over the same partition hold one copy.
+//
+// Entries are weak: a row lives exactly as long as some plan references it,
+// and its table slot is reclaimed lazily on later interns of the same hash
+// bucket. The `plan.interned_bytes` metric accumulates the bytes of
+// duplicate rows avoided.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/index_space.h"
+
+namespace spdistal::rt {
+
+class SubsetInterner {
+ public:
+  // Process-wide interner (plans from all Runtimes share it); thread-safe.
+  static SubsetInterner& global();
+
+  using Row = std::vector<IndexSubset>;
+
+  // Returns a shared row equal to `row`, either an existing interned copy
+  // or `row` itself moved into the table.
+  std::shared_ptr<const Row> intern(Row row);
+
+  // Rows served from an existing interned copy, and the bytes those
+  // duplicate copies would have occupied.
+  int64_t shared_rows() const;
+  int64_t interned_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_multimap<uint64_t, std::weak_ptr<const Row>> table_;
+  int64_t shared_rows_ = 0;
+  int64_t interned_bytes_ = 0;
+};
+
+}  // namespace spdistal::rt

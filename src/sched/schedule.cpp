@@ -15,6 +15,14 @@ const char* parallel_unit_name(ParallelUnit u) {
   return "?";
 }
 
+std::optional<ParallelUnit> parse_parallel_unit(const std::string& name) {
+  for (ParallelUnit u : {ParallelUnit::CPUThread, ParallelUnit::GPUThread,
+                         ParallelUnit::GPUWarp}) {
+    if (name == parallel_unit_name(u)) return u;
+  }
+  return std::nullopt;
+}
+
 Schedule& Schedule::divide(IndexVar i, IndexVar outer, IndexVar inner,
                            int pieces) {
   SPD_CHECK(pieces >= 1, ScheduleError, "divide: pieces must be >= 1");

@@ -26,6 +26,9 @@ using tin::IndexVar;
 enum class ParallelUnit { CPUThread, GPUThread, GPUWarp };
 
 const char* parallel_unit_name(ParallelUnit u);
+// Inverse of parallel_unit_name; nullopt for unknown names (e.g. a plan
+// store written by a newer build).
+std::optional<ParallelUnit> parse_parallel_unit(const std::string& name);
 
 enum class CommandKind {
   Divide,       // divide(i, io, ii, pieces): i -> pieces equal coordinate blocks
