@@ -4,6 +4,7 @@
 
 #include "autosched/autosched.h"
 #include "obs/obs.h"
+#include "obs/persist.h"
 
 namespace spdbench {
 
@@ -429,6 +430,30 @@ double geomean(const std::vector<double>& xs) {
   double logsum = 0;
   for (double x : xs) logsum += std::log(x);
   return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+bool write_bench_json(const std::string& path,
+                      const std::vector<BenchRow>& rows) {
+  auto escaped = [](const std::string& s) {
+    std::string out;
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  std::string out = "{\n  \"version\": 1,\n  \"benchmarks\": [";
+  bool first = true;
+  for (const BenchRow& r : rows) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += strprintf(
+        "    {\"name\": \"%s\", \"ns_per_op\": %.17g, "
+        "\"items_per_s\": %.17g, \"bytes_per_s\": %.17g}",
+        escaped(r.name).c_str(), r.ns_per_op, r.items_per_s, r.bytes_per_s);
+  }
+  out += "\n  ]\n}\n";
+  return obs::write_text_file_atomic(path, out);
 }
 
 std::string cell(const Result& r) {

@@ -103,6 +103,25 @@ std::string obs_summary(const rt::SimReport& rep);
 std::string calib_summary(const rt::SimReport& rep,
                           const rt::Machine& machine);
 
+// --- machine-readable bench output -------------------------------------------
+
+// One row per benchmark: wall nanoseconds per operation plus the
+// throughput counters google-benchmark derives from SetItemsProcessed /
+// SetBytesProcessed (0 when a bench does not set them).
+struct BenchRow {
+  std::string name;
+  double ns_per_op = 0;
+  double items_per_s = 0;
+  double bytes_per_s = 0;
+};
+
+// Persists rows as versioned JSON ({"version": 1, "benchmarks": [...]}),
+// written atomically (tmp + rename, like the calibration and plan stores)
+// so CI can diff and upload kernel trajectories without scraping stdout
+// tables. Returns false on I/O failure.
+bool write_bench_json(const std::string& path,
+                      const std::vector<BenchRow>& rows);
+
 // One-line plan-service summary: exact/fuzzy hit rate of the global
 // PlanCache, entries loaded from the persistent store, and how many
 // compiles searched cold vs were served warm ("[plan] cache 66.7% (4 exact

@@ -1,9 +1,20 @@
 // google-benchmark microbenchmarks for the leaf kernels: specialized kernels
 // vs the general co-iteration engine (the specialization gap compilation
-// buys at the leaves), plus a CSR-vs-COO comparison on the steady-state
-// launch path (same schedule, different mode formats).
+// buys at the leaves), a CSR-vs-COO comparison on the steady-state launch
+// path (same schedule, different mode formats), and blocked-vs-CSR rows on
+// a block-structured matrix (the register-tiled bcsr micro-kernels).
+//
+// Besides the stdout table, every finished run is recorded into
+// BENCH_kernels.json (bench_util's shared writer), and the blocked rows'
+// >= 1.5x speedup contract over their CSR twins is checked after the run —
+// fatal under SPDISTAL_BENCH_ASSERT (the CI Release smoke gate), advisory
+// otherwise.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
 #include "compiler/lower.h"
 #include "data/datasets.h"
 #include "data/generators.h"
@@ -103,6 +114,69 @@ void BM_SpmvSteadyState(benchmark::State& state, fmt::Format format) {
 BENCHMARK_CAPTURE(BM_SpmvSteadyState, csr, fmt::csr())->Arg(100000);
 BENCHMARK_CAPTURE(BM_SpmvSteadyState, coo, fmt::coo(2))->Arg(100000);
 
+// Blocked-vs-CSR rows: one block-structured matrix (fully dense 4x4 tiles,
+// so the bcsr pack has padding factor ~1) packed both ways, measured through
+// the leaf kernels kernel_select would pick for each format.
+struct BlockedFixture {
+  static constexpr Coord kN = 4096;
+  static constexpr Coord kCols = 32;  // SpMM dense columns
+  IndexVar i{"i"}, j{"j"}, k{"k"};
+  Tensor a, B, c;     // SpMV operands
+  Tensor A, Bk, C;    // SpMM operands (B re-indexed over (i, k))
+  explicit BlockedFixture(fmt::Format format) {
+    fmt::Coo coo = data::block_structured_matrix(kN, kN, 4, 4, 16, 11);
+    a = Tensor("a", {kN}, fmt::dense_vector());
+    B = Tensor("B", coo.dims, format);
+    c = Tensor("c", {kN}, fmt::dense_vector());
+    B.from_coo(coo);
+    c.init_dense([](const auto&) { return 1.0; });
+    A = Tensor("A", {kN, kCols}, fmt::dense_matrix());
+    Bk = Tensor("Bk", coo.dims, std::move(format));
+    C = Tensor("C", {kN, kCols}, fmt::dense_matrix());
+    Bk.from_coo(std::move(coo));
+    C.init_dense([](const auto&) { return 1.0; });
+  }
+};
+
+void run_leaf_bench(benchmark::State& state, Tensor& out,
+                    const kern::Leaf& leaf, int64_t nnz) {
+  double bytes = 0;
+  for (auto _ : state) {
+    out.zero();
+    bytes = leaf(kern::PieceBounds{}).bytes;
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+
+void BM_SpmvBlockedCsr(benchmark::State& state) {
+  BlockedFixture f(fmt::csr());
+  run_leaf_bench(state, f.a, kern::make_spmv_row(f.a, f.B, f.c),
+                 f.B.storage().nnz());
+}
+BENCHMARK(BM_SpmvBlockedCsr);
+
+void BM_SpmvBlocked(benchmark::State& state) {
+  BlockedFixture f(fmt::bcsr(4, 4));
+  run_leaf_bench(state, f.a, kern::make_spmv_bcsr(f.a, f.B, f.c),
+                 f.B.storage().nnz());
+}
+BENCHMARK(BM_SpmvBlocked);
+
+void BM_SpmmBlockedCsr(benchmark::State& state) {
+  BlockedFixture f(fmt::csr());
+  run_leaf_bench(state, f.A, kern::make_spmm_row(f.A, f.Bk, f.C),
+                 f.Bk.storage().nnz());
+}
+BENCHMARK(BM_SpmmBlockedCsr);
+
+void BM_SpmmBlocked(benchmark::State& state) {
+  BlockedFixture f(fmt::bcsr(4, 4));
+  run_leaf_bench(state, f.A, kern::make_spmm_bcsr(f.A, f.Bk, f.C),
+                 f.Bk.storage().nnz());
+}
+BENCHMARK(BM_SpmmBlocked);
+
 void BM_Spadd3Fused(benchmark::State& state) {
   IndexVar i("i"), j("j");
   fmt::Coo coo = data::powerlaw_matrix(8000, 8000, state.range(0), 1.1, 8);
@@ -140,6 +214,72 @@ void BM_Assembly(benchmark::State& state) {
 }
 BENCHMARK(BM_Assembly)->Arg(50000);
 
+// Console output stays the stock table; finished runs are additionally
+// captured for the JSON trajectory file.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      double to_ns = 1.0;
+      switch (run.time_unit) {
+        case benchmark::kNanosecond: to_ns = 1.0; break;
+        case benchmark::kMicrosecond: to_ns = 1e3; break;
+        case benchmark::kMillisecond: to_ns = 1e6; break;
+        case benchmark::kSecond: to_ns = 1e9; break;
+      }
+      spdbench::BenchRow row;
+      row.name = run.benchmark_name();
+      row.ns_per_op = run.GetAdjustedRealTime() * to_ns;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) row.items_per_s = it->second;
+      it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) row.bytes_per_s = it->second;
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+  std::vector<spdbench::BenchRow> rows;
+};
+
+double row_ns(const std::vector<spdbench::BenchRow>& rows,
+              const std::string& name) {
+  for (const auto& r : rows) {
+    if (r.name == name) return r.ns_per_op;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!spdbench::write_bench_json("BENCH_kernels.json", reporter.rows)) {
+    std::fprintf(stderr,
+                 "micro_kernels: failed to write BENCH_kernels.json\n");
+    return 1;
+  }
+  // The register-tiled speedup contract, checked on the recorded rows so
+  // the JSON artifact and the gate can never disagree. Rows filtered out by
+  // --benchmark_filter are simply not checked.
+  int rc = 0;
+  auto check = [&](const char* csr, const char* blocked) {
+    const double t_csr = row_ns(reporter.rows, csr);
+    const double t_blk = row_ns(reporter.rows, blocked);
+    if (t_csr <= 0 || t_blk <= 0) return;
+    const double speedup = t_csr / t_blk;
+    std::printf("%s: %.2fx vs %s\n", blocked, speedup, csr);
+    if (speedup < 1.5 && std::getenv("SPDISTAL_BENCH_ASSERT") != nullptr) {
+      std::fprintf(stderr, "%s: expected >= 1.5x over %s, got %.2fx\n",
+                   blocked, csr, speedup);
+      rc = 1;
+    }
+  };
+  check("BM_SpmvBlockedCsr", "BM_SpmvBlocked");
+  check("BM_SpmmBlockedCsr", "BM_SpmmBlocked");
+  return rc;
+}

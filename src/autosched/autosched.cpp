@@ -42,7 +42,14 @@ Result autoschedule_search(const Statement& stmt, const rt::Machine& machine,
         result.recipe = cached->recipe;
         result.from_cache = true;
         result.fuzzy = cached->fuzzy;
-        result.best_cost = cached->cost;
+        // A fuzzy hit's stored cost was simulated for a *sibling* shape;
+        // re-price the reused recipe analytically against this statement's
+        // actual tensors so Result::best_cost and the [plan] bench lines
+        // report this data's cost, not the neighbor's.
+        result.best_cost = cached->fuzzy
+                               ? AnalyticModel(stmt, machine)
+                                     .estimate(cached->recipe)
+                               : cached->cost;
         cache_hits.add(1);
         return result;
       } catch (const ScheduleError&) {

@@ -1,5 +1,6 @@
 #include "autosched/cache.h"
 
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -147,6 +148,7 @@ std::optional<PlanCache::Hit> PlanCache::lookup(const PlanKey& key,
   if (it != snap->end() && (store_ok || !it->second.from_store)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     hit_metric.add(1);
+    it->second.used->store(tick(), std::memory_order_relaxed);
     return Hit{it->second.recipe, it->second.cost, false};
   }
 
@@ -168,6 +170,7 @@ std::optional<PlanCache::Hit> PlanCache::lookup(const PlanKey& key,
     if (best != nullptr) {
       fuzzy_hits_.fetch_add(1, std::memory_order_relaxed);
       fuzzy_metric.add(1);
+      best->used->store(tick(), std::memory_order_relaxed);
       return Hit{best->recipe, best->cost, true};
     }
   }
@@ -177,25 +180,39 @@ std::optional<PlanCache::Hit> PlanCache::lookup(const PlanKey& key,
   return std::nullopt;
 }
 
+int64_t PlanCache::tick() {
+  return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 void PlanCache::insert(const PlanKey& key, const Recipe& recipe,
                        double cost) {
-  mutate([&](Map& m) {
-    m[key.exact()] = CachedPlan{recipe, cost, key.fps, false};
-  });
+  CachedPlan plan{recipe, cost, key.fps, false};
+  plan.used->store(tick(), std::memory_order_relaxed);
+  mutate([&](Map& m) { m[key.exact()] = std::move(plan); });
 }
 
 size_t PlanCache::insert_stored(const std::vector<StoredPlan>& entries) {
   size_t merged = 0;
+  int64_t max_stamp = 0;
   mutate([&](Map& m) {
     for (const StoredPlan& e : entries) {
       CachedPlan plan = e.plan;
       plan.from_store = true;
+      max_stamp = std::max(
+          max_stamp, plan.used->load(std::memory_order_relaxed));
       if (m.emplace(e.structural + PlanKey::kSep + e.sig, std::move(plan))
               .second) {
         ++merged;
       }
     }
   });
+  // Seed the LRU clock past the store's history so fresh activity in this
+  // process always stamps newer than anything merely loaded.
+  int64_t cur = clock_.load(std::memory_order_relaxed);
+  while (cur < max_stamp &&
+         !clock_.compare_exchange_weak(cur, max_stamp,
+                                       std::memory_order_relaxed)) {
+  }
   if (merged > 0) {
     loaded_.fetch_add(static_cast<int64_t>(merged),
                       std::memory_order_relaxed);
@@ -229,6 +246,7 @@ void PlanCache::clear() {
   fuzzy_hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   loaded_.store(0, std::memory_order_relaxed);
+  clock_.store(0, std::memory_order_relaxed);
 }
 
 size_t PlanCache::size() const { return snapshot()->size(); }

@@ -57,6 +57,14 @@ struct CachedPlan {
   // only served while plan_store_enabled() (set_plan_store(false) restores
   // bit-identical searched schedules).
   bool from_store = false;
+  // Last-used stamp: a process-logical LRU clock, monotonic and seeded past
+  // the largest stamp loaded from the store, bumped on insert and on every
+  // lookup that serves the entry. Held behind a shared_ptr so lookups can
+  // stamp entries through the immutable map snapshot without copy-on-write.
+  // plan_store.h persists it (schema v2) and evicts oldest-first at save
+  // when SPDISTAL_PLAN_STORE_MAX caps the file.
+  std::shared_ptr<std::atomic<int64_t>> used =
+      std::make_shared<std::atomic<int64_t>>(0);
 };
 
 // One serializable entry (plan_store.h round-trips these).
@@ -109,8 +117,13 @@ class PlanCache {
   template <typename Fn>
   void mutate(Fn&& fn);  // copy-on-write under the exclusive lock
 
+  // Next CachedPlan::used stamp; advances past any stamp merged from a
+  // persisted store so process-local activity always outranks history.
+  int64_t tick();
+
   mutable std::shared_mutex mu_;  // guards the snap_ pointer only
   std::shared_ptr<const Map> snap_ = std::make_shared<Map>();
+  std::atomic<int64_t> clock_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> fuzzy_hits_{0};
   std::atomic<int64_t> misses_{0};

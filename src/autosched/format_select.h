@@ -1,0 +1,64 @@
+// Format-candidate enumeration and pricing: the auto-scheduler's answer to
+// "should this matrix be packed CSR or bcsr(R, C)?".
+//
+// Schedules (recipe.h) decide how a fixed statement is distributed; the
+// format decides what the statement's leaves traverse, and must be chosen
+// *before* pack. This enumerator sits in front of that decision: it scans a
+// coordinate list once per register-tiled block shape (2x2, 4x4, 4x8, 8x8),
+// measures the block density (distinct occupied blocks, fill fraction,
+// padding lanes per true non-zero), and prices each candidate with the same
+// padding-vs-vectorization model AnalyticModel folds into its per-non-zero
+// work profile — using the calibration store's measured "spmv_bcsr"/
+// "spmm_bcsr" leaf rates when profiling has run (SPDISTAL_CALIB), the
+// static machine tables otherwise.
+//
+// The contract the tests pin down: a block-structured matrix (dense R x C
+// tiles) selects bcsr because padding ~ 1 and the tiles run at vector
+// throughput; a scattered-non-zero matrix of the same nnz selects CSR
+// because each stored block would carry R*C - 1 padded lanes of wasted
+// bandwidth. Ties break toward CSR (enumeration order, strict comparison).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "format/storage.h"
+#include "runtime/machine.h"
+
+namespace spdistal::autosched {
+
+// Block-density statistics of a 2-D coordinate list under an R x C
+// blocking.
+struct BlockStats {
+  int64_t nnz = 0;
+  int64_t blocks = 0;  // distinct (i/R, j/C) blocks holding >= 1 non-zero
+  double fill = 0;     // nnz / (blocks * R * C), in (0, 1]; 0 when empty
+  double padding = 1;  // stored value lanes per true non-zero (= 1 / fill)
+};
+
+BlockStats block_stats(const fmt::Coo& coo, int block_r, int block_c);
+
+// One priced format candidate.
+struct FormatCandidate {
+  fmt::Format format;
+  std::string kernel;   // leaf family it lowers to ("spmv_row", "spmv_bcsr")
+  double est_time = 0;  // analytic seconds/pass over the operand on machine
+};
+
+// Enumerates CSR plus the register-tiled blocked shapes and prices each.
+// `kind` selects the work profile (SpMV or SpMM; other kinds get only the
+// CSR candidate — no tiled leaves exist for them). `dense_cols` is the
+// inner dense dimension of SpMM (ignored for SpMV). Candidates are returned
+// in enumeration order (CSR first), not sorted by cost.
+std::vector<FormatCandidate> enumerate_matrix_formats(
+    const fmt::Coo& coo, base::KernelKind kind, const rt::Machine& machine,
+    rt::Coord dense_cols = 1);
+
+// The winner of enumerate_matrix_formats: bcsr(R, C) only when the block
+// density earns it, CSR otherwise.
+fmt::Format select_matrix_format(const fmt::Coo& coo, base::KernelKind kind,
+                                 const rt::Machine& machine,
+                                 rt::Coord dense_cols = 1);
+
+}  // namespace spdistal::autosched

@@ -1,5 +1,6 @@
 #include "autosched/plan_store.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
@@ -9,16 +10,22 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 #include "obs/persist.h"
 
 namespace spdistal::autosched {
 
 namespace {
 
-constexpr int kSchemaVersion = 1;
+// v2 added the per-entry "used" stamp (last-used LRU clock) that
+// oldest-first eviction sorts by. v1 documents still load: their entries
+// simply carry stamp 0, making them the first to evict.
+constexpr int kSchemaVersion = 2;
+constexpr int kOldestReadableVersion = 1;
 
 std::atomic<bool> g_enabled{true};
 std::atomic<double> g_fuzz{0.0};
+std::atomic<int64_t> g_store_max{0};  // 0 = uncapped
 std::once_flag g_env_once;
 
 std::string& env_path() {
@@ -198,6 +205,9 @@ bool parse_entry(Cursor& c, StoredPlan* e) {
       have_sig = true;
     } else if (f == "cost") {
       e->plan.cost = c.number();
+    } else if (f == "used") {
+      e->plan.used->store(static_cast<int64_t>(c.number()),
+                          std::memory_order_relaxed);
     } else if (f == "pos") {
       r.position_space = c.number() != 0;
     } else if (f == "pieces") {
@@ -242,6 +252,12 @@ void init_from_env() {
       g_fuzz.store(std::strtod(f, nullptr), std::memory_order_relaxed);
     }
   }
+  if (const char* m = std::getenv("SPDISTAL_PLAN_STORE_MAX")) {
+    if (m[0] != '\0') {
+      g_store_max.store(std::strtoll(m, nullptr, 10),
+                        std::memory_order_relaxed);
+    }
+  }
   const char* p = std::getenv("SPDISTAL_PLAN_STORE");
   if (p == nullptr || p[0] == '\0') return;
   env_path() = p;
@@ -277,6 +293,16 @@ void set_plan_fuzz(double tolerance) {
   g_fuzz.store(tolerance, std::memory_order_relaxed);
 }
 
+int64_t plan_store_max() {
+  std::call_once(g_env_once, init_from_env);
+  return g_store_max.load(std::memory_order_relaxed);
+}
+
+void set_plan_store_max(int64_t cap) {
+  std::call_once(g_env_once, init_from_env);
+  g_store_max.store(cap, std::memory_order_relaxed);
+}
+
 std::string plan_store_json(const std::vector<StoredPlan>& entries) {
   std::string out =
       strprintf("{\n  \"version\": %d,\n  \"plans\": [", kSchemaVersion);
@@ -290,10 +316,13 @@ std::string plan_store_json(const std::vector<StoredPlan>& entries) {
     out += ", \"sig\": ";
     append_escaped(out, e.sig);
     out += strprintf(
-        ", \"cost\": %.17g, \"pos\": %d, \"pieces\": %d, \"py\": %d, "
-        "\"pz\": %d, \"fuse\": %d",
-        e.plan.cost, r.position_space ? 1 : 0, r.pieces, r.pieces_y,
-        r.pieces_z, r.fuse_depth);
+        ", \"cost\": %.17g, \"used\": %lld, \"pos\": %d, \"pieces\": %d, "
+        "\"py\": %d, \"pz\": %d, \"fuse\": %d",
+        e.plan.cost,
+        static_cast<long long>(
+            e.plan.used->load(std::memory_order_relaxed)),
+        r.position_space ? 1 : 0, r.pieces, r.pieces_y, r.pieces_z,
+        r.fuse_depth);
     out += ", \"split\": ";
     append_escaped(out, r.split_tensor);
     out += strprintf(", \"comm\": %d", r.communicate_all ? 1 : 0);
@@ -316,7 +345,8 @@ std::vector<StoredPlan> parse_plan_store(const std::string& doc) {
     const std::string field = c.string();
     if (!c.eat(':')) break;
     if (field == "version") {
-      if (static_cast<int>(c.number()) != kSchemaVersion) return {};
+      const int v = static_cast<int>(c.number());
+      if (v < kOldestReadableVersion || v > kSchemaVersion) return {};
       version_ok = true;
     } else if (field == "plans") {
       if (!c.eat('[')) break;
@@ -373,6 +403,28 @@ bool save_plan_store(const std::string& path) {
         merged.push_back(std::move(e));
       }
     }
+  }
+  // Fleet GC: the file otherwise grows monotonically across every process
+  // that ever touched it. Under SPDISTAL_PLAN_STORE_MAX, keep the `cap`
+  // most recently used entries and evict the rest oldest-first; stamp ties
+  // (v1 entries all carry 0) break by key so the surviving set is
+  // deterministic regardless of merge order.
+  const int64_t cap = plan_store_max();
+  if (cap > 0 && static_cast<int64_t>(merged.size()) > cap) {
+    std::stable_sort(
+        merged.begin(), merged.end(),
+        [](const StoredPlan& a, const StoredPlan& b) {
+          const int64_t ua = a.plan.used->load(std::memory_order_relaxed);
+          const int64_t ub = b.plan.used->load(std::memory_order_relaxed);
+          if (ua != ub) return ua > ub;
+          if (a.structural != b.structural) {
+            return a.structural < b.structural;
+          }
+          return a.sig < b.sig;
+        });
+    obs::Metrics::global().counter("plan_store.evicted").add(
+        static_cast<int64_t>(merged.size()) - cap);
+    merged.resize(static_cast<size_t>(cap));
   }
   return obs::write_text_file_atomic(path, plan_store_json(merged));
 }

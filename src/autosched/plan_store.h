@@ -11,13 +11,21 @@
 //                             nearest fingerprint whose distance is <= tol
 //                             when the exact key misses. Default 0 (exact
 //                             only).
+//   SPDISTAL_PLAN_STORE_MAX=N cap the file at N entries: the save-time
+//                             merge keeps the N most recently used plans
+//                             (per-entry "used" stamps) and evicts the rest
+//                             oldest-first, so a fleet-shared file stops
+//                             growing monotonically. Default 0 (uncapped).
 //
-// The on-disk document is versioned JSON (schema v1), modeled on the
-// calibration store: unknown schema versions and corrupt documents are
-// rejected wholesale (never partially applied), and writers re-read, union,
-// and tmp+rename so concurrent processes sharing one file lose no entries.
+// The on-disk document is versioned JSON (schema v2; v1 documents — which
+// predate the "used" stamp — still load, their entries stamped 0 and thus
+// first in line for eviction), modeled on the calibration store: unknown
+// schema versions and corrupt documents are rejected wholesale (never
+// partially applied), and writers re-read, union, and tmp+rename so
+// concurrent processes sharing one file lose no entries.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +43,10 @@ void set_plan_store(bool on);
 // Fuzzy-tier tolerance (see SPDISTAL_PLAN_FUZZ above).
 double plan_fuzz();
 void set_plan_fuzz(double tolerance);
+
+// Save-time entry cap (see SPDISTAL_PLAN_STORE_MAX above); 0 = uncapped.
+int64_t plan_store_max();
+void set_plan_store_max(int64_t cap);
 
 // Versioned JSON codec. parse_plan_store returns an empty vector for a
 // corrupt document or an unknown schema version.

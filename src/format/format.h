@@ -19,7 +19,7 @@
 
 namespace spdistal::fmt {
 
-enum class LevelKind : uint8_t { Dense, Compressed, Singleton };
+enum class LevelKind : uint8_t { Dense, Compressed, Singleton, Blocked, Hashed };
 
 const char* level_kind_name(LevelKind k);
 
@@ -30,11 +30,21 @@ const char* level_kind_name(LevelKind k);
 //   * unique:     no duplicate coordinates below one parent position — a
 //     Compressed(unique=false) level stores one position per stored entry
 //     (the root of a COO chain), so the same coordinate may repeat;
-//   * ordered:    coordinates appear in sorted order (always true here —
-//     pack() sorts);
+//   * ordered:    coordinates appear in sorted order. pack() sorts every
+//     level except Hashed ones, whose coordinates are stored in hash order
+//     (probed in O(1), never scanned in order);
 //   * branchless: positions map 1:1 onto the parent level's positions with
 //     no pos indirection (Singleton);
-//   * compact:    no unused positions between stored entries (non-Dense).
+//   * compact:    no unused positions between stored entries (non-Dense,
+//     non-Blocked — a Blocked pair stores padded value lanes).
+//
+// Blocked levels come in pairs describing BCSR-style fixed R x C dense
+// blocks: BlockedDense(R) is the full row level (positions are *block rows*,
+// coordinates implicit, rows padded up to a block-row multiple) and
+// BlockedCompressed(C) below it stores one pos segment of block columns per
+// block row, one crd entry per stored block. The vals region holds R*C
+// contiguous (row-major) value lanes per stored block; absent lanes are
+// exact zeros.
 class ModeFormat {
  public:
   constexpr ModeFormat() = default;  // Dense
@@ -48,6 +58,22 @@ class ModeFormat {
   static constexpr ModeFormat Singleton(bool unique = true) {
     return ModeFormat(LevelKind::Singleton, unique);
   }
+  // The dense-role half of a Blocked pair: R rows per block, no storage.
+  static constexpr ModeFormat BlockedDense(int block) {
+    return ModeFormat(LevelKind::Blocked, /*unique=*/true, block,
+                      /*blocked_pos=*/false, /*ordered=*/true);
+  }
+  // The compressed-role half: C columns per block; pos + crd over blocks.
+  static constexpr ModeFormat BlockedCompressed(int block) {
+    return ModeFormat(LevelKind::Blocked, /*unique=*/true, block,
+                      /*blocked_pos=*/true, /*ordered=*/true);
+  }
+  // Unordered level with an O(1) coordinate->position hash index; always a
+  // probe-side (locate) operand, never an iteration driver.
+  static constexpr ModeFormat Hashed() {
+    return ModeFormat(LevelKind::Hashed, /*unique=*/true, 0,
+                      /*blocked_pos=*/false, /*ordered=*/false);
+  }
 
   constexpr LevelKind kind() const { return kind_; }
   constexpr bool is_dense() const { return kind_ == LevelKind::Dense; }
@@ -57,31 +83,59 @@ class ModeFormat {
   constexpr bool is_singleton() const {
     return kind_ == LevelKind::Singleton;
   }
+  constexpr bool is_blocked() const { return kind_ == LevelKind::Blocked; }
+  constexpr bool is_hashed() const { return kind_ == LevelKind::Hashed; }
 
   // --- properties -------------------------------------------------------------
-  constexpr bool full() const { return kind_ == LevelKind::Dense; }
+  constexpr bool full() const {
+    // A BlockedDense level is full like Dense: every row coordinate exists
+    // (padded rows hold explicit-zero lanes).
+    return kind_ == LevelKind::Dense ||
+           (kind_ == LevelKind::Blocked && !blocked_pos_);
+  }
   constexpr bool unique() const { return unique_; }
-  constexpr bool ordered() const { return true; }
+  constexpr bool ordered() const { return ordered_; }
   constexpr bool branchless() const { return kind_ == LevelKind::Singleton; }
-  constexpr bool compact() const { return kind_ != LevelKind::Dense; }
+  constexpr bool compact() const {
+    return kind_ != LevelKind::Dense && kind_ != LevelKind::Blocked;
+  }
+  // Block extent along this level's dimension (0 for unblocked kinds).
+  constexpr int block() const { return block_; }
 
   // --- storage capabilities ---------------------------------------------------
-  // Which regions the level materializes: Dense stores nothing, Compressed
-  // stores pos + crd, Singleton stores crd only (positions are the parent's).
-  constexpr bool has_pos() const { return kind_ == LevelKind::Compressed; }
-  constexpr bool has_crd() const { return kind_ != LevelKind::Dense; }
+  // Which regions the level materializes: Dense and BlockedDense store
+  // nothing, Compressed / BlockedCompressed / Hashed store pos + crd (Hashed
+  // additionally carries a hash index region), Singleton stores crd only.
+  constexpr bool has_pos() const {
+    return kind_ == LevelKind::Compressed || kind_ == LevelKind::Hashed ||
+           (kind_ == LevelKind::Blocked && blocked_pos_);
+  }
+  constexpr bool has_crd() const {
+    return kind_ == LevelKind::Compressed ||
+           kind_ == LevelKind::Singleton || kind_ == LevelKind::Hashed ||
+           (kind_ == LevelKind::Blocked && blocked_pos_);
+  }
 
   bool operator==(const ModeFormat&) const = default;
 
-  // "Dense", "Compressed", "Compressed!u" (non-unique), "Singleton", ...
+  // "Dense", "Compressed", "Compressed!u" (non-unique), "Singleton",
+  // "BlockedDense[4]", "Blocked[4]", "Hashed", ...
   std::string str() const;
 
  private:
-  constexpr ModeFormat(LevelKind kind, bool unique)
-      : kind_(kind), unique_(unique) {}
+  constexpr ModeFormat(LevelKind kind, bool unique, int block = 0,
+                       bool blocked_pos = false, bool ordered = true)
+      : kind_(kind),
+        unique_(unique),
+        block_(block),
+        blocked_pos_(blocked_pos),
+        ordered_(ordered) {}
 
   LevelKind kind_ = LevelKind::Dense;
   bool unique_ = true;
+  int block_ = 0;            // Blocked only: block extent on this dimension
+  bool blocked_pos_ = false; // Blocked only: compressed role (stores pos/crd)
+  bool ordered_ = true;      // false for Hashed (crd in hash order)
 };
 
 class Format {
@@ -134,5 +188,13 @@ Format dense3();
 // Singleton chain (only the last level's coordinates are unique). coo(1)
 // degenerates to a sparse vector {Compressed}.
 Format coo(int order);
+// BCSR with fixed block_r x block_c blocks:
+// {BlockedDense(block_r), BlockedCompressed(block_c)}, identity ordering.
+Format bcsr(int block_r, int block_c);
+// Sparse vector with an O(1) hash-probed (unordered) coordinate level.
+Format hashed_vector();
+// CSR whose column level is Hashed: rows iterate densely, columns are
+// probe-only (a locate-side operand; co-iteration rejects it as a driver).
+Format hashed_csr();
 
 }  // namespace spdistal::fmt

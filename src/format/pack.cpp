@@ -7,13 +7,113 @@
 // not at all (Singleton — crd only, positions shared 1:1 with the parent).
 #include "format/storage.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "data/fingerprint.h"
 #include "obs/obs.h"
 
 namespace spdistal::fmt {
 
+// BCSR pack: groups the (sorted, coalesced) entries into R x C blocks; one
+// pos segment of block columns per block row, one crd entry per stored
+// block, R*C value lanes per block (absent lanes stay exact zeros).
+TensorStorage pack_blocked(const std::string& name, const Format& format,
+                           const std::vector<Coord>& dims, const Coo& coo) {
+  const Coord R = format.mode(0).block();
+  const Coord C = format.mode(1).block();
+  const int dim0 = format.dim_of_level(0);
+  const int dim1 = format.dim_of_level(1);
+  const Coord M = dims[static_cast<size_t>(dim0)];
+  const Coord N = dims[static_cast<size_t>(dim1)];
+  const Coord nbr = (M + R - 1) / R;
+
+  // Entry order (bi, bj) from the (i, j)-sorted list; stable so lanes of
+  // one block arrive row-major.
+  std::vector<int64_t> perm(static_cast<size_t>(coo.nnz()));
+  std::iota(perm.begin(), perm.end(), 0);
+  auto block_of = [&](int64_t e) {
+    const auto& c = coo.coords[static_cast<size_t>(e)];
+    return std::pair<Coord, Coord>(c[static_cast<size_t>(dim0)] / R,
+                                   c[static_cast<size_t>(dim1)] / C);
+  };
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](int64_t a, int64_t b) { return block_of(a) < block_of(b); });
+
+  TensorStorage st;
+  st.name_ = name;
+  st.format_ = format;
+  st.dims_ = dims;
+  st.nnz_ = coo.nnz();
+
+  LevelStorage rows;
+  rows.kind = format.mode(0);
+  rows.dim = dim0;
+  rows.extent = M;
+  rows.positions = nbr;
+  rows.parent_positions = 1;
+
+  LevelStorage cols;
+  cols.kind = format.mode(1);
+  cols.dim = dim1;
+  cols.extent = N;
+  cols.parent_positions = nbr;
+  cols.pos = rt::make_region<rt::PosRange>(
+      rt::IndexSpace(std::max<Coord>(nbr, 1)), name + ".pos2");
+
+  std::vector<int32_t> crds;
+  std::vector<std::pair<int64_t, Coord>> lanes;  // (entry, value position)
+  lanes.reserve(perm.size());
+  {
+    Coord bi_at = 0;
+    Coord seg_begin = 0;
+    size_t e = 0;
+    for (Coord bi = 0; bi < nbr; ++bi) {
+      seg_begin = static_cast<Coord>(crds.size());
+      while (e < perm.size() && block_of(perm[e]).first == bi) {
+        const Coord bj = block_of(perm[e]).second;
+        const Coord q = static_cast<Coord>(crds.size());
+        crds.push_back(static_cast<int32_t>(bj));
+        while (e < perm.size() && block_of(perm[e]) ==
+                                      std::pair<Coord, Coord>(bi, bj)) {
+          const auto& c = coo.coords[static_cast<size_t>(perm[e])];
+          const Coord r = c[static_cast<size_t>(dim0)] % R;
+          const Coord cc = c[static_cast<size_t>(dim1)] % C;
+          lanes.emplace_back(perm[e], q * R * C + r * C + cc);
+          ++e;
+        }
+      }
+      (*cols.pos)[bi] = rt::PosRange{seg_begin,
+                                     static_cast<Coord>(crds.size()) - 1};
+      (void)bi_at;
+    }
+    SPD_ASSERT(e == perm.size(), "pack: blocked grouping lost entries");
+  }
+  cols.positions = static_cast<Coord>(crds.size());
+  cols.crd = rt::make_region<int32_t>(
+      rt::IndexSpace(std::max<Coord>(cols.positions, 1)), name + ".crd2");
+  for (size_t i = 0; i < crds.size(); ++i) {
+    (*cols.crd)[static_cast<Coord>(i)] = crds[i];
+  }
+  st.levels_.push_back(std::move(rows));
+  st.levels_.push_back(std::move(cols));
+
+  const Coord vals_count =
+      std::max<Coord>(st.levels_.back().positions * R * C, 1);
+  st.vals_ =
+      rt::make_region<double>(rt::IndexSpace(vals_count), name + ".vals");
+  st.vals_->fill(0.0);
+  for (const auto& [e, vp] : lanes) {
+    st.vals_->at_linear(vp) = coo.vals[static_cast<size_t>(e)];
+  }
+  st.fingerprint_ =
+      std::make_shared<const data::SparsityFingerprint>(data::fingerprint(st));
+  return st;
+}
+
 TensorStorage pack(const std::string& name, const Format& format,
-                   const std::vector<Coord>& dims, Coo coo) {
+                   const std::vector<Coord>& dims, Coo coo,
+                   const PackOptions& options) {
   obs::Span pack_span("format", obs::TraceRecorder::global().active()
                                     ? "pack " + name
                                     : std::string());
@@ -28,7 +128,40 @@ TensorStorage pack(const std::string& name, const Format& format,
                 "pack: coordinate out of bounds in " << name);
     }
   }
-  coo.sort_and_combine(format.ordering());
+  if (options.coalesce) {
+    coo.sort_and_combine(format.ordering());
+  } else {
+    // Keep duplicates as distinct stored entries (stable sort, so their
+    // input order is preserved). Only formats with a non-unique level give
+    // each duplicate its own position; reject otherwise up front.
+    bool has_nonunique = false;
+    for (const ModeFormat& m : format.modes()) {
+      if (!m.unique()) has_nonunique = true;
+    }
+    coo.sort(format.ordering());
+    if (!has_nonunique) {
+      for (size_t e = 1; e < coo.coords.size(); ++e) {
+        SPD_CHECK(coo.coords[e] != coo.coords[e - 1], NotationError,
+                  "pack: duplicate coordinates in "
+                      << name
+                      << " need coalescing or a non-unique (COO) format");
+      }
+    }
+  }
+
+  if (format.order() == 2 && format.mode(0).is_blocked()) {
+    TensorStorage st = pack_blocked(name, format, dims, coo);
+    if (obs::enabled()) {
+      static obs::Counter& tensors =
+          obs::Metrics::global().counter("pack.tensors");
+      static obs::Counter& nnz = obs::Metrics::global().counter("pack.nnz");
+      static obs::Histogram& us = obs::Metrics::global().histogram("pack.us");
+      tensors.add(1);
+      nnz.add(st.nnz());
+      us.record(static_cast<int64_t>(obs::wall_us() - t0));
+    }
+    return st;
+  }
 
   TensorStorage st;
   st.name_ = name;
@@ -117,6 +250,77 @@ TensorStorage pack(const std::string& name, const Format& format,
           name + ".crd" + std::to_string(l + 1));
       for (size_t i = 0; i < crds.size(); ++i) {
         (*level.crd)[static_cast<Coord>(i)] = crds[i];
+      }
+      groups = std::move(next);
+    } else if (level.kind.is_hashed()) {
+      // Compressed-style grouping, but each parent's distinct coordinates
+      // are *stored* in hash-slot order — ordered()==false is a real
+      // property of the storage, not just a flag — and an open-addressing
+      // index maps (parent, coordinate) -> position for O(1) probes.
+      level.pos = rt::make_region<rt::PosRange>(
+          rt::IndexSpace(level.parent_positions), name + ".pos" +
+                                                      std::to_string(l + 1));
+      std::vector<int32_t> crds;
+      std::vector<Range> next;
+      for (size_t p = 0; p < groups.size(); ++p) {
+        const Range& g = groups[p];
+        std::vector<std::pair<Coord, Range>> seg;
+        int64_t at = g.begin;
+        while (at < g.end) {
+          const Coord v =
+              coo.coords[static_cast<size_t>(at)][static_cast<size_t>(dim)];
+          const int64_t start = at;
+          while (at < g.end &&
+                 coo.coords[static_cast<size_t>(at)][static_cast<size_t>(dim)] ==
+                     v) {
+            ++at;
+          }
+          seg.emplace_back(v, Range{start, at});
+        }
+        std::stable_sort(seg.begin(), seg.end(),
+                         [&](const std::pair<Coord, Range>& a,
+                             const std::pair<Coord, Range>& b) {
+                           const uint64_t ha = hashed_level_slot(
+                               static_cast<Coord>(p), a.first);
+                           const uint64_t hb = hashed_level_slot(
+                               static_cast<Coord>(p), b.first);
+                           if (ha != hb) return ha < hb;
+                           return a.first < b.first;
+                         });
+        const Coord seg_begin = static_cast<Coord>(crds.size());
+        for (const auto& [v, r] : seg) {
+          crds.push_back(static_cast<int32_t>(v));
+          next.push_back(r);
+        }
+        (*level.pos)[static_cast<Coord>(p)] =
+            rt::PosRange{seg_begin, static_cast<Coord>(crds.size()) - 1};
+      }
+      level.positions = static_cast<Coord>(crds.size());
+      level.crd = rt::make_region<int32_t>(
+          rt::IndexSpace(std::max<Coord>(level.positions, 1)),
+          name + ".crd" + std::to_string(l + 1));
+      for (size_t i = 0; i < crds.size(); ++i) {
+        (*level.crd)[static_cast<Coord>(i)] = crds[i];
+      }
+      // Power-of-two table, load factor <= 0.5, linear probing. Entries are
+      // level positions; a probe verifies its hit against crd and the
+      // parent's pos segment (slots do not store keys).
+      Coord table = 2;
+      while (table < 2 * level.positions) table <<= 1;
+      level.hash = rt::make_region<int32_t>(rt::IndexSpace(table),
+                                            name + ".hash" +
+                                                std::to_string(l + 1));
+      level.hash->fill(-1);
+      for (size_t p = 0; p < groups.size(); ++p) {
+        const rt::PosRange pr = (*level.pos)[static_cast<Coord>(p)];
+        for (Coord q = pr.lo; q <= pr.hi; ++q) {
+          Coord slot = static_cast<Coord>(
+              hashed_level_slot(static_cast<Coord>(p),
+                                (*level.crd)[q]) &
+              static_cast<uint64_t>(table - 1));
+          while ((*level.hash)[slot] != -1) slot = (slot + 1) & (table - 1);
+          (*level.hash)[slot] = static_cast<int32_t>(q);
+        }
       }
       groups = std::move(next);
     } else {

@@ -20,11 +20,14 @@ void Coo::push(const std::array<Coord, rt::kMaxDim>& coord, double v) {
   vals.push_back(v);
 }
 
-void Coo::sort_and_combine(const std::vector<int>& dim_order) {
+void Coo::sort(const std::vector<int>& dim_order) {
   SPD_ASSERT(dim_order.size() == dims.size(), "bad dim order");
   std::vector<size_t> perm(coords.size());
   std::iota(perm.begin(), perm.end(), 0);
-  std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+  // Stable: duplicate coordinates keep input order, so unordered inputs
+  // (and duplicate-preserving packs) are deterministic functions of the
+  // entry list.
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
     for (int d : dim_order) {
       const Coord ca = coords[a][static_cast<size_t>(d)];
       const Coord cb = coords[b][static_cast<size_t>(d)];
@@ -37,6 +40,20 @@ void Coo::sort_and_combine(const std::vector<int>& dim_order) {
   new_coords.reserve(coords.size());
   new_vals.reserve(vals.size());
   for (size_t idx : perm) {
+    new_coords.push_back(coords[idx]);
+    new_vals.push_back(vals[idx]);
+  }
+  coords = std::move(new_coords);
+  vals = std::move(new_vals);
+}
+
+void Coo::sort_and_combine(const std::vector<int>& dim_order) {
+  sort(dim_order);
+  std::vector<std::array<Coord, rt::kMaxDim>> new_coords;
+  std::vector<double> new_vals;
+  new_coords.reserve(coords.size());
+  new_vals.reserve(vals.size());
+  for (size_t idx = 0; idx < coords.size(); ++idx) {
     if (!new_coords.empty() && new_coords.back() == coords[idx]) {
       new_vals.back() += vals[idx];
     } else {
@@ -49,10 +66,13 @@ void Coo::sort_and_combine(const std::vector<int>& dim_order) {
 }
 
 int64_t TensorStorage::bytes() const {
+  // vals_->size_bytes() covers the whole value region, so a Blocked
+  // tensor's padded lanes are accounted automatically.
   int64_t b = vals_ ? vals_->size_bytes() : 0;
   for (const auto& l : levels_) {
     if (l.pos) b += l.pos->size_bytes();
     if (l.crd) b += l.crd->size_bytes();
+    if (l.hash) b += l.hash->size_bytes();
   }
   return b;
 }
@@ -68,7 +88,31 @@ void walk(const TensorStorage& st, int l, Coord parent_pos,
     return;
   }
   const LevelStorage& level = st.level(l);
-  if (level.kind.is_dense()) {
+  if (level.kind.is_blocked()) {
+    // The BlockedDense level walks its pair as a unit: every stored block
+    // yields R*C value lanes (including explicit-zero padding), addressed
+    // block-major, row-major within the block.
+    const LevelStorage& blk = st.level(l + 1);
+    const Coord R = level.kind.block();
+    const Coord C = blk.kind.block();
+    for (Coord bi = 0; bi < level.positions; ++bi) {
+      const rt::PosRange pr = (*blk.pos)[bi];
+      for (Coord q = pr.lo; q <= pr.hi; ++q) {
+        const Coord bj = (*blk.crd)[q];
+        for (Coord r = 0; r < R; ++r) {
+          const Coord i = bi * R + r;
+          if (i >= level.extent) break;
+          coords[static_cast<size_t>(level.dim)] = i;
+          for (Coord cc = 0; cc < C; ++cc) {
+            const Coord j = bj * C + cc;
+            if (j >= blk.extent) break;
+            coords[static_cast<size_t>(blk.dim)] = j;
+            walk(st, l + 2, q * R * C + r * C + cc, coords, fn);
+          }
+        }
+      }
+    }
+  } else if (level.kind.is_dense()) {
     for (Coord c = 0; c < level.extent; ++c) {
       coords[static_cast<size_t>(level.dim)] = c;
       walk(st, l + 1, parent_pos * level.extent + c, coords, fn);
@@ -78,6 +122,8 @@ void walk(const TensorStorage& st, int l, Coord parent_pos,
     coords[static_cast<size_t>(level.dim)] = (*level.crd)[parent_pos];
     walk(st, l + 1, parent_pos, coords, fn);
   } else {
+    // Compressed and Hashed: pos segment over this level's crd entries
+    // (a Hashed segment is simply unordered — the walk does not care).
     const rt::PosRange pr = (*level.pos)[parent_pos];
     for (Coord q = pr.lo; q <= pr.hi; ++q) {
       coords[static_cast<size_t>(level.dim)] = (*level.crd)[q];
@@ -102,6 +148,15 @@ Coo TensorStorage::to_coo() const {
   for_each([&](const std::array<Coord, rt::kMaxDim>& c, double v) {
     if (v != 0.0) coo.push(c, v);
   });
+  // Hashed levels emit in hash order and Blocked pairs emit block-major
+  // (whole blocks, not whole rows); restore the documented storage-order
+  // sort (Blocked padding was already dropped by the v != 0 filter above).
+  for (const ModeFormat& m : format_.modes()) {
+    if (!m.ordered() || m.is_blocked()) {
+      coo.sort(format_.ordering());
+      break;
+    }
+  }
   return coo;
 }
 

@@ -46,10 +46,17 @@ struct Coo {
   void push(std::initializer_list<Coord> coord, double v);
   void push(const std::array<Coord, rt::kMaxDim>& coord, double v);
 
+  // Stable coordinate-lexicographic sort by the given dimension order
+  // (storage order): entries with equal coordinates keep their input order,
+  // so unordered input lists round-trip deterministically.
+  void sort(const std::vector<int>& dim_order);
+
   // Sorts lexicographically by the given dimension order (storage order) and
   // combines duplicate coordinates by summing their values.
   void sort_and_combine(const std::vector<int>& dim_order);
 };
+
+struct PackOptions;
 
 // One stored level of the coordinate tree.
 struct LevelStorage {
@@ -66,7 +73,22 @@ struct LevelStorage {
   // Singleton) by this level's positions.
   rt::RegionRef<rt::PosRange> pos;
   rt::RegionRef<int32_t> crd;
+  // Hashed levels only: open-addressing index of (parent position,
+  // coordinate) -> this level's position. Power-of-two table of position
+  // entries (-1 = empty slot), load factor <= 0.5, probed linearly.
+  rt::RegionRef<int32_t> hash;
 };
+
+// Hash mixed over (parent position, coordinate) — the slot function shared
+// by pack's index builder and the kernels' O(1) probes.
+inline uint64_t hashed_level_slot(Coord parent, Coord c) {
+  uint64_t h = static_cast<uint64_t>(parent) * 0x9E3779B97F4A7C15ull ^
+               static_cast<uint64_t>(c) * 0xD1B54A32D192ED03ull;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 29;
+  return h;
+}
 
 class TensorStorage {
  public:
@@ -111,7 +133,12 @@ class TensorStorage {
 
  private:
   friend TensorStorage pack(const std::string& name, const Format& format,
-                            const std::vector<Coord>& dims, Coo coo);
+                            const std::vector<Coord>& dims, Coo coo,
+                            const PackOptions& options);
+  friend TensorStorage pack_blocked(const std::string& name,
+                                    const Format& format,
+                                    const std::vector<Coord>& dims,
+                                    const Coo& coo);
 
   std::string name_;
   Format format_;
@@ -122,10 +149,22 @@ class TensorStorage {
   std::shared_ptr<const data::SparsityFingerprint> fingerprint_;
 };
 
-// Packs a coordinate list into the given format (sorts and combines
-// duplicates first). `dims` are logical dimension sizes.
+// Pack behavior knobs.
+struct PackOptions {
+  // Sum duplicate coordinates into one stored entry (the default). With
+  // coalescing off, duplicates survive as distinct stored entries — legal
+  // only for formats whose root level is non-unique (COO chains), where
+  // each entry gets its own position; unique formats reject duplicates.
+  bool coalesce = true;
+};
+
+// Packs a coordinate list into the given format. Input entries may arrive
+// in any order (pack stable-sorts coordinate-lexicographically in storage
+// order first); duplicates are summed unless options.coalesce is off.
+// `dims` are logical dimension sizes.
 TensorStorage pack(const std::string& name, const Format& format,
-                   const std::vector<Coord>& dims, Coo coo);
+                   const std::vector<Coord>& dims, Coo coo,
+                   const PackOptions& options = {});
 
 // Exact structural and numerical equality of the stored non-zeros
 // (independent of format).

@@ -1,0 +1,303 @@
+// Register-tiled leaf kernels over Blocked (BCSR) operands.
+//
+// A bcsr(R,C) matrix stores R*C contiguous row-major value lanes per block,
+// so the inner loops below are constant-trip R x C FMA tiles the compiler
+// fully unrolls and vectorizes (the whole point of the format: one crd read
+// and one pos probe amortize over R*C dense flops, and the lanes stream
+// sequentially). Padded lanes hold exact zeros, so tiles never branch on
+// occupancy; only block columns that straddle the matrix edge take the
+// scalar tail path (operand reads must not run past the dense vectors).
+//
+// Common block shapes get compile-time micro-kernels (2x2, 4x4, 8x8, 4x8);
+// anything else runs the runtime-extent fallback with the same structure.
+#include <algorithm>
+#include <vector>
+
+#include "kernels/leaf_kernels.h"
+#include "kernels/work.h"
+
+namespace spdistal::kern {
+
+using rt::Coord;
+
+namespace {
+
+// a(i) = B(i,j) * c(j), B = bcsr(BR,BC). Row-coordinate pieces: every block
+// row overlapping the piece is processed whole (accumulators for all BR
+// lanes), then only in-piece rows scatter — wasted lanes beat a branchy
+// tile, and out-of-piece rows are simply not written.
+template <int BR, int BC>
+rt::WorkEstimate spmv_bcsr_tile(const Tensor& a, const Tensor& B,
+                                const Tensor& c, const PieceBounds& piece) {
+  WorkCounter work;
+  const auto& blk = B.storage().level(1);
+  const rt::RegionAccessor<rt::PosRange> pos(*blk.pos, rt::Access::Read);
+  const rt::RegionAccessor<int32_t> crd(*blk.crd, rt::Access::Read);
+  const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double> cv(*c.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double> av(*a.storage().vals());
+  const Coord M = B.dims()[0];
+  const Coord N = B.dims()[1];
+  const rt::Rect1 rows = piece.dist_coords.value_or(rt::Rect1{0, M - 1});
+  if (rows.empty()) return work.done();
+  for (Coord bi = rows.lo / BR; bi <= rows.hi / BR; ++bi) {
+    const rt::PosRange seg = pos[bi];
+    work.segment();
+    double acc[BR] = {};
+    for (Coord q = seg.lo; q <= seg.hi; ++q) {
+      const Coord j0 = Coord{crd[q]} * BC;
+      const Coord base = q * BR * BC;
+      if (j0 + BC <= N) {
+        for (int r = 0; r < BR; ++r) {
+          for (int cc = 0; cc < BC; ++cc) {
+            acc[r] += bv[base + r * BC + cc] * cv[j0 + cc];
+          }
+        }
+      } else {
+        const int jcnt = static_cast<int>(N - j0);
+        for (int r = 0; r < BR; ++r) {
+          for (int cc = 0; cc < jcnt; ++cc) {
+            acc[r] += bv[base + r * BC + cc] * cv[j0 + cc];
+          }
+        }
+      }
+      work.flops += 2.0 * BR * BC;
+      work.bytes += 8.0 * BR * BC + 4.0 + 8.0 * BC;
+      work.nnz += BR * BC;
+    }
+    const Coord r_lo = std::max<Coord>(rows.lo - bi * BR, 0);
+    const Coord r_hi =
+        std::min<Coord>(std::min<Coord>(rows.hi, M - 1) - bi * BR, BR - 1);
+    for (Coord r = r_lo; r <= r_hi; ++r) av[bi * BR + r] += acc[r];
+    work.stream(r_hi - r_lo + 1);
+  }
+  return work.done();
+}
+
+// Runtime-extent fallback, same structure with heap accumulators.
+rt::WorkEstimate spmv_bcsr_any(const Tensor& a, const Tensor& B,
+                               const Tensor& c, const PieceBounds& piece) {
+  WorkCounter work;
+  const Coord BR = B.format().mode(0).block();
+  const Coord BC = B.format().mode(1).block();
+  const auto& blk = B.storage().level(1);
+  const rt::RegionAccessor<rt::PosRange> pos(*blk.pos, rt::Access::Read);
+  const rt::RegionAccessor<int32_t> crd(*blk.crd, rt::Access::Read);
+  const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double> cv(*c.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double> av(*a.storage().vals());
+  const Coord M = B.dims()[0];
+  const Coord N = B.dims()[1];
+  const rt::Rect1 rows = piece.dist_coords.value_or(rt::Rect1{0, M - 1});
+  if (rows.empty()) return work.done();
+  std::vector<double> acc(static_cast<size_t>(BR));
+  for (Coord bi = rows.lo / BR; bi <= rows.hi / BR; ++bi) {
+    const rt::PosRange seg = pos[bi];
+    work.segment();
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (Coord q = seg.lo; q <= seg.hi; ++q) {
+      const Coord j0 = Coord{crd[q]} * BC;
+      const Coord base = q * BR * BC;
+      const Coord jcnt = std::min<Coord>(BC, N - j0);
+      for (Coord r = 0; r < BR; ++r) {
+        for (Coord cc = 0; cc < jcnt; ++cc) {
+          acc[static_cast<size_t>(r)] += bv[base + r * BC + cc] * cv[j0 + cc];
+        }
+      }
+      work.flops += 2.0 * static_cast<double>(BR * BC);
+      work.bytes += 8.0 * static_cast<double>(BR * BC) + 4.0 +
+                    8.0 * static_cast<double>(BC);
+      work.nnz += static_cast<double>(BR * BC);
+    }
+    const Coord r_lo = std::max<Coord>(rows.lo - bi * BR, 0);
+    const Coord r_hi =
+        std::min<Coord>(std::min<Coord>(rows.hi, M - 1) - bi * BR, BR - 1);
+    for (Coord r = r_lo; r <= r_hi; ++r) {
+      av[bi * BR + r] += acc[static_cast<size_t>(r)];
+    }
+    work.stream(r_hi - r_lo + 1);
+  }
+  return work.done();
+}
+
+// A(i,j) = B(i,k) * C(k,j), B = bcsr(BR,BC) over (i,k), A/C dense. For each
+// stored block the BR*BC values load once into a register tile, then every
+// output column accumulates a BC-deep unrolled dot against C's rows. `cols`
+// clamps j for the axis-1 tile of a 2-D grid distribution.
+template <int BR, int BC>
+rt::WorkEstimate spmm_bcsr_tile(const Tensor& A, const Tensor& B,
+                                const Tensor& C, const PieceBounds& piece,
+                                std::optional<uint32_t> col_var) {
+  WorkCounter work;
+  const auto& blk = B.storage().level(1);
+  const rt::RegionAccessor<rt::PosRange> pos(*blk.pos, rt::Access::Read);
+  const rt::RegionAccessor<int32_t> crd(*blk.crd, rt::Access::Read);
+  const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double, 2> cv(*C.storage().vals(),
+                                         rt::Access::Read);
+  const rt::RegionAccessor<double, 2> av(*A.storage().vals());
+  const Coord M = B.dims()[0];
+  const Coord K = B.dims()[1];
+  const Coord J = A.dims()[1];
+  const rt::Rect1 rows = piece.dist_coords.value_or(rt::Rect1{0, M - 1});
+  const rt::Rect1 cols = col_var.has_value()
+                             ? piece.var_bound(*col_var, rt::Rect1{0, J - 1})
+                             : rt::Rect1{0, J - 1};
+  if (rows.empty() || cols.empty()) return work.done();
+  for (Coord bi = rows.lo / BR; bi <= rows.hi / BR; ++bi) {
+    const rt::PosRange seg = pos[bi];
+    work.segment();
+    const Coord r_lo = std::max<Coord>(rows.lo - bi * BR, 0);
+    const Coord r_hi =
+        std::min<Coord>(std::min<Coord>(rows.hi, M - 1) - bi * BR, BR - 1);
+    for (Coord q = seg.lo; q <= seg.hi; ++q) {
+      const Coord k0 = Coord{crd[q]} * BC;
+      const Coord base = q * BR * BC;
+      double blkv[BR * BC];
+      for (int t = 0; t < BR * BC; ++t) blkv[t] = bv[base + t];
+      if (k0 + BC <= K) {
+        for (Coord r = r_lo; r <= r_hi; ++r) {
+          const Coord i = bi * BR + r;
+          for (Coord j = cols.lo; j <= cols.hi; ++j) {
+            double sum = 0;
+            for (int ck = 0; ck < BC; ++ck) {
+              sum += blkv[r * BC + ck] * cv(k0 + ck, j);
+            }
+            av(i, j) += sum;
+          }
+        }
+      } else {
+        const int kcnt = static_cast<int>(K - k0);
+        for (Coord r = r_lo; r <= r_hi; ++r) {
+          const Coord i = bi * BR + r;
+          for (Coord j = cols.lo; j <= cols.hi; ++j) {
+            double sum = 0;
+            for (int ck = 0; ck < kcnt; ++ck) {
+              sum += blkv[r * BC + ck] * cv(k0 + ck, j);
+            }
+            av(i, j) += sum;
+          }
+        }
+      }
+      const double rows_done = static_cast<double>(r_hi - r_lo + 1);
+      work.flops += 2.0 * rows_done * BC * static_cast<double>(cols.size());
+      work.bytes += 8.0 * BR * BC + 4.0 +
+                    8.0 * BC * static_cast<double>(cols.size());
+      work.nnz += rows_done * BC;
+    }
+  }
+  return work.done();
+}
+
+rt::WorkEstimate spmm_bcsr_any(const Tensor& A, const Tensor& B,
+                               const Tensor& C, const PieceBounds& piece,
+                               std::optional<uint32_t> col_var) {
+  WorkCounter work;
+  const Coord BR = B.format().mode(0).block();
+  const Coord BC = B.format().mode(1).block();
+  const auto& blk = B.storage().level(1);
+  const rt::RegionAccessor<rt::PosRange> pos(*blk.pos, rt::Access::Read);
+  const rt::RegionAccessor<int32_t> crd(*blk.crd, rt::Access::Read);
+  const rt::RegionAccessor<double> bv(*B.storage().vals(), rt::Access::Read);
+  const rt::RegionAccessor<double, 2> cv(*C.storage().vals(),
+                                         rt::Access::Read);
+  const rt::RegionAccessor<double, 2> av(*A.storage().vals());
+  const Coord M = B.dims()[0];
+  const Coord K = B.dims()[1];
+  const Coord J = A.dims()[1];
+  const rt::Rect1 rows = piece.dist_coords.value_or(rt::Rect1{0, M - 1});
+  const rt::Rect1 cols = col_var.has_value()
+                             ? piece.var_bound(*col_var, rt::Rect1{0, J - 1})
+                             : rt::Rect1{0, J - 1};
+  if (rows.empty() || cols.empty()) return work.done();
+  for (Coord bi = rows.lo / BR; bi <= rows.hi / BR; ++bi) {
+    const rt::PosRange seg = pos[bi];
+    work.segment();
+    const Coord r_lo = std::max<Coord>(rows.lo - bi * BR, 0);
+    const Coord r_hi =
+        std::min<Coord>(std::min<Coord>(rows.hi, M - 1) - bi * BR, BR - 1);
+    for (Coord q = seg.lo; q <= seg.hi; ++q) {
+      const Coord k0 = Coord{crd[q]} * BC;
+      const Coord base = q * BR * BC;
+      const Coord kcnt = std::min<Coord>(BC, K - k0);
+      for (Coord r = r_lo; r <= r_hi; ++r) {
+        const Coord i = bi * BR + r;
+        for (Coord j = cols.lo; j <= cols.hi; ++j) {
+          double sum = 0;
+          for (Coord ck = 0; ck < kcnt; ++ck) {
+            sum += bv[base + r * BC + ck] * cv(k0 + ck, j);
+          }
+          av(i, j) += sum;
+        }
+      }
+      const double rows_done = static_cast<double>(r_hi - r_lo + 1);
+      work.flops += 2.0 * rows_done * static_cast<double>(BC) *
+                    static_cast<double>(cols.size());
+      work.bytes += 8.0 * static_cast<double>(BR * BC) + 4.0 +
+                    8.0 * static_cast<double>(BC * cols.size());
+      work.nnz += rows_done * static_cast<double>(BC);
+    }
+  }
+  return work.done();
+}
+
+}  // namespace
+
+Leaf make_spmv_bcsr(Tensor a, Tensor B, Tensor c) {
+  const int R = B.format().mode(0).block();
+  const int C = B.format().mode(1).block();
+  if (R == 2 && C == 2) {
+    return [a, B, c](const PieceBounds& p) mutable {
+      return spmv_bcsr_tile<2, 2>(a, B, c, p);
+    };
+  }
+  if (R == 4 && C == 4) {
+    return [a, B, c](const PieceBounds& p) mutable {
+      return spmv_bcsr_tile<4, 4>(a, B, c, p);
+    };
+  }
+  if (R == 4 && C == 8) {
+    return [a, B, c](const PieceBounds& p) mutable {
+      return spmv_bcsr_tile<4, 8>(a, B, c, p);
+    };
+  }
+  if (R == 8 && C == 8) {
+    return [a, B, c](const PieceBounds& p) mutable {
+      return spmv_bcsr_tile<8, 8>(a, B, c, p);
+    };
+  }
+  return [a, B, c](const PieceBounds& p) mutable {
+    return spmv_bcsr_any(a, B, c, p);
+  };
+}
+
+Leaf make_spmm_bcsr(Tensor A, Tensor B, Tensor C,
+                    std::optional<uint32_t> col_var) {
+  const int R = B.format().mode(0).block();
+  const int Cb = B.format().mode(1).block();
+  if (R == 2 && Cb == 2) {
+    return [A, B, C, col_var](const PieceBounds& p) mutable {
+      return spmm_bcsr_tile<2, 2>(A, B, C, p, col_var);
+    };
+  }
+  if (R == 4 && Cb == 4) {
+    return [A, B, C, col_var](const PieceBounds& p) mutable {
+      return spmm_bcsr_tile<4, 4>(A, B, C, p, col_var);
+    };
+  }
+  if (R == 4 && Cb == 8) {
+    return [A, B, C, col_var](const PieceBounds& p) mutable {
+      return spmm_bcsr_tile<4, 8>(A, B, C, p, col_var);
+    };
+  }
+  if (R == 8 && Cb == 8) {
+    return [A, B, C, col_var](const PieceBounds& p) mutable {
+      return spmm_bcsr_tile<8, 8>(A, B, C, p, col_var);
+    };
+  }
+  return [A, B, C, col_var](const PieceBounds& p) mutable {
+    return spmm_bcsr_any(A, B, C, p, col_var);
+  };
+}
+
+}  // namespace spdistal::kern

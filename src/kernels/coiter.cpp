@@ -42,21 +42,69 @@ namespace {
 // descends Dense and Singleton levels directly, binary-searches Compressed
 // segments, and backtracks over a non-unique level's duplicate run (the
 // deeper Singleton coordinates disambiguate).
-template <typename PosAt, typename CrdAt>
+template <typename PosAt, typename CrdAt, typename HashAt>
 Coord locate_walk(const TensorStorage& st, int l, Coord parent,
                   const std::array<Coord, rt::kMaxDim>& coords,
-                  const PosAt& pos_at, const CrdAt& crd_at) {
+                  const PosAt& pos_at, const CrdAt& crd_at,
+                  const HashAt& hash_at) {
   if (l == st.num_levels()) return parent;
   const LevelStorage& level = st.level(l);
   const Coord c = coords[static_cast<size_t>(level.dim)];
   if (level.kind.is_dense()) {
     return locate_walk(st, l + 1, parent * level.extent + c, coords, pos_at,
-                       crd_at);
+                       crd_at, hash_at);
+  }
+  if (level.kind.is_blocked() && !level.kind.has_pos()) {
+    // Blocked pair, handled as a unit: find the R x C block holding
+    // (i, j), then address its row-major value lane.
+    const LevelStorage& blk = st.level(l + 1);
+    const Coord R = level.kind.block();
+    const Coord C = blk.kind.block();
+    const Coord j = coords[static_cast<size_t>(blk.dim)];
+    const rt::PosRange seg = pos_at(l + 1, c / R);
+    if (seg.empty()) return -1;
+    const Coord bj = j / C;
+    Coord q = -1;
+    Coord lo = seg.lo;
+    Coord hi = seg.hi;
+    while (lo <= hi) {
+      const Coord mid = lo + (hi - lo) / 2;
+      const Coord v = crd_at(l + 1, mid);
+      if (v == bj) {
+        q = mid;
+        break;
+      }
+      if (v < bj) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    if (q < 0) return -1;
+    return locate_walk(st, l + 2, q * R * C + (c % R) * C + (j % C), coords,
+                       pos_at, crd_at, hash_at);
   }
   if (level.kind.is_singleton()) {
     // One coordinate per position; the position is the parent's.
     if (crd_at(l, parent) != c) return -1;
-    return locate_walk(st, l + 1, parent, coords, pos_at, crd_at);
+    return locate_walk(st, l + 1, parent, coords, pos_at, crd_at, hash_at);
+  }
+  if (level.kind.is_hashed()) {
+    // O(1) open-addressing probe; a hit is verified against crd and the
+    // parent's segment (the table stores positions, not keys).
+    const rt::PosRange seg = pos_at(l, parent);
+    if (seg.empty()) return -1;
+    const Coord S = static_cast<Coord>(level.hash->space().volume());
+    Coord slot = static_cast<Coord>(fmt::hashed_level_slot(parent, c) &
+                                    static_cast<uint64_t>(S - 1));
+    for (;;) {
+      const Coord q = hash_at(l, slot);
+      if (q < 0) return -1;
+      if (q >= seg.lo && q <= seg.hi && crd_at(l, q) == c) {
+        return locate_walk(st, l + 1, q, coords, pos_at, crd_at, hash_at);
+      }
+      slot = (slot + 1) & (S - 1);
+    }
   }
   const rt::PosRange seg = pos_at(l, parent);
   if (seg.empty()) return -1;
@@ -80,14 +128,14 @@ Coord locate_walk(const TensorStorage& st, int l, Coord parent,
   }
   if (q < 0) return -1;
   if (level.kind.unique()) {
-    return locate_walk(st, l + 1, q, coords, pos_at, crd_at);
+    return locate_walk(st, l + 1, q, coords, pos_at, crd_at, hash_at);
   }
   Coord lo = q;
   while (lo > seg.lo && crd_at(l, lo - 1) == c) --lo;
   Coord hi = q;
   while (hi < seg.hi && crd_at(l, hi + 1) == c) ++hi;
   for (Coord p = lo; p <= hi; ++p) {
-    const Coord r = locate_walk(st, l + 1, p, coords, pos_at, crd_at);
+    const Coord r = locate_walk(st, l + 1, p, coords, pos_at, crd_at, hash_at);
     if (r >= 0) return r;
   }
   return -1;
@@ -102,6 +150,7 @@ Coord locate_position(const TensorStorage& st,
   // contract; spttv_nz calls this once per fiber).
   std::array<rt::RegionAccessor<rt::PosRange>, rt::kMaxDim> lpos;
   std::array<rt::RegionAccessor<int32_t>, rt::kMaxDim> lcrd;
+  std::array<rt::RegionAccessor<int32_t>, rt::kMaxDim> lhash;
   for (int l = 0; l < st.num_levels(); ++l) {
     const LevelStorage& level = st.level(l);
     if (level.kind.has_pos()) {
@@ -112,6 +161,10 @@ Coord locate_position(const TensorStorage& st,
       lcrd[static_cast<size_t>(l)] =
           rt::RegionAccessor<int32_t>(*level.crd, rt::Access::Read);
     }
+    if (level.hash) {
+      lhash[static_cast<size_t>(l)] =
+          rt::RegionAccessor<int32_t>(*level.hash, rt::Access::Read);
+    }
   }
   const auto pos_at = [&](int l, Coord p) {
     return lpos[static_cast<size_t>(l)][p];
@@ -119,7 +172,10 @@ Coord locate_position(const TensorStorage& st,
   const auto crd_at = [&](int l, Coord q) {
     return Coord{lcrd[static_cast<size_t>(l)][q]};
   };
-  return locate_walk(st, 0, 0, coords, pos_at, crd_at);
+  const auto hash_at = [&](int l, Coord slot) {
+    return Coord{lhash[static_cast<size_t>(l)][slot]};
+  };
+  return locate_walk(st, 0, 0, coords, pos_at, crd_at, hash_at);
 }
 
 CoiterEngine::CoiterEngine(const Statement& stmt,
@@ -192,6 +248,9 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
     // Per storage level; default (invalid) for Dense levels.
     std::vector<rt::RegionAccessor<rt::PosRange>> lpos;
     std::vector<rt::RegionAccessor<int32_t>> lcrd;
+    // Hashed levels: open-addressing index and its (power-of-two) size.
+    std::vector<rt::RegionAccessor<int32_t>> lhash;
+    std::vector<Coord> lhsize;
   };
   std::vector<TermAccess> accs;
   double coeff = 1.0;
@@ -214,6 +273,8 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
             const LevelStorage& level = a.st->level(l);
             a.lpos.emplace_back();
             a.lcrd.emplace_back();
+            a.lhash.emplace_back();
+            a.lhsize.push_back(0);
             if (level.kind.has_pos()) {
               a.lpos.back() =
                   rt::RegionAccessor<rt::PosRange>(*level.pos,
@@ -222,6 +283,11 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
             if (level.kind.has_crd()) {
               a.lcrd.back() =
                   rt::RegionAccessor<int32_t>(*level.crd, rt::Access::Read);
+            }
+            if (level.hash) {
+              a.lhash.back() =
+                  rt::RegionAccessor<int32_t>(*level.hash, rt::Access::Read);
+              a.lhsize.back() = static_cast<Coord>(level.hash->space().volume());
             }
           }
           accs.push_back(std::move(a));
@@ -276,11 +342,13 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
   const rt::LinearAccessor<double> out_vals(*out_st.vals());
   std::vector<rt::RegionAccessor<rt::PosRange>> out_lpos;
   std::vector<rt::RegionAccessor<int32_t>> out_lcrd;
+  std::vector<rt::RegionAccessor<int32_t>> out_lhash;
   if (!output_.all_dense) {
     for (int l = 0; l < out_st.num_levels(); ++l) {
       const LevelStorage& level = out_st.level(l);
       out_lpos.emplace_back();
       out_lcrd.emplace_back();
+      out_lhash.emplace_back();
       if (level.kind.has_pos()) {
         out_lpos.back() =
             rt::RegionAccessor<rt::PosRange>(*level.pos, rt::Access::Read);
@@ -288,6 +356,10 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       if (level.kind.has_crd()) {
         out_lcrd.back() =
             rt::RegionAccessor<int32_t>(*level.crd, rt::Access::Read);
+      }
+      if (level.hash) {
+        out_lhash.back() =
+            rt::RegionAccessor<int32_t>(*level.hash, rt::Access::Read);
       }
     }
   }
@@ -301,7 +373,10 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
     const auto crd_at = [&](int l, Coord q) {
       return Coord{out_lcrd[static_cast<size_t>(l)][q]};
     };
-    return locate_walk(out_st, 0, 0, coords, pos_at, crd_at);
+    const auto hash_at = [&](int l, Coord slot) {
+      return Coord{out_lhash[static_cast<size_t>(l)][slot]};
+    };
+    return locate_walk(out_st, 0, 0, coords, pos_at, crd_at, hash_at);
   };
   auto emit = [&]() {
     double v = coeff;
@@ -368,6 +443,45 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
       const Coord c = env[order_pos];
       if (level.kind.is_dense()) {
         cur[a].parent = cur[a].parent * level.extent + c;
+      } else if (level.kind.is_blocked() && !level.kind.has_pos()) {
+        // BlockedDense: the row coordinate alone cannot address a value
+        // lane; carry it raw and let the BlockedCompressed descent below
+        // resolve (block row, block column, intra-block offsets) jointly.
+        cur[a].parent = c;
+      } else if (level.kind.is_blocked()) {
+        const size_t depth = static_cast<size_t>(cur[a].depth);
+        const Coord R = accs[a].st->level(cur[a].depth - 1).kind.block();
+        const Coord C = level.kind.block();
+        const Coord i = cur[a].parent;  // raw row coord from BlockedDense
+        const rt::PosRange seg = accs[a].lpos[depth][i / R];
+        work.segment();
+        if (seg.empty()) return false;
+        const Coord q = find_in_segment(accs[a].lcrd[depth], seg, c / C);
+        if (q < 0) return false;
+        cur[a].parent = q * R * C + (i % R) * C + (c % C);
+      } else if (level.kind.is_hashed()) {
+        const size_t depth = static_cast<size_t>(cur[a].depth);
+        const rt::PosRange seg = accs[a].lpos[depth][cur[a].parent];
+        work.segment();
+        if (seg.empty()) return false;
+        const Coord S = accs[a].lhsize[depth];
+        Coord slot = static_cast<Coord>(
+            fmt::hashed_level_slot(cur[a].parent, c) &
+            static_cast<uint64_t>(S - 1));
+        Coord q = -1;
+        for (;;) {
+          const Coord e = Coord{accs[a].lhash[depth][slot]};
+          if (e < 0) break;
+          if (e >= seg.lo && e <= seg.hi &&
+              Coord{accs[a].lcrd[depth][e]} == c) {
+            q = e;
+            break;
+          }
+          slot = (slot + 1) & (S - 1);
+        }
+        work.stream(1, 8.0);
+        if (q < 0) return false;
+        cur[a].parent = q;
       } else if (level.kind.is_singleton()) {
         // Coordinate-per-position: the cursor's position carries over; the
         // stored coordinate either matches or this branch is dead.
@@ -410,11 +524,19 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
     // as the driver; two non-unique levels on one variable cannot co-iterate.
     int driver = -1;
     bool driver_nonunique = false;
+    bool hashed_only = false;
     for (size_t a = 0; a < accs.size(); ++a) {
       if (accs[a].all_dense) continue;
       if (cur[a].depth < static_cast<int>(accs[a].level_var_ids.size()) &&
           accs[a].level_var_ids[static_cast<size_t>(cur[a].depth)] == v.id() &&
           accs[a].st->level(cur[a].depth).kind.has_crd()) {
+        if (accs[a].st->level(cur[a].depth).kind.is_hashed()) {
+          // Hashed coordinates are stored in hash order: driving the loop
+          // from them would enumerate coordinates unordered (breaking
+          // co-iteration and deterministic output). They are probe-only.
+          hashed_only = true;
+          continue;
+        }
         const bool nu = !accs[a].st->level(cur[a].depth).kind.unique();
         SPD_CHECK(!(nu && driver_nonunique), ScheduleError,
                   "cannot co-iterate two non-unique levels over "
@@ -425,6 +547,12 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
         }
       }
     }
+    SPD_CHECK(driver >= 0 || !hashed_only, ScheduleError,
+              "a Hashed level would have to drive iteration over "
+                  << v.name()
+                  << "; hashed levels are probe-only (locate) — reorder "
+                     "loops so an ordered level or dense loop drives the "
+                     "variable, or use an ordered format");
     // Piece restriction: the legacy outermost-variable bound plus any
     // var-keyed bound from a multi-axis (grid) distribution.
     rt::Rect1 bound{0, extent.count(v.id()) ? extent.at(v.id()) - 1 : -1};
@@ -467,6 +595,26 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
         const Coord c = d.lcrd[ddepth][q];
         work.stream(1, 4.0);
         if (!restrict0 || (c >= rlo && c <= rhi)) visit(q, c);
+      } else if (dl.kind.is_blocked()) {
+        // BlockedCompressed driver: each stored block expands to C column
+        // coordinates (clamped to the extent); padded lanes hold exact
+        // zeros, so visiting them is numerically a no-op.
+        const Coord R = d.st->level(static_cast<int>(ddepth) - 1).kind.block();
+        const Coord C = dl.kind.block();
+        const Coord i = saved[static_cast<size_t>(driver)].parent;
+        const rt::PosRange seg = d.lpos[ddepth][i / R];
+        work.segment();
+        const Coord r = i % R;
+        for (Coord q = seg.lo; q <= seg.hi; ++q) {
+          const Coord bj = d.lcrd[ddepth][q];
+          work.stream(1, 4.0);
+          for (Coord cc = 0; cc < C; ++cc) {
+            const Coord j = bj * C + cc;
+            if (j >= dl.extent) break;
+            if (restrict0 && (j < rlo || j > rhi)) continue;
+            visit(q * R * C + r * C + cc, j);
+          }
+        }
       } else {
         const rt::PosRange seg =
             d.lpos[ddepth][saved[static_cast<size_t>(driver)].parent];
@@ -517,6 +665,15 @@ rt::WorkEstimate CoiterEngine::run_term(const tin::Expr& term,
   const int L = piece.pos_level;
   SPD_CHECK(L < static_cast<int>(sa.level_var_ids.size()), ScheduleError,
             "split level out of range");
+  for (int l = 0; l <= L; ++l) {
+    const ModeFormat mf = sa.st->level(l).kind;
+    SPD_CHECK(!mf.is_blocked() && !mf.is_hashed(), ScheduleError,
+              "position-space iteration cannot split the "
+                  << mf.str() << " level of " << sa.st->name()
+                  << ": block positions address R*C value lanes and hashed "
+                     "positions are unordered; use divide (coordinate "
+                     "space) instead");
+  }
   // The first L+1 iteration variables must be the split tensor's leading
   // level variables.
   for (int l = 0; l <= L; ++l) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "autosched/autosched.h"   // cost-model-guided schedule search
+#include "autosched/format_select.h"  // blocked-vs-CSR format enumeration
 #include "autosched/plan_store.h"  // persistent plan service (SPDISTAL_PLAN_STORE)
 #include "baselines/common.h"      // baseline classification helpers
 #include "baselines/ctf_like.h"    // interpretation baseline

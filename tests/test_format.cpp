@@ -335,6 +335,83 @@ TEST(Storage, RoundTripToCoo) {
   EXPECT_TRUE(storage_equals(st, st2));
 }
 
+// Pack sorts: an arbitrarily shuffled coordinate list produces the same
+// storage as its canonically ordered twin, for every format family.
+TEST(Pack, SortsUnorderedInputOnPack) {
+  Coo ordered = paper_coo();
+  Coo shuffled;
+  shuffled.dims = ordered.dims;
+  std::vector<size_t> perm = {5, 2, 7, 0, 4, 6, 1, 3};
+  for (size_t p : perm) {
+    shuffled.push(ordered.coords[p], ordered.vals[p]);
+  }
+  for (const Format& f :
+       {csr(), csc(), dcsr(), coo(2), bcsr(2, 2), hashed_csr()}) {
+    TensorStorage a = pack("A", f, {4, 4}, ordered);
+    TensorStorage b = pack("B", f, {4, 4}, shuffled);
+    EXPECT_TRUE(storage_equals(a, b)) << f.str();
+    // Region-exact too: same pos/crd/vals, not just the same non-zero set.
+    for (int l = 0; l < a.num_levels(); ++l) {
+      ASSERT_EQ(a.level(l).positions, b.level(l).positions) << f.str();
+      for (Coord q = 0; a.level(l).crd && q < a.level(l).positions; ++q) {
+        EXPECT_EQ((*a.level(l).crd)[q], (*b.level(l).crd)[q]) << f.str();
+      }
+    }
+    for (Coord q = 0; q < a.vals()->space().volume(); ++q) {
+      EXPECT_EQ((*a.vals())[q], (*b.vals())[q]) << f.str();
+    }
+  }
+}
+
+// With coalescing off, duplicates survive as distinct stored entries on
+// non-unique (COO) chains — each gets its own position — and round-trip
+// to the same combined values.
+TEST(Pack, CoalesceOffKeepsDuplicatesOnCooChains) {
+  Coo dup;
+  dup.dims = {3, 3};
+  dup.push({2, 2}, 1.0);
+  dup.push({0, 1}, 2.0);
+  dup.push({2, 2}, 3.0);
+  dup.push({0, 1}, -0.5);
+  PackOptions raw;
+  raw.coalesce = false;
+  TensorStorage st = pack("D", coo(2), {3, 3}, dup, raw);
+  EXPECT_EQ(st.nnz(), 4);
+  EXPECT_EQ(st.level(0).positions, 4);  // one position per stored entry
+  // Stable sort: equal coordinates keep their input order.
+  EXPECT_EQ((*st.vals())[0], 2.0);
+  EXPECT_EQ((*st.vals())[1], -0.5);
+  EXPECT_EQ((*st.vals())[2], 1.0);
+  EXPECT_EQ((*st.vals())[3], 3.0);
+  Coo back = st.to_coo();
+  back.sort_and_combine({0, 1});
+  ASSERT_EQ(back.nnz(), 2);
+  EXPECT_EQ(back.vals[0], 1.5);
+  EXPECT_EQ(back.vals[1], 4.0);
+  // The default coalescing pack combines up front to the same values.
+  TensorStorage combined = pack("C", coo(2), {3, 3}, dup);
+  EXPECT_EQ(combined.nnz(), 2);
+  EXPECT_EQ((*combined.vals())[0], 1.5);
+  EXPECT_EQ((*combined.vals())[1], 4.0);
+}
+
+TEST(Pack, CoalesceOffRejectsDuplicatesOnUniqueFormats) {
+  Coo dup;
+  dup.dims = {4, 4};
+  dup.push({1, 1}, 1.0);
+  dup.push({1, 1}, 2.0);
+  PackOptions raw;
+  raw.coalesce = false;
+  for (const Format& f : {csr(), bcsr(2, 2), hashed_csr()}) {
+    Coo copy = dup;
+    EXPECT_THROW(pack("X", f, {4, 4}, std::move(copy), raw), NotationError)
+        << f.str();
+  }
+  // Duplicate-free input is fine without coalescing, on any format.
+  TensorStorage st = pack("Y", csr(), {4, 4}, paper_coo(), raw);
+  EXPECT_EQ(st.nnz(), 8);
+}
+
 // Property: packing the same random tensor into different formats preserves
 // exactly the set of non-zeros.
 class FormatRoundTripProperty : public ::testing::TestWithParam<int> {};

@@ -7,12 +7,14 @@
 // and set_plan_store(false) restores bit-identical searched schedules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <thread>
 
 #include "autosched/autosched.h"
+#include "autosched/cost.h"
 #include "autosched/plan_store.h"
 #include "common/str_util.h"
 #include "compiler/lower.h"
@@ -156,11 +158,17 @@ TEST(PlanStore, CorruptDocumentsAreRejectedWholesale) {
 TEST(PlanStore, UnknownSchemaVersionIsRejected) {
   std::string doc = plan_store_json(
       {make_entry("k", Recipe{}, {pattern_fp(100)}, 1.0)});
-  const std::string needle = "\"version\": 1";
+  const std::string needle = "\"version\": 2";
   const size_t at = doc.find(needle);
   ASSERT_NE(at, std::string::npos);
   doc.replace(at, needle.size(), "\"version\": 99");
   EXPECT_TRUE(parse_plan_store(doc).empty());
+  // Below the readable floor is rejected too.
+  std::string old = plan_store_json({});
+  const size_t at0 = old.find(needle);
+  ASSERT_NE(at0, std::string::npos);
+  old.replace(at0, needle.size(), "\"version\": 0");
+  EXPECT_TRUE(parse_plan_store(old).empty());
 }
 
 TEST(PlanStore, EntryFromNewerBuildIsSkippedAlone) {
@@ -452,6 +460,133 @@ TEST(PlanStore, DisabledStoreRestoresSearchedSchedules) {
   const Result opted_out = autoschedule_search(*a.stmt, m, no_store);
   EXPECT_FALSE(opted_out.from_cache);
   EXPECT_EQ(opted_out.recipe, base.recipe);
+}
+
+// --- fuzzy re-pricing ---------------------------------------------------------
+
+// A fuzzy hit's stored cost was simulated for a *sibling* shape; the plan
+// service re-prices the served recipe with the analytic model against the
+// actual operand fingerprints before reporting it.
+TEST(PlanStore, FuzzyHitsRepriceAgainstActualFingerprints) {
+  StoreGuard guard;
+  const rt::Machine m = cpu_machine(4);
+
+  auto build = [](int64_t nnz) {
+    IndexVar i("i"), j("j");
+    const Coord n = 300;
+    Tensor a("a", {n}, fmt::dense_vector());
+    Tensor B("B", {n, n}, fmt::csr());
+    Tensor c("c", {n}, fmt::dense_vector());
+    B.from_coo(data::powerlaw_matrix(n, n, nnz, 1.3, 3));
+    c.init_dense([](const auto&) { return 1.0; });
+    BuiltStmt b;
+    b.stmt = &(a(i) = B(i, j) * c(j));
+    b.out = a;
+    return b;
+  };
+
+  BuiltStmt a = build(4000);
+  const Result cold = autoschedule_search(*a.stmt, m);
+  ASSERT_FALSE(cold.from_cache);
+
+  set_plan_fuzz(0.9);
+  BuiltStmt b = build(4400);  // nearby shape: served by the fuzzy tier
+  const Result warm = autoschedule_search(*b.stmt, m);
+  ASSERT_TRUE(warm.from_cache);
+  ASSERT_TRUE(warm.fuzzy);
+  AnalyticModel model(*b.stmt, m);
+  EXPECT_DOUBLE_EQ(warm.best_cost, model.estimate(warm.recipe));
+}
+
+// --- eviction -----------------------------------------------------------------
+
+// SPDISTAL_PLAN_STORE_MAX (set_plan_store_max) caps the saved document:
+// save keeps the most recently *used* entries and evicts the rest
+// oldest-first. Lookups refresh an entry's stamp, so a hot plan survives
+// entries inserted after it.
+TEST(PlanStore, SaveEvictsLeastRecentlyUsedBeyondCap) {
+  StoreGuard guard;
+  const int64_t prev_cap = plan_store_max();
+  const std::string path = "test_plan_store_evict.json";
+  std::remove(path.c_str());
+  set_plan_store_max(2);
+
+  std::vector<PlanKey> keys;
+  for (int k = 0; k < 4; ++k) {
+    Recipe r;
+    r.pieces = 1 << k;
+    PlanKey key{strprintf("shape-%d", k),
+                data::fingerprints_str({pattern_fp(100 + k)}),
+                {pattern_fp(100 + k)}};
+    keys.push_back(key);
+    PlanCache::global().insert(key, r, static_cast<double>(k));
+  }
+  // Touch 0 and 2: despite being inserted earlier, they are now the two
+  // most recently used entries.
+  ASSERT_TRUE(PlanCache::global().lookup(keys[0]).has_value());
+  ASSERT_TRUE(PlanCache::global().lookup(keys[2]).has_value());
+
+  ASSERT_TRUE(save_plan_store(path));
+  PlanCache::global().clear();
+  EXPECT_EQ(load_plan_store(path), 2u);
+  std::vector<int> survivors;
+  for (const StoredPlan& e : PlanCache::global().entries()) {
+    survivors.push_back(e.plan.recipe.pieces);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  EXPECT_EQ(survivors, (std::vector<int>{1 << 0, 1 << 2}));
+
+  // Cap 0 disables eviction: everything persists.
+  set_plan_store_max(0);
+  PlanCache::global().clear();
+  for (int k = 0; k < 4; ++k) {
+    Recipe r;
+    r.pieces = 1 << k;
+    PlanCache::global().insert(keys[static_cast<size_t>(k)], r, 0.0);
+  }
+  std::remove(path.c_str());
+  ASSERT_TRUE(save_plan_store(path));
+  PlanCache::global().clear();
+  EXPECT_EQ(load_plan_store(path), 4u);
+
+  set_plan_store_max(prev_cap);
+  std::remove(path.c_str());
+}
+
+// --- schema compatibility -----------------------------------------------------
+
+// v1 documents (no per-entry "used" stamp) still load: their entries carry
+// stamp 0, making them the first candidates for eviction.
+TEST(PlanStore, V1DocumentsStillLoad) {
+  StoreGuard guard;
+  Recipe r;
+  r.pieces = 4;
+  std::string doc =
+      plan_store_json({make_entry("v1-shape", r, {pattern_fp(100)}, 2.5)});
+  const std::string vneedle = "\"version\": 2";
+  const size_t at = doc.find(vneedle);
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, vneedle.size(), "\"version\": 1");
+  // Strip the v2-only "used" stamps, turning the document into exactly
+  // what a v1 build would have written.
+  for (size_t u = doc.find("\"used\": "); u != std::string::npos;
+       u = doc.find("\"used\": ", u)) {
+    const size_t comma = doc.find(',', u);
+    ASSERT_NE(comma, std::string::npos);
+    doc.erase(u, comma + 2 - u);
+  }
+  const auto parsed = parse_plan_store(doc);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].structural, "v1-shape");
+  EXPECT_EQ(parsed[0].plan.recipe, r);
+  EXPECT_DOUBLE_EQ(parsed[0].plan.cost, 2.5);
+  EXPECT_EQ(parsed[0].plan.used->load(), 0);
+
+  const std::string path = "test_plan_store_v1.json";
+  write_file(path, doc);
+  EXPECT_EQ(load_plan_store(path), 1u);
+  EXPECT_EQ(PlanCache::global().size(), 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
